@@ -1,0 +1,152 @@
+"""Ablation: scalability of the static analysis (paper §VII).
+
+The paper claims "a scalable static analysis which operates directly on
+the SystemC-AMS TDF models".  Two sweeps substantiate the claim for
+this implementation:
+
+* **models sweep** — clusters with a growing number of chained models:
+  analysis time and association count must grow (near-)linearly;
+* **branches sweep** — a single model with a growing number of
+  sequential branches: the number of *static paths* doubles with every
+  branch (2^B), but the du-path classification works on the memoized
+  reachability closure, so runtime stays polynomial.
+"""
+
+import importlib.util
+import sys
+
+import pytest
+
+from repro.analysis import analyze_cluster, analyze_model
+from repro.tdf import Cluster, ms
+from repro.tdf.library import CollectorSink, StimulusSource
+
+from conftest import write_result
+
+
+# -- synthetic source generation ---------------------------------------------
+
+_STAGE_TEMPLATE = '''
+from repro.tdf import TdfIn, TdfModule, TdfOut
+
+
+class Stage(TdfModule):
+    """A pipeline stage with a branch and a member accumulator."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_acc = 0.0
+
+    def processing(self):
+        raw = self.ip.read()
+        scaled = raw * 1.5
+        if scaled > 1.0:
+            scaled = 1.0
+        self.m_acc = self.m_acc + scaled
+        self.op.write(scaled)
+'''
+
+
+def _branchy_source(branches: int) -> str:
+    lines = [
+        "from repro.tdf import TdfIn, TdfModule, TdfOut",
+        "",
+        "",
+        "class Branchy(TdfModule):",
+        '    """A model with many sequential (non-nested) branches."""',
+        "",
+        "    def __init__(self, name='branchy'):",
+        "        super().__init__(name)",
+        "        self.ip = TdfIn()",
+        "        self.op = TdfOut()",
+        "",
+        "    def processing(self):",
+        "        v = self.ip.read()",
+        "        out = 0.0",
+    ]
+    for i in range(branches):
+        lines.append(f"        if v > {i}.0:")
+        lines.append(f"            out = out + {i + 1}.0")
+    lines.append("        self.op.write(out)")
+    return "\n".join(lines) + "\n"
+
+
+def _load_module(tmp_path, name: str, source: str):
+    path = tmp_path / f"{name}.py"
+    path.write_text(source)
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _chain_cluster(stage_cls, length: int) -> Cluster:
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+            previous = self.src.op
+            for i in range(length):
+                stage = self.add(stage_cls(f"stage_{i}"))
+                self.connect(previous, stage.ip)
+                previous = stage.op
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(previous, self.sink.ip)
+
+    return Top("chain")
+
+
+# -- sweeps ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("length", [4, 16, 64])
+def test_scaling_in_models(benchmark, tmp_path, length):
+    module = _load_module(tmp_path, f"stage_mod_{length}", _STAGE_TEMPLATE)
+    cluster = _chain_cluster(module.Stage, length)
+    result = benchmark(lambda: analyze_cluster(cluster))
+    # The association universe grows linearly with the chain length.
+    per_stage = len(result.associations) / length
+    assert 5 <= per_stage <= 20
+
+
+@pytest.mark.parametrize("branches", [4, 16, 64])
+def test_scaling_in_branches(benchmark, tmp_path, branches):
+    module = _load_module(tmp_path, f"branchy_mod_{branches}", _branchy_source(branches))
+    instance = module.Branchy()
+    analysis = benchmark(lambda: analyze_model(instance))
+    # 2^branches static paths, but the pair count stays linear-ish:
+    # each branch contributes one def and one use of `out`.
+    out_pairs = [a for a in analysis.associations if a.var == "out"]
+    assert len(out_pairs) <= (branches + 1) ** 2
+    assert len(out_pairs) >= branches
+
+
+def test_scaling_report(benchmark, results_dir, tmp_path):
+    """Persist a compact table of sizes (timings live in the benchmark
+    output table)."""
+    import time
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = ["kind        size   associations   time[ms]"]
+    for length in (4, 16, 64):
+        module = _load_module(tmp_path, f"rep_stage_{length}", _STAGE_TEMPLATE)
+        cluster = _chain_cluster(module.Stage, length)
+        t0 = time.perf_counter()
+        result = analyze_cluster(cluster)
+        dt = (time.perf_counter() - t0) * 1000
+        rows.append(f"models    {length:>6d} {len(result.associations):>14d} {dt:>10.1f}")
+    for branches in (4, 16, 64):
+        module = _load_module(tmp_path, f"rep_branchy_{branches}", _branchy_source(branches))
+        instance = module.Branchy()
+        t0 = time.perf_counter()
+        analysis = analyze_model(instance)
+        dt = (time.perf_counter() - t0) * 1000
+        rows.append(
+            f"branches  {branches:>6d} {len(analysis.associations):>14d} {dt:>10.1f}"
+            f"   (static paths: 2^{branches})"
+        )
+    text = "\n".join(rows)
+    write_result(results_dir, "ablation_scaling.txt", text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,55 @@
+"""Table II, upper half: the car window lifter campaign (§VI-A).
+
+Regenerates the four iteration rows (17 -> 20 -> 23 -> 26 testcases)
+and benchmarks one full campaign run.  Shape assertions pin the paper's
+qualitative results: monotone coverage growth, **no PFirm pairs**,
+partial-then-full PWeak coverage, the use-without-def finding, and the
+dynamic-TDF-blocked final iteration.
+"""
+
+import pytest
+
+from repro.core import AssocClass, Criterion, format_iteration_table
+from repro.systems.campaigns import window_lifter_campaign
+
+from conftest import write_result
+
+
+def test_table2_window_lifter(benchmark, results_dir):
+    records = benchmark.pedantic(
+        lambda: window_lifter_campaign().run(), rounds=1, iterations=1
+    )
+
+    text = format_iteration_table(records)
+    final = records[-1].coverage
+    text += "\n\nuse-without-def findings: " + ", ".join(
+        final.dynamic.use_without_def()
+    )
+    write_result(results_dir, "table2_window_lifter.txt", text + "\n")
+    print()
+    print(text)
+
+    # Table-II shape: tests 17/20/23/26, constant static universe,
+    # monotone dynamic growth.
+    assert [r.tests for r in records] == [17, 20, 23, 26]
+    assert len({r.static_total for r in records}) == 1
+    dynamics = [r.exercised_total for r in records]
+    assert dynamics == sorted(dynamics)
+    assert dynamics[1] > dynamics[0]        # the obstacle batch helps a lot
+
+    # No PFirm associations at all (the "-"/0 column of the paper).
+    assert all(r.class_percent[AssocClass.PFIRM] is None for r in records)
+    # PWeak: partially covered initially, complete at the end.
+    assert records[0].class_percent[AssocClass.PWEAK] < 100.0
+    assert records[-1].criteria[Criterion.ALL_PWEAK]
+    # Strong/Firm improve over the campaign.
+    assert records[-1].class_percent[AssocClass.STRONG] > records[0].class_percent[AssocClass.STRONG]
+    assert records[-1].class_percent[AssocClass.FIRM] >= records[0].class_percent[AssocClass.FIRM]
+    # all-defs / all-dataflow stay unsatisfied (paper §VI-A).
+    assert not records[-1].criteria[Criterion.ALL_DATAFLOW]
+
+    # Bug findings: the undriven diagnostics port...
+    assert final.dynamic.use_without_def() == ["mcu.ip_diag"]
+    # ...and the dynamic-TDF failure: the last (fine-timestep) batch
+    # adds almost nothing because the detector threshold breaks there.
+    assert dynamics[3] - dynamics[2] <= 2

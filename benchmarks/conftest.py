@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Results are printed (visible with
+``pytest benchmarks/ --benchmark-only -s``) *and* written to
+``benchmarks/results/`` so the reproduction artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory collecting the regenerated tables."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> str:
+    """Persist one regenerated table; returns the path."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Case study 2: iterative DFT campaign on the buck-boost converter (§VI-B).
+
+Reproduces the lower half of the paper's Table II: a 10-testcase
+initial testbench, then iterations of +5, +5 and +4 testcases.  Shows
+the paper's qualitative results:
+
+* **all-PFirm and all-PWeak are satisfied from iteration 0** — the
+  voltage-feedback and current-sense associations are exercised on
+  every regulation sample;
+* Strong/Firm coverage grows with every iteration as protection and
+  light-load behaviours get dedicated tests;
+* the **use-without-def** bug (the limiter's undriven calibration trim)
+  is reported — "this cannot be detected by line coverage, as it will
+  still be satisfied" (§VI-B).
+
+Run with::
+
+    python examples/buck_boost_campaign.py
+"""
+
+from repro.core import Criterion, format_iteration_table
+from repro.systems.buck_boost import BuckBoostTop
+from repro.systems.campaigns import buck_boost_campaign
+from repro.tdf import Simulator, Tracer, ms
+
+
+def main() -> None:
+    print("Regulation sanity check first: buck to 1.8 V, boost to 5.0 V")
+    for target, label in [(1.8, "buck"), (5.0, "boost")]:
+        top = BuckBoostTop()
+        top.apply_target(lambda t, v=target: v)
+        Simulator(top).run(ms(30))
+        print(
+            f"  {label:5s} target {target} V -> vout {top.power.m_vout:.3f} V "
+            f"(mode={top.mode_ctrl.m_mode}, duty={top.sw_ctrl.m_duty:.2f})"
+        )
+
+    print()
+    print("Running the buck-boost refinement campaign (4 iterations)...")
+    records = buck_boost_campaign().run()
+
+    print()
+    print("Table II (buck-boost rows), reproduced:")
+    print(format_iteration_table(records))
+
+    first = records[0]
+    print()
+    print(
+        "all-PFirm satisfied at iteration 0: "
+        f"{first.criteria[Criterion.ALL_PFIRM]}; "
+        "all-PWeak satisfied at iteration 0: "
+        f"{first.criteria[Criterion.ALL_PWEAK]}"
+    )
+
+    final = records[-1].coverage
+    print()
+    print("Findings:")
+    for finding in final.dynamic.use_without_def():
+        print(
+            f"  use-without-def: {finding} — the port is read every sample,\n"
+            f"  so line coverage would be 100% here; only data-flow analysis\n"
+            f"  reveals that no definition ever reaches it (paper §VI-B)."
+        )
+
+
+if __name__ == "__main__":
+    main()

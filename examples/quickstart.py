@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: data-flow testing of a tiny TDF design in ~60 lines.
+
+Builds a two-model TDF cluster (a level detector behind a sensor
+scaling gain), runs the full DFT pipeline with two testcases, and
+prints the classified coverage report — the complete workflow of the
+paper on the smallest possible example.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import TestCase, TestSuite, run_dft
+from repro.core import format_matrix, format_summary
+from repro.tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
+from repro.tdf.library import CollectorSink, GainTdf, StimulusSource
+
+
+class LevelDetector(TdfModule):
+    """Flags samples above a threshold; remembers the all-time peak."""
+
+    def __init__(self, name: str = "detector", threshold: float = 2.0) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op_flag = TdfOut()
+        self.m_threshold = threshold
+        self.m_peak = 0.0
+
+    def processing(self) -> None:
+        sample = self.ip.read()
+        flag = False
+        if sample > self.m_threshold:
+            flag = True
+        if sample > self.m_peak:
+            self.m_peak = sample
+        self.op_flag.write(flag)
+
+
+class QuickTop(Cluster):
+    """testbench source -> x2 sensor gain -> detector -> observer."""
+
+    def architecture(self) -> None:
+        self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+        self.gain = self.add(GainTdf("sensor_gain", gain=2.0))
+        self.detector = self.add(LevelDetector())
+        self.sink = self.add(CollectorSink("sink"))
+        self.connect(self.src.op, self.gain.ip)
+        self.connect(self.gain.op, self.detector.ip)
+        self.connect(self.detector.op_flag, self.sink.ip)
+
+
+def main() -> None:
+    suite = TestSuite(
+        "quickstart",
+        [
+            TestCase("quiet", ms(5),
+                     lambda top: top.module("src").set_waveform(lambda t: 0.5)),
+            TestCase("loud", ms(5),
+                     lambda top: top.module("src").set_waveform(lambda t: 3.0)),
+        ],
+    )
+
+    result = run_dft(lambda: QuickTop("quick_top"), suite)
+
+    print("=" * 72)
+    print("Table-I style exercise matrix")
+    print("=" * 72)
+    print(format_matrix(result.coverage))
+    print()
+    print("=" * 72)
+    print("Coverage summary")
+    print("=" * 72)
+    print(format_summary(result.coverage))
+
+    # The stimulus flows through a redefining gain element before it
+    # reaches the detector; with testbench-driven inputs that keeps the
+    # detector's placeholder pair at its model start.  Run
+    # `python examples/sensor_system.py` to see redefinition between
+    # *design* models produce the paper's PFirm/PWeak classes.
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Case study 1: iterative DFT campaign on the car window lifter (§VI-A).
+
+Reproduces the upper half of the paper's Table II: an initial
+17-testcase testbench, then three refinement iterations (to 20, 23 and
+26 testcases).  Along the way the two seeded bugs surface exactly as in
+the paper:
+
+* a **use-without-def** warning for the MCU's undriven diagnostics
+  port, and
+* the **dynamic-TDF failure**: the final iteration inserts obstacles in
+  the fine-timestep zone and coverage barely moves — the anti-pinch
+  def-use pairs cannot be exercised there because the current
+  detector's per-sample jump threshold breaks at the refined timestep.
+
+Run with (takes a couple of minutes)::
+
+    python examples/window_lifter_campaign.py
+"""
+
+from repro.core import format_iteration_table, format_summary
+from repro.systems.campaigns import window_lifter_campaign
+from repro.systems.window_lifter import WindowLifterTop, BTN_NONE, BTN_UP
+from repro.tdf import Simulator, sec
+
+
+def main() -> None:
+    print("Running the window-lifter refinement campaign (4 iterations)...")
+    campaign = window_lifter_campaign()
+    records = campaign.run()
+
+    print()
+    print("Table II (window lifter rows), reproduced:")
+    print(format_iteration_table(records))
+
+    final = records[-1].coverage
+    print()
+    print("Findings of the final iteration:")
+    for finding in final.dynamic.use_without_def():
+        print(f"  use-without-def: {finding} (undefined behaviour!)")
+
+    stalled = records[-1].exercised_total - records[-2].exercised_total
+    print(
+        f"  iteration 3 added only {stalled} exercised pair(s) although it\n"
+        f"  targeted the anti-pinch associations: the dynamic-TDF detector\n"
+        f"  bug blocks them in the fine-timestep zone."
+    )
+
+    print()
+    print("Demonstrating the bug directly:")
+    top = WindowLifterTop()
+    top.apply_buttons(lambda t: BTN_UP if t < 1.9 else BTN_NONE)
+    top.apply_obstacle(lambda t: 90.0)
+    sim = Simulator(top)
+    sim.run(sec(2))
+    print(
+        f"  obstacle at 90% travel: detector trips = {top.detector.m_trips}, "
+        f"pinch LED = {top.pinch_led.ever_on()}, "
+        f"window position = {top.mech.m_position:.1f}%"
+    )
+    print("  -> the window crushed the obstacle without the anti-pinch firing.")
+
+    print()
+    print("Full summary of the final iteration:")
+    print(format_summary(final, max_missed=12))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — Data Flow Testing for SystemC-AMS-style Timed Data Flow models.
+
+A from-scratch Python reproduction of *Hassan, Große, Le, Drechsler:
+"Data Flow Testing for SystemC-AMS Timed Data Flow Models" (DATE
+2019)*, comprising:
+
+* :mod:`repro.tdf` — a TDF model-of-computation kernel (modules, rated
+  ports, signals, SDF scheduling, dynamic TDF) plus a component library;
+* :mod:`repro.analysis` — static data-flow analysis over the models'
+  ``processing()`` source and the cluster netlist;
+* :mod:`repro.instrument` — dynamic analysis: AST instrumentation,
+  probes, event matching, parallel-print taps;
+* :mod:`repro.core` — the TDF-specific association classes
+  (Strong/Firm/PFirm/PWeak), coverage criteria, coverage computation,
+  reports and the iterative-refinement workflow;
+* :mod:`repro.testing` — stimuli, testcases and suites;
+* :mod:`repro.systems` — the paper's three evaluation vehicles (sensor
+  system, car window lifter, buck-boost converter).
+
+Quickstart::
+
+    from repro import run_dft, TestSuite
+    from repro.systems.sensor import SenseTop, paper_testcases
+
+    result = run_dft(lambda: SenseTop(), TestSuite("paper", paper_testcases()))
+    print(result.coverage.overall_percent)
+"""
+
+from .core import (
+    AssocClass,
+    Association,
+    CoverageResult,
+    Criterion,
+    IterativeCampaign,
+    PipelineResult,
+    evaluate_all,
+    format_iteration_table,
+    format_matrix,
+    format_summary,
+    run_dft,
+    satisfied,
+)
+from .testing import TestCase, TestSuite
+from .tdf import Cluster, ScaTime, Simulator, TdfIn, TdfModule, TdfOut, ms, ns, sec, us
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssocClass",
+    "Association",
+    "Cluster",
+    "CoverageResult",
+    "Criterion",
+    "IterativeCampaign",
+    "PipelineResult",
+    "ScaTime",
+    "Simulator",
+    "TdfIn",
+    "TdfModule",
+    "TdfOut",
+    "TestCase",
+    "TestSuite",
+    "__version__",
+    "evaluate_all",
+    "format_iteration_table",
+    "format_matrix",
+    "format_summary",
+    "ms",
+    "ns",
+    "run_dft",
+    "satisfied",
+    "sec",
+    "us",
+]

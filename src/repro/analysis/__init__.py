@@ -1,0 +1,52 @@
+"""Static analysis of TDF models (the paper's Clang-based stage, on Python AST).
+
+Pipeline: per-model CFG + reaching definitions
+(:mod:`~repro.analysis.model_analysis`) -> netlist binding extraction
+(:mod:`~repro.analysis.netlist`) -> cluster-level association
+classification (:mod:`~repro.analysis.cluster_analysis`).
+"""
+
+from .astutils import RefKind, SourceInfo, VarRef, get_source_info
+from .cfg import Cfg, CfgNode, ENTRY, EXIT, build_cfg
+from .cluster_analysis import StaticAnalysisResult, analyze_cluster
+from .defuse import DefUse, extract
+from .dupaths import has_non_du_path, is_strong_local, transitive_closure
+from .model_analysis import (
+    ModelAnalysis,
+    PortDefSite,
+    PortUseSite,
+    analyze_model,
+)
+from .netlist import Branch, RedefAnchor, origin_of, trace_branches
+from .reaching import NodeDef, NodePair, ReachingResult, reaching_definitions
+
+__all__ = [
+    "Branch",
+    "Cfg",
+    "CfgNode",
+    "DefUse",
+    "ENTRY",
+    "EXIT",
+    "ModelAnalysis",
+    "NodeDef",
+    "NodePair",
+    "PortDefSite",
+    "PortUseSite",
+    "ReachingResult",
+    "RedefAnchor",
+    "RefKind",
+    "SourceInfo",
+    "StaticAnalysisResult",
+    "VarRef",
+    "analyze_cluster",
+    "analyze_model",
+    "build_cfg",
+    "extract",
+    "get_source_info",
+    "has_non_du_path",
+    "is_strong_local",
+    "origin_of",
+    "reaching_definitions",
+    "trace_branches",
+    "transitive_closure",
+]

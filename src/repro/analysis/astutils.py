@@ -1,0 +1,170 @@
+"""AST helpers shared by the static analysis (the Clang-AST analogue).
+
+The paper's framework parses the Clang AST of each TDF model's C++
+source; this package does the same with Python's :mod:`ast` over the
+models' ``processing()`` source.  This module provides source
+retrieval with absolute line tracking and the :class:`VarRef` naming
+scheme that maps Python constructs to the paper's variable kinds:
+
+===============================  =============================
+Python construct                 variable kind
+===============================  =============================
+``x = ...`` / ``... x ...``      local variable def / use
+``self.m_x = ...`` / load        member def / use
+``self.ip_x.read()``             input-port use
+``self.op_x.write(v)``           output-port def
+===============================  =============================
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Optional, Set, Tuple
+
+
+class RefKind(str, enum.Enum):
+    """Kind of a variable reference inside a processing() body.
+
+    Inherits :class:`str` so references sort deterministically.
+    """
+
+    LOCAL = "local"
+    MEMBER = "member"
+    IN_PORT = "in_port"
+    OUT_PORT = "out_port"
+
+
+@dataclass(frozen=True, order=True)
+class VarRef:
+    """A named variable of a given kind within one model."""
+
+    kind: RefKind
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}[{self.kind.value}]"
+
+
+#: Attributes provided by the TDF kernel base class; loads of these are
+#: framework plumbing, not model state, and are excluded from the
+#: member-variable analysis.
+KERNEL_ATTRS: Set[str] = {
+    "name",
+    "cluster",
+    "timestep",
+    "activation_count",
+    "time",
+}
+
+
+@dataclass
+class SourceInfo:
+    """Parsed source of one processing() callable."""
+
+    #: The ``ast.FunctionDef`` of the processing body.
+    func: ast.FunctionDef
+    #: Absolute path of the defining file.
+    filename: str
+    #: 1-based line in ``filename`` of the function's ``def`` statement.
+    def_line: int
+    #: Offset to add to a (1-based) AST line number to obtain the
+    #: absolute line in ``filename``.
+    line_offset: int
+    #: The dedented source text that was parsed.
+    source: str
+
+    def absolute_line(self, ast_lineno: int) -> int:
+        """Map an AST line number to the absolute file line."""
+        return ast_lineno + self.line_offset
+
+
+def get_source_info(fn: Callable) -> SourceInfo:
+    """Parse the source of ``fn`` into a :class:`SourceInfo`.
+
+    Works for plain functions, bound methods and callables registered
+    via ``register_processing``.  Raises :class:`OSError` (propagated
+    from :func:`inspect.getsource`) when the source is unavailable
+    (e.g. callables defined interactively).
+    """
+    underlying = inspect.unwrap(fn)
+    if inspect.ismethod(underlying):
+        underlying = underlying.__func__
+    source, start_line = inspect.getsourcelines(underlying)
+    filename = inspect.getsourcefile(underlying) or "<unknown>"
+    text = textwrap.dedent("".join(source))
+    tree = ast.parse(text)
+    func = None
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = node
+            break
+    if func is None:
+        raise ValueError(f"could not locate a function definition in source of {fn!r}")
+    # AST line 1 corresponds to file line ``start_line``.
+    offset = start_line - 1
+    return SourceInfo(
+        func=func,
+        filename=filename,
+        def_line=func.lineno + offset,
+        line_offset=offset,
+        source=text,
+    )
+
+
+def self_attribute(node: ast.AST) -> Optional[str]:
+    """Return ``X`` when ``node`` is ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def port_read_target(node: ast.Call) -> Optional[str]:
+    """Return the port name when ``node`` is ``self.X.read(...)`` or
+    ``self.X(...)``, else ``None`` (caller checks against in-port names)."""
+    func = node.func
+    # self.X.read(...)
+    if isinstance(func, ast.Attribute) and func.attr == "read":
+        return self_attribute(func.value)
+    # self.X(...)
+    return self_attribute(func)
+
+
+def port_write_target(node: ast.Call) -> Optional[str]:
+    """Return the port name when ``node`` is ``self.X.write(...)``."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "write":
+        return self_attribute(func.value)
+    return None
+
+
+def assigned_local_names(func: ast.FunctionDef) -> Set[str]:
+    """All names assigned anywhere in ``func`` (its local variables),
+    including parameters (minus ``self``)."""
+    names: Set[str] = set()
+    for arg in func.args.args + func.args.kwonlyargs + func.args.posonlyargs:
+        if arg.arg != "self":
+            names.add(arg.arg)
+    if func.args.vararg:
+        names.add(func.args.vararg.arg)
+    if func.args.kwarg:
+        names.add(func.args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            for target in ast.walk(node.optional_vars):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names

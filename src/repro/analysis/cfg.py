@@ -1,0 +1,297 @@
+"""Control-flow graphs of ``processing()`` bodies.
+
+Each CFG node is one simple statement or one branch/loop test, plus a
+virtual ``ENTRY`` and ``EXIT``.  Nodes carry their definitions and uses
+(extracted by :mod:`repro.analysis.defuse`), which is all the
+reaching-definitions pass needs.
+
+The graph supports an optional *wrap-around* edge ``EXIT -> ENTRY``
+used only by the member-variable analysis: a member defined in one
+activation of a TDF model flows to uses in the *next* activation (the
+paper's ``(m_mux_s, 65, ctrl, 48, ctrl)``-style associations), which is
+exactly a path through the activation boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .astutils import VarRef, assigned_local_names
+from .defuse import DefUse, extract
+
+ENTRY = 0
+EXIT = 1
+
+
+@dataclass
+class CfgNode:
+    """One CFG node: a statement, a branch test, or a virtual node."""
+
+    nid: int
+    kind: str                      #: 'entry' | 'exit' | 'stmt' | 'branch' | 'loop'
+    line: Optional[int] = None     #: 1-based AST line (None for virtual nodes)
+    defuse: DefUse = field(default_factory=DefUse)
+    label: str = ""                #: short description for debugging
+
+    def __repr__(self) -> str:
+        return f"CfgNode({self.nid}, {self.kind}, line={self.line}, {self.label!r})"
+
+
+class Cfg:
+    """A statement-level control-flow graph."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CfgNode] = []
+        self.succ: Dict[int, Set[int]] = {}
+        self.pred: Dict[int, Set[int]] = {}
+        self._add_node("entry", label="ENTRY")
+        self._add_node("exit", label="EXIT")
+
+    # -- construction -------------------------------------------------------
+
+    def _add_node(
+        self,
+        kind: str,
+        line: Optional[int] = None,
+        defuse: Optional[DefUse] = None,
+        label: str = "",
+    ) -> int:
+        nid = len(self.nodes)
+        self.nodes.append(CfgNode(nid, kind, line, defuse or DefUse(), label))
+        self.succ[nid] = set()
+        self.pred[nid] = set()
+        return nid
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Insert a directed edge."""
+        self.succ[src].add(dst)
+        self.pred[dst].add(src)
+
+    # -- queries --------------------------------------------------------------
+
+    def node(self, nid: int) -> CfgNode:
+        """Node by id."""
+        return self.nodes[nid]
+
+    def real_nodes(self) -> List[CfgNode]:
+        """All statement/branch nodes (excludes ENTRY and EXIT)."""
+        return [n for n in self.nodes if n.kind not in ("entry", "exit")]
+
+    def with_wraparound(self) -> "Cfg":
+        """A copy of this CFG with the ``EXIT -> ENTRY`` activation edge.
+
+        Shares node objects (they are read-only to the analyses) but
+        duplicates the edge sets.
+        """
+        clone = Cfg.__new__(Cfg)
+        clone.nodes = self.nodes
+        clone.succ = {nid: set(s) for nid, s in self.succ.items()}
+        clone.pred = {nid: set(p) for nid, p in self.pred.items()}
+        clone.succ[EXIT].add(ENTRY)
+        clone.pred[ENTRY].add(EXIT)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class _Builder:
+    """Recursive-descent CFG construction over a statement list."""
+
+    def __init__(self, cfg: Cfg, in_ports: Set[str], out_ports: Set[str], local_names: Set[str]) -> None:
+        self.cfg = cfg
+        self.in_ports = in_ports
+        self.out_ports = out_ports
+        self.local_names = local_names
+        # Stack of (break_sources, continue_target) per enclosing loop.
+        self._loops: List[List[int]] = []
+        self._continue_targets: List[int] = []
+
+    def _extract(self, fragment: ast.AST) -> DefUse:
+        return extract(fragment, self.in_ports, self.out_ports, self.local_names)
+
+    def _new(self, kind: str, line: int, defuse: DefUse, label: str) -> int:
+        return self.cfg._add_node(kind, line, defuse, label)
+
+    def _connect(self, preds: List[int], node: int) -> None:
+        for p in preds:
+            self.cfg.add_edge(p, node)
+
+    # -- blocks -----------------------------------------------------------------
+
+    def build_block(self, stmts: List[ast.stmt], preds: List[int]) -> List[int]:
+        """Wire ``stmts`` sequentially; returns the block's exit nodes."""
+        current = preds
+        for stmt in stmts:
+            if not current:
+                # Unreachable code after return/break: still build nodes so
+                # their defs/uses exist, but leave them disconnected.
+                pass
+            current = self.build_stmt(stmt, current)
+        return current
+
+    # -- statements ----------------------------------------------------------------
+
+    def build_stmt(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        handler = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if handler is not None:
+            return handler(stmt, preds)
+        # Default: treat as one opaque simple statement.
+        node = self._new("stmt", stmt.lineno, self._extract(stmt), type(stmt).__name__)
+        self._connect(preds, node)
+        return [node]
+
+    def _simple(self, stmt: ast.stmt, preds: List[int], label: str) -> List[int]:
+        node = self._new("stmt", stmt.lineno, self._extract(stmt), label)
+        self._connect(preds, node)
+        return [node]
+
+    def _stmt_Assign(self, stmt: ast.Assign, preds: List[int]) -> List[int]:
+        return self._simple(stmt, preds, "assign")
+
+    def _stmt_AugAssign(self, stmt: ast.AugAssign, preds: List[int]) -> List[int]:
+        return self._simple(stmt, preds, "augassign")
+
+    def _stmt_AnnAssign(self, stmt: ast.AnnAssign, preds: List[int]) -> List[int]:
+        return self._simple(stmt, preds, "annassign")
+
+    def _stmt_Expr(self, stmt: ast.Expr, preds: List[int]) -> List[int]:
+        return self._simple(stmt, preds, "expr")
+
+    def _stmt_Assert(self, stmt: ast.Assert, preds: List[int]) -> List[int]:
+        return self._simple(stmt, preds, "assert")
+
+    def _stmt_Pass(self, stmt: ast.Pass, preds: List[int]) -> List[int]:
+        return self._simple(stmt, preds, "pass")
+
+    def _stmt_Delete(self, stmt: ast.Delete, preds: List[int]) -> List[int]:
+        return self._simple(stmt, preds, "delete")
+
+    def _stmt_Return(self, stmt: ast.Return, preds: List[int]) -> List[int]:
+        defuse = self._extract(stmt.value) if stmt.value is not None else DefUse()
+        node = self._new("stmt", stmt.lineno, defuse, "return")
+        self._connect(preds, node)
+        self.cfg.add_edge(node, EXIT)
+        return []
+
+    def _stmt_Raise(self, stmt: ast.Raise, preds: List[int]) -> List[int]:
+        defuse = self._extract(stmt) if stmt.exc is not None else DefUse()
+        node = self._new("stmt", stmt.lineno, defuse, "raise")
+        self._connect(preds, node)
+        self.cfg.add_edge(node, EXIT)
+        return []
+
+    def _stmt_If(self, stmt: ast.If, preds: List[int]) -> List[int]:
+        branch = self._new("branch", stmt.lineno, self._extract(stmt.test), "if")
+        self._connect(preds, branch)
+        body_out = self.build_block(stmt.body, [branch])
+        if stmt.orelse:
+            else_out = self.build_block(stmt.orelse, [branch])
+            return body_out + else_out
+        return body_out + [branch]
+
+    def _stmt_While(self, stmt: ast.While, preds: List[int]) -> List[int]:
+        test = self._new("branch", stmt.lineno, self._extract(stmt.test), "while")
+        self._connect(preds, test)
+        self._loops.append([])
+        self._continue_targets.append(test)
+        body_out = self.build_block(stmt.body, [test])
+        self._connect(body_out, test)
+        breaks = self._loops.pop()
+        self._continue_targets.pop()
+        outs = [test] + breaks
+        if stmt.orelse:
+            return self.build_block(stmt.orelse, [test]) + breaks
+        return outs
+
+    def _stmt_For(self, stmt: ast.For, preds: List[int]) -> List[int]:
+        iter_du = self._extract(stmt.iter)
+        target_du = self._extract(stmt.target)
+        combined = DefUse(
+            defs=list(target_du.defs),
+            uses=list(iter_du.uses) + list(target_du.uses),
+        )
+        loop = self._new("loop", stmt.lineno, combined, "for")
+        self._connect(preds, loop)
+        self._loops.append([])
+        self._continue_targets.append(loop)
+        body_out = self.build_block(stmt.body, [loop])
+        self._connect(body_out, loop)
+        breaks = self._loops.pop()
+        self._continue_targets.pop()
+        if stmt.orelse:
+            return self.build_block(stmt.orelse, [loop]) + breaks
+        return [loop] + breaks
+
+    def _stmt_Break(self, stmt: ast.Break, preds: List[int]) -> List[int]:
+        node = self._new("stmt", stmt.lineno, DefUse(), "break")
+        self._connect(preds, node)
+        if self._loops:
+            self._loops[-1].append(node)
+        else:
+            self.cfg.add_edge(node, EXIT)
+        return []
+
+    def _stmt_Continue(self, stmt: ast.Continue, preds: List[int]) -> List[int]:
+        node = self._new("stmt", stmt.lineno, DefUse(), "continue")
+        self._connect(preds, node)
+        if self._continue_targets:
+            self.cfg.add_edge(node, self._continue_targets[-1])
+        else:
+            self.cfg.add_edge(node, EXIT)
+        return []
+
+    def _stmt_With(self, stmt: ast.With, preds: List[int]) -> List[int]:
+        current = preds
+        for item in stmt.items:
+            du = self._extract(item.context_expr)
+            if item.optional_vars is not None:
+                target_du = self._extract(item.optional_vars)
+                du = DefUse(defs=du.defs + target_du.defs, uses=du.uses + target_du.uses)
+            node = self._new("stmt", stmt.lineno, du, "with")
+            self._connect(current, node)
+            current = [node]
+        return self.build_block(stmt.body, current)
+
+    def _stmt_Try(self, stmt: ast.Try, preds: List[int]) -> List[int]:
+        # Conservative: a handler may be entered from the try entry or
+        # after any point of the body; we approximate with {preds, body
+        # exits} which is sufficient for the straight-line bodies found
+        # in TDF models.
+        body_out = self.build_block(stmt.body, preds)
+        outs: List[int] = []
+        if stmt.orelse:
+            outs.extend(self.build_block(stmt.orelse, body_out))
+        else:
+            outs.extend(body_out)
+        for handler in stmt.handlers:
+            du = DefUse()
+            if handler.type is not None:
+                du = self._extract(handler.type)
+            node = self._new("stmt", handler.lineno, du, "except")
+            self._connect(preds + body_out, node)
+            outs.extend(self.build_block(handler.body, [node]))
+        if stmt.finalbody:
+            return self.build_block(stmt.finalbody, outs)
+        return outs
+
+
+def build_cfg(
+    func: ast.FunctionDef,
+    in_ports: Set[str],
+    out_ports: Set[str],
+) -> Cfg:
+    """Build the CFG of a processing() function body."""
+    cfg = Cfg()
+    local_names = assigned_local_names(func)
+    builder = _Builder(cfg, in_ports, out_ports, local_names)
+    outs = builder.build_block(func.body, [ENTRY])
+    for node in outs:
+        cfg.add_edge(node, EXIT)
+    if not cfg.pred[EXIT]:
+        # Function body cannot fall through (e.g. infinite loop): keep
+        # EXIT reachable from ENTRY so wrap-around analyses stay sound.
+        cfg.add_edge(ENTRY, EXIT)
+    return cfg

@@ -1,0 +1,66 @@
+"""du-path classification: Strong vs Firm (paper §IV-B1).
+
+For a pair ``(v, d, u)`` that the reaching analysis established (so at
+least one du-path exists), the paper distinguishes:
+
+* **Strong** — *every* static path from ``d`` to ``u`` is a du-path
+  (no redefinition of ``v`` can occur in between);
+* **Firm** — at least one static path from ``d`` to ``u`` contains a
+  redefinition of ``v``.
+
+Naive path enumeration is exponential; the equivalent reachability
+formulation is polynomial and exact: some path ``d -> ... -> u``
+contains a redefinition iff there is a defining node ``k`` of ``v``
+with ``d ->+ k`` and ``k ->+ u`` (both through at least one edge).
+``k`` may be ``d`` or ``u`` itself when it lies on a cycle — the
+second visit of the node is then the in-between redefinition.  This is
+the "du-path search that prunes at redefinitions and memoizes" of
+DESIGN.md: the memo is the transitive closure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .astutils import VarRef
+from .cfg import Cfg
+from .reaching import NodePair
+
+
+def transitive_closure(cfg: Cfg) -> Dict[int, Set[int]]:
+    """``closure[n]`` = nodes reachable from ``n`` via one or more edges."""
+    closure: Dict[int, Set[int]] = {}
+    # Iterative DFS per node; graphs are statement-sized so O(N*E) is fine.
+    for node in cfg.nodes:
+        reached: Set[int] = set()
+        stack = list(cfg.succ[node.nid])
+        while stack:
+            current = stack.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            stack.extend(cfg.succ[current])
+        closure[node.nid] = reached
+    return closure
+
+
+def has_non_du_path(
+    pair: NodePair,
+    def_nodes_of_var: Set[int],
+    closure: Dict[int, Set[int]],
+) -> bool:
+    """Whether some static path from def to use redefines the variable."""
+    d, u = pair.def_node, pair.use_node
+    for k in def_nodes_of_var:
+        if k in closure[d] and u in closure[k]:
+            return True
+    return False
+
+
+def is_strong_local(
+    pair: NodePair,
+    def_nodes: Dict[VarRef, Set[int]],
+    closure: Dict[int, Set[int]],
+) -> bool:
+    """Strong iff no redefinition lies on any def->use path."""
+    return not has_non_du_path(pair, def_nodes.get(pair.var, set()), closure)

@@ -1,0 +1,305 @@
+"""Intra-model static analysis (paper §V, step 1).
+
+For one TDF model instance this module extracts:
+
+* **local-variable associations** — classical def-use pairs over the
+  CFG of ``processing()``, classified Strong (every path is a du-path)
+  or Firm (some path redefines the variable);
+* **member-variable associations** — members persist across
+  activations, so in addition to intra-activation pairs a definition
+  that reaches the activation's end flows to uses at the start of the
+  *next* activation (the paper's ``m_mux_s`` pairs).  Exactly one
+  activation boundary is crossed: the def segment must be def-clear to
+  EXIT and the use segment def-clear from ENTRY; classification checks
+  the all-paths property on both segments;
+* **input-port placeholder associations** — uses of input ports paired
+  with a virtual definition at the model start (the ``def processing``
+  line), to be *resolved* against the driving model's output-port defs
+  during cluster analysis (or kept, when the driver is the testbench);
+* **output-port definition sites** — defs that reach EXIT and hence
+  flow into the cluster; the cluster analysis turns them into
+  Strong/PFirm/PWeak associations via the binding information.
+
+The paper performs the same extraction on the Clang AST; here the AST
+is Python's, obtained from the model's ``processing()`` (or the
+callable installed via ``register_processing``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.associations import (
+    AssocClass,
+    Association,
+    Definition,
+    SourceLocation,
+    VarScope,
+)
+from ..tdf.module import TdfModule
+from .astutils import RefKind, SourceInfo, VarRef, get_source_info
+from .cfg import Cfg, ENTRY, EXIT, build_cfg
+from .dupaths import has_non_du_path, transitive_closure
+from .reaching import NodeDef, NodePair, ReachingResult, reaching_definitions
+
+
+@dataclass(frozen=True)
+class PortDefSite:
+    """An output-port definition that escapes the model."""
+
+    port: str
+    line: int            #: absolute line of the write statement
+    model: str
+    #: True when *every* path from the def to EXIT is def-clear; False
+    #: means a later write may overwrite the sample on some path.
+    def_clear_all_paths: bool = True
+
+
+@dataclass(frozen=True)
+class PortUseSite:
+    """An input-port use inside the model."""
+
+    port: str
+    line: int            #: absolute line of the read expression
+    model: str
+
+
+@dataclass
+class ModelAnalysis:
+    """Results of analysing one TDF model instance."""
+
+    model: str
+    source: SourceInfo
+    #: Local + member associations (classified Strong/Firm).
+    associations: List[Association] = field(default_factory=list)
+    #: Input-port placeholder associations (def at model start, Strong).
+    placeholder_associations: List[Association] = field(default_factory=list)
+    out_port_defs: List[PortDefSite] = field(default_factory=list)
+    in_port_uses: List[PortUseSite] = field(default_factory=list)
+    #: Every definition site (for the all-defs criterion).
+    definitions: List[Definition] = field(default_factory=list)
+    #: Output-port writes that can never reach EXIT (dead writes).
+    dead_port_writes: List[PortDefSite] = field(default_factory=list)
+
+
+def _loc(model: str, line: int, file: str) -> SourceLocation:
+    return SourceLocation(model=model, line=line, file=file)
+
+
+def analyze_model(module: TdfModule) -> ModelAnalysis:
+    """Run the full intra-model analysis on ``module``."""
+    info = get_source_info(module.resolved_processing())
+    in_ports = {p.name for p in module.in_ports()}
+    out_ports = {p.name for p in module.out_ports()}
+    cfg = build_cfg(info.func, in_ports, out_ports)
+    model = module.name
+    filename = info.filename
+
+    # Virtual entry definitions: input ports at the model start line
+    # (paper §V) and members at the activation boundary (marker line 0,
+    # replaced below by the previous activation's real defs).
+    member_vars = _member_vars(cfg)
+    entry_defs: Dict[VarRef, int] = {}
+    for port in in_ports:
+        entry_defs[VarRef(RefKind.IN_PORT, port)] = info.func.lineno
+    member_marker_line = -1
+    for ref in member_vars:
+        entry_defs[ref] = member_marker_line
+
+    result = reaching_definitions(cfg, entry_defs)
+    closure = transitive_closure(cfg)
+
+    analysis = ModelAnalysis(model=model, source=info)
+    _collect_definitions(analysis, result, info, filename, in_ports)
+    _classify_intra_pairs(analysis, result, closure, info, member_marker_line)
+    _classify_cross_activation_pairs(analysis, result, closure, cfg, info, member_marker_line)
+    _collect_port_sites(analysis, result, closure, cfg, info)
+    return analysis
+
+
+def _member_vars(cfg: Cfg) -> Set[VarRef]:
+    refs: Set[VarRef] = set()
+    for node in cfg.nodes:
+        for ref, _ in node.defuse.defs:
+            if ref.kind is RefKind.MEMBER:
+                refs.add(ref)
+        for ref, _ in node.defuse.uses:
+            if ref.kind is RefKind.MEMBER:
+                refs.add(ref)
+    return refs
+
+
+def _collect_definitions(
+    analysis: ModelAnalysis,
+    result: ReachingResult,
+    info: SourceInfo,
+    filename: str,
+    in_ports: Set[str],
+) -> None:
+    scope_of = {
+        RefKind.LOCAL: VarScope.LOCAL,
+        RefKind.MEMBER: VarScope.MEMBER,
+        RefKind.OUT_PORT: VarScope.PORT,
+        RefKind.IN_PORT: VarScope.PORT,
+    }
+    for nd in result.all_defs:
+        if nd.node == ENTRY:
+            continue  # virtual defs are not real definition sites
+        analysis.definitions.append(
+            Definition(
+                var=nd.var.name,
+                location=_loc(analysis.model, info.absolute_line(nd.line), filename),
+                scope=scope_of[nd.var.kind],
+            )
+        )
+
+
+def _classify_intra_pairs(
+    analysis: ModelAnalysis,
+    result: ReachingResult,
+    closure: Dict[int, Set[int]],
+    info: SourceInfo,
+    member_marker_line: int,
+) -> None:
+    """Local/member pairs inside one activation + in-port placeholders."""
+    for pair in result.pairs:
+        kind = pair.var.kind
+        if kind is RefKind.IN_PORT:
+            if pair.def_node != ENTRY:
+                continue
+            analysis.placeholder_associations.append(
+                Association(
+                    var=pair.var.name,
+                    definition=_loc(analysis.model, info.def_line, info.filename),
+                    use=_loc(analysis.model, info.absolute_line(pair.use_line), info.filename),
+                    klass=AssocClass.STRONG,
+                    scope=VarScope.PORT,
+                )
+            )
+            continue
+        if kind is RefKind.OUT_PORT:
+            continue  # output ports are handled at cluster level
+        if pair.def_node == ENTRY:
+            continue  # member boundary defs handled separately below
+        firm = has_non_du_path(pair, result.def_nodes.get(pair.var, set()) - {ENTRY}, closure)
+        analysis.associations.append(
+            Association(
+                var=pair.var.name,
+                definition=_loc(analysis.model, info.absolute_line(pair.def_line), info.filename),
+                use=_loc(analysis.model, info.absolute_line(pair.use_line), info.filename),
+                klass=AssocClass.FIRM if firm else AssocClass.STRONG,
+                scope=VarScope.LOCAL if kind is RefKind.LOCAL else VarScope.MEMBER,
+            )
+        )
+
+
+def _classify_cross_activation_pairs(
+    analysis: ModelAnalysis,
+    result: ReachingResult,
+    closure: Dict[int, Set[int]],
+    cfg: Cfg,
+    info: SourceInfo,
+    member_marker_line: int,
+) -> None:
+    """Member pairs crossing exactly one activation boundary.
+
+    Def segment: a member def reaching EXIT.  Use segment: a use whose
+    reaching set contains the virtual entry def (identified by the
+    marker line).  Classification is Strong only when both segments are
+    def-clear on *every* path.
+    """
+    member_exit_defs = [
+        nd for nd in result.exit_defs
+        if nd.var.kind is RefKind.MEMBER and nd.node != ENTRY
+    ]
+    if not member_exit_defs:
+        return
+
+    # Uses reached from ENTRY before any redefinition, per variable.
+    entry_uses: Dict[VarRef, List[Tuple[int, int]]] = {}
+    for pair in result.pairs:
+        if pair.var.kind is RefKind.MEMBER and pair.def_node == ENTRY:
+            entry_uses.setdefault(pair.var, []).append((pair.use_node, pair.use_line))
+
+    existing = {
+        (a.var, a.definition.line, a.use.line)
+        for a in analysis.associations
+        if a.scope is VarScope.MEMBER
+    }
+    for nd in member_exit_defs:
+        real_def_nodes = result.def_nodes.get(nd.var, set()) - {ENTRY}
+        # Some path def -> EXIT hits another def of the variable?
+        def_segment_firm = any(
+            k in closure[nd.node] and EXIT in closure[k] for k in real_def_nodes
+        )
+        for use_node, use_line in entry_uses.get(nd.var, []):
+            # Some path ENTRY -> use hits a def of the variable?
+            use_segment_firm = any(
+                k in closure[ENTRY] and use_node in closure[k] for k in real_def_nodes
+            )
+            abs_def = info.absolute_line(nd.line)
+            abs_use = info.absolute_line(use_line)
+            klass = (
+                AssocClass.FIRM
+                if def_segment_firm or use_segment_firm
+                else AssocClass.STRONG
+            )
+            key = (nd.var.name, abs_def, abs_use)
+            if key in existing:
+                # The pair also exists within one activation; the paper
+                # classifies such pairs by their intra-activation paths
+                # (Table I keeps e.g. (m_mux_s, 65, ctrl, 66, ctrl)
+                # Strong even though multi-activation paths exist).
+                continue
+            existing.add(key)
+            analysis.associations.append(
+                Association(
+                    var=nd.var.name,
+                    definition=_loc(analysis.model, abs_def, info.filename),
+                    use=_loc(analysis.model, abs_use, info.filename),
+                    klass=klass,
+                    scope=VarScope.MEMBER,
+                )
+            )
+
+
+def _collect_port_sites(
+    analysis: ModelAnalysis,
+    result: ReachingResult,
+    closure: Dict[int, Set[int]],
+    cfg: Cfg,
+    info: SourceInfo,
+) -> None:
+    exit_def_keys = {
+        (nd.var, nd.node, nd.line)
+        for nd in result.exit_defs
+        if nd.var.kind is RefKind.OUT_PORT
+    }
+    for nd in result.all_defs:
+        if nd.var.kind is not RefKind.OUT_PORT or nd.node == ENTRY:
+            continue
+        abs_line = info.absolute_line(nd.line)
+        if (nd.var, nd.node, nd.line) in exit_def_keys:
+            real_def_nodes = result.def_nodes.get(nd.var, set()) - {ENTRY}
+            all_clear = not any(
+                k in closure[nd.node] and EXIT in closure[k] for k in real_def_nodes
+            )
+            analysis.out_port_defs.append(
+                PortDefSite(nd.var.name, abs_line, analysis.model, all_clear)
+            )
+        else:
+            analysis.dead_port_writes.append(
+                PortDefSite(nd.var.name, abs_line, analysis.model, False)
+            )
+
+    seen_uses: Set[Tuple[str, int]] = set()
+    for node in cfg.nodes:
+        for ref, line in node.defuse.uses:
+            if ref.kind is not RefKind.IN_PORT:
+                continue
+            abs_line = info.absolute_line(line)
+            if (ref.name, abs_line) in seen_uses:
+                continue
+            seen_uses.add((ref.name, abs_line))
+            analysis.in_port_uses.append(PortUseSite(ref.name, abs_line, analysis.model))

@@ -1,0 +1,125 @@
+"""Binding-information extraction (paper Fig. 3, "Binding Info. Extraction").
+
+Walks a cluster's netlist and answers the question the cluster-level
+analysis needs: *starting from an output port, which input ports does
+the signal reach, and does it pass through a redefining library element
+(gain / delay / buffer) on the way?*
+
+Every branch of the traversal terminates at the input port of a
+non-redefining module and carries:
+
+* whether the data was redefined en route, and
+* the *redefinition anchor* — the netlist bind site of the last
+  redefining element's output port, which is where the paper anchors
+  the definitions of PFirm/PWeak associations (Table I anchors
+  ``op_signal_out`` at line 74, the ``i_delay_tdf1->tdf_o.bind(...)``
+  statement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..tdf.cluster import Cluster
+from ..tdf.module import TdfModule
+from ..tdf.ports import BindSite, TdfIn, TdfOut
+
+
+@dataclass(frozen=True)
+class RedefAnchor:
+    """Where a redefinition is anchored: the element and its output bind."""
+
+    element: str          #: name of the redefining module
+    line: int             #: line of the element's output-port bind statement
+    file: str
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One terminal of the signal traversal from an output port."""
+
+    reader: TdfIn                     #: the terminal input port
+    redefined: bool
+    anchor: Optional[RedefAnchor]     #: set iff redefined
+
+    @property
+    def module(self) -> TdfModule:
+        """The terminal (using) module."""
+        assert self.reader.module is not None
+        return self.reader.module
+
+
+def _anchor_of(element: TdfModule) -> Optional[RedefAnchor]:
+    outs = element.out_ports()
+    if not outs:
+        return None
+    site: Optional[BindSite] = outs[0].bind_site
+    if site is None:
+        return None
+    return RedefAnchor(element=element.name, line=site.lineno, file=site.filename)
+
+
+def trace_branches(port: TdfOut) -> List[Branch]:
+    """All terminal branches reachable from ``port`` through the netlist.
+
+    Redefining elements are traversed (their output continues the
+    branch, now tagged redefined and re-anchored); testbench modules
+    terminate a branch silently (no use anchor); everything else is a
+    terminal.  Cycles through redefining elements are cut via a visited
+    set of signals.
+    """
+    branches: List[Branch] = []
+    visited: Set[int] = set()
+
+    def walk(current: TdfOut, redefined: bool, anchor: Optional[RedefAnchor]) -> None:
+        signal = current.signal
+        if signal is None or id(signal) in visited:
+            return
+        visited.add(id(signal))
+        for reader in signal.readers:
+            module = reader.module
+            if module is None:
+                continue
+            if module.TESTBENCH:
+                continue
+            if module.REDEFINING:
+                new_anchor = _anchor_of(module) or anchor
+                for out in module.out_ports():
+                    walk(out, True, new_anchor)
+                continue
+            branches.append(Branch(reader=reader, redefined=redefined, anchor=anchor))
+
+    walk(port, False, None)
+    return branches
+
+
+def origin_of(port: TdfIn) -> Optional[Tuple[TdfOut, bool, Optional[RedefAnchor]]]:
+    """Trace *backwards* from an input port to the originating output port.
+
+    Returns ``(origin_port, redefined, anchor)`` where ``origin_port``
+    is the first non-redefining driver found walking upstream, or
+    ``None`` when the chain is undriven.  Used by the dynamic analysis
+    to annotate tokens flowing out of redefining elements.
+    """
+    seen: Set[int] = set()
+    current = port
+    redefined = False
+    anchor: Optional[RedefAnchor] = None
+    while True:
+        signal = current.signal
+        if signal is None or signal.driver is None or id(signal) in seen:
+            return None
+        seen.add(id(signal))
+        driver = signal.driver
+        module = driver.module
+        if module is not None and module.REDEFINING:
+            if anchor is None:
+                anchor = _anchor_of(module)
+            redefined = True
+            ins = module.in_ports()
+            if not ins:
+                return None
+            current = ins[0]
+            continue
+        return driver, redefined, anchor

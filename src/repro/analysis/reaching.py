@@ -1,0 +1,149 @@
+"""Reaching-definitions analysis and node-level def-use pairing.
+
+Classic forward may-analysis over the CFG with a worklist:
+
+* ``GEN[n]`` — the definitions born at node ``n`` (one per variable;
+  the last textual def wins within a node);
+* ``KILL[n]`` — every other definition of the same variables;
+* ``IN[n] = union(OUT[p] for p in pred)``,
+  ``OUT[n] = GEN[n] | (IN[n] - KILL[n])``.
+
+Virtual *entry definitions* model values that exist before the body
+runs: the paper assigns input ports a definition at the start location
+of their TDF model (§V), which is exactly an entry definition anchored
+at the ``def processing`` line.
+
+The resulting :class:`NodePair` set is the raw material for the du-path
+classification in :mod:`repro.analysis.dupaths`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .astutils import VarRef
+from .cfg import Cfg, ENTRY, EXIT
+
+
+@dataclass(frozen=True, order=True)
+class NodeDef:
+    """A definition: variable, CFG node, AST line."""
+
+    var: VarRef
+    node: int
+    line: int
+
+
+@dataclass(frozen=True, order=True)
+class NodePair:
+    """A def-use pair at CFG-node granularity (lines are AST lines)."""
+
+    var: VarRef
+    def_node: int
+    def_line: int
+    use_node: int
+    use_line: int
+
+
+@dataclass
+class ReachingResult:
+    """Everything the downstream analyses need from one reaching pass."""
+
+    #: ``IN`` set per node id.
+    in_sets: Dict[int, FrozenSet[NodeDef]]
+    #: All def-use pairs found.
+    pairs: List[NodePair]
+    #: Definitions that reach EXIT (flow out of the activation).
+    exit_defs: List[NodeDef]
+    #: Every definition in the CFG (including virtual entry defs).
+    all_defs: List[NodeDef]
+    #: CFG nodes defining each variable (for du-path classification).
+    def_nodes: Dict[VarRef, Set[int]]
+
+
+def _gen_of(cfg: Cfg, entry_defs: Dict[VarRef, int]) -> Dict[int, Dict[VarRef, NodeDef]]:
+    gen: Dict[int, Dict[VarRef, NodeDef]] = {}
+    for node in cfg.nodes:
+        per_var: Dict[VarRef, NodeDef] = {}
+        for ref, line in node.defuse.defs:
+            per_var[ref] = NodeDef(ref, node.nid, line)
+        gen[node.nid] = per_var
+    for ref, line in entry_defs.items():
+        gen[ENTRY][ref] = NodeDef(ref, ENTRY, line)
+    return gen
+
+
+def reaching_definitions(
+    cfg: Cfg,
+    entry_defs: Dict[VarRef, int] | None = None,
+) -> ReachingResult:
+    """Run the worklist analysis and derive def-use pairs.
+
+    ``entry_defs`` maps a variable to the line of its virtual definition
+    at ENTRY (used for input ports, anchored at the model start).
+    """
+    entry_defs = entry_defs or {}
+    gen = _gen_of(cfg, entry_defs)
+
+    def_nodes: Dict[VarRef, Set[int]] = {}
+    all_defs: List[NodeDef] = []
+    for per_var in gen.values():
+        for ref, nd in per_var.items():
+            def_nodes.setdefault(ref, set()).add(nd.node)
+            all_defs.append(nd)
+
+    in_sets: Dict[int, Set[NodeDef]] = {n.nid: set() for n in cfg.nodes}
+    out_sets: Dict[int, Set[NodeDef]] = {n.nid: set() for n in cfg.nodes}
+
+    # Seed OUT with GEN so the first worklist round has flow to push.
+    for nid, per_var in gen.items():
+        out_sets[nid] = set(per_var.values())
+
+    worklist = [n.nid for n in cfg.nodes]
+    in_worklist = set(worklist)
+    while worklist:
+        nid = worklist.pop()
+        in_worklist.discard(nid)
+        new_in: Set[NodeDef] = set()
+        for p in cfg.pred[nid]:
+            new_in |= out_sets[p]
+        if new_in == in_sets[nid] and out_sets[nid]:
+            # IN unchanged and OUT already seeded: no recompute needed.
+            continue
+        in_sets[nid] = new_in
+        killed_vars = set(gen[nid].keys())
+        new_out = set(gen[nid].values()) | {
+            d for d in new_in if d.var not in killed_vars
+        }
+        if new_out != out_sets[nid]:
+            out_sets[nid] = new_out
+            for s in cfg.succ[nid]:
+                if s not in in_worklist:
+                    worklist.append(s)
+                    in_worklist.add(s)
+
+    pairs: List[NodePair] = []
+    seen: Set[Tuple[VarRef, int, int, int, int]] = set()
+    for node in cfg.nodes:
+        if not node.defuse.uses:
+            continue
+        reaching = in_sets[node.nid]
+        for use_ref, use_line in node.defuse.uses:
+            for nd in reaching:
+                if nd.var != use_ref:
+                    continue
+                key = (use_ref, nd.node, nd.line, node.nid, use_line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                pairs.append(NodePair(use_ref, nd.node, nd.line, node.nid, use_line))
+
+    exit_defs = sorted(in_sets[EXIT])
+    return ReachingResult(
+        in_sets={nid: frozenset(s) for nid, s in in_sets.items()},
+        pairs=sorted(pairs),
+        exit_defs=exit_defs,
+        all_defs=sorted(set(all_defs)),
+        def_nodes=def_nodes,
+    )

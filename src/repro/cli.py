@@ -1,0 +1,189 @@
+"""Command-line interface: ``repro-dft`` / ``python -m repro``.
+
+Subcommands:
+
+``list``
+    Show the bundled systems and their testsuites.
+``static <system>``
+    Run only the static analysis and print the classified associations.
+``run <system>``
+    Run the full DFT pipeline (static + dynamic + coverage) with the
+    system's paper testsuite and print the summary (and, with
+    ``--matrix``, the Table-I exercise matrix).
+``campaign <system>``
+    Run the iterative refinement campaign and print the Table-II rows
+    (window lifter and buck-boost only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .core import (
+    format_iteration_table,
+    format_matrix,
+    format_summary,
+    run_dft,
+)
+from .testing import TestCase, TestSuite
+
+
+def _sensor_factory():
+    from .systems.sensor import SenseTop
+
+    return SenseTop()
+
+
+def _sensor_suite() -> List[TestCase]:
+    from .systems.sensor import paper_testcases
+
+    return paper_testcases()
+
+
+def _window_lifter_factory():
+    from .systems.window_lifter import WindowLifterTop
+
+    return WindowLifterTop()
+
+
+def _window_lifter_suite() -> List[TestCase]:
+    from .systems.campaigns import window_lifter_base_suite
+
+    return window_lifter_base_suite()
+
+
+def _buck_boost_factory():
+    from .systems.buck_boost import BuckBoostTop
+
+    return BuckBoostTop()
+
+
+def _buck_boost_suite() -> List[TestCase]:
+    from .systems.campaigns import buck_boost_base_suite
+
+    return buck_boost_base_suite()
+
+
+def _riscv_factory():
+    from .systems.riscv_platform import RiscvPlatformTop
+
+    return RiscvPlatformTop()
+
+
+def _riscv_suite() -> List[TestCase]:
+    from .systems.riscv_platform import paper_style_testcases
+
+    return paper_style_testcases()
+
+
+SYSTEMS: Dict[str, Dict[str, Callable]] = {
+    "sensor": {"factory": _sensor_factory, "suite": _sensor_suite},
+    "window_lifter": {"factory": _window_lifter_factory, "suite": _window_lifter_suite},
+    "buck_boost": {"factory": _buck_boost_factory, "suite": _buck_boost_suite},
+    "riscv_platform": {"factory": _riscv_factory, "suite": _riscv_suite},
+}
+
+
+def _campaign(system: str):
+    from .systems import campaigns
+
+    if system == "window_lifter":
+        return campaigns.window_lifter_campaign()
+    if system == "buck_boost":
+        return campaigns.buck_boost_campaign()
+    raise SystemExit(f"no campaign defined for system {system!r}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dft",
+        description="Data flow testing for TDF models (DATE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled systems")
+
+    p_static = sub.add_parser("static", help="static analysis only")
+    p_static.add_argument("system", choices=sorted(SYSTEMS))
+
+    p_run = sub.add_parser("run", help="full DFT pipeline")
+    p_run.add_argument("system", choices=sorted(SYSTEMS))
+    p_run.add_argument("--matrix", action="store_true", help="print the Table-I matrix")
+    p_run.add_argument(
+        "--max-missed", type=int, default=20, help="missed associations to list"
+    )
+    p_run.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable coverage export instead of text",
+    )
+    p_run.add_argument(
+        "--save-db", metavar="PATH",
+        help="write a mergeable coverage database (JSON) to PATH",
+    )
+
+    p_campaign = sub.add_parser("campaign", help="iterative refinement (Table II)")
+    p_campaign.add_argument("system", choices=["window_lifter", "buck_boost"])
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(SYSTEMS):
+            suite = SYSTEMS[name]["suite"]()
+            print(f"{name:15s} {len(suite)} testcases")
+        return 0
+
+    if args.command == "static":
+        from .analysis import analyze_cluster
+
+        result = analyze_cluster(SYSTEMS[args.system]["factory"]())
+        print(f"cluster: {result.cluster}")
+        counts = result.counts()
+        total = len(result.associations)
+        print(f"associations: {total} total, " + ", ".join(
+            f"{klass.value}={count}" for klass, count in counts.items()
+        ))
+        for assoc in result.associations:
+            print(f"  [{assoc.klass.value:6s}] {assoc}")
+        if result.undriven_input_ports:
+            print("undriven input ports (use-without-def candidates):")
+            for port in result.undriven_input_ports:
+                print(f"  {port}")
+        return 0
+
+    if args.command == "run":
+        entry = SYSTEMS[args.system]
+        suite = TestSuite(args.system, entry["suite"]())
+        result = run_dft(entry["factory"], suite)
+        if args.save_db:
+            from .core import CoverageDatabase
+
+            CoverageDatabase.from_coverage(result.coverage).save(args.save_db)
+        if args.json:
+            import json
+
+            from .core import coverage_to_dict
+
+            print(json.dumps(coverage_to_dict(result.coverage), indent=2))
+            return 0
+        if args.matrix:
+            print(format_matrix(result.coverage))
+            print()
+        print(format_summary(result.coverage, max_missed=args.max_missed))
+        return 0
+
+    if args.command == "campaign":
+        records = _campaign(args.system).run()
+        print(format_iteration_table(records))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Data-flow associations for TDF models (paper §III-B, §IV-B).
+
+A *def-use association* is the ordered tuple ``(v, d, dm, u, um)``: for
+a variable ``v`` there is a static path from the definition ``d`` in TDF
+model ``dm`` to the use ``u`` in model ``um`` without a redefinition of
+``v`` in between (a *du-path*).  The paper classifies associations into
+four disjoint classes:
+
+``STRONG``
+    (a) ``v`` is an output port of ``dm`` and a du-path exists between
+    ``dm`` and ``um`` (direct connection), or (b) ``v`` is local to the
+    model (``dm == um``) and *every* static path between ``d`` and ``u``
+    is a du-path.
+``FIRM``
+    ``v`` is local to the model and at least one static path between
+    ``d`` and ``u`` is *not* a du-path.
+``PFIRM``
+    ``v`` is an output port and at least one static path to ``um`` is
+    not a du-path — the original and a redefined branch (through a
+    gain/delay/buffer library element) both arrive at ``um``.
+``PWEAK``
+    ``v`` is an output port and no du-path exists — every branch to
+    ``um`` passes a redefining element.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class AssocClass(enum.Enum):
+    """The four TDF-specific association classes (ordered by strength)."""
+
+    STRONG = "Strong"
+    FIRM = "Firm"
+    PFIRM = "PFirm"
+    PWEAK = "PWeak"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class VarScope(enum.Enum):
+    """Where the associated variable lives."""
+
+    LOCAL = "local"        #: a local variable of processing()
+    MEMBER = "member"      #: a module member (persists across activations)
+    PORT = "port"          #: a TDF port (cluster-level signal flow)
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A (model, line) anchor.
+
+    ``model`` is the TDF model name for statements inside a model's
+    processing source, or the *cluster* name for netlist (bind
+    statement) anchors of opaque library components.  ``file`` is kept
+    for reporting but excluded from equality so that associations match
+    across instrumented/uninstrumented copies of the same source.
+    """
+
+    model: str
+    line: int
+    file: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        return f"{self.line}, {self.model}"
+
+
+@dataclass(frozen=True)
+class Association:
+    """One def-use association ``(v, d, dm, u, um)`` with its class."""
+
+    var: str
+    definition: SourceLocation
+    use: SourceLocation
+    klass: AssocClass
+    scope: VarScope
+
+    @property
+    def key(self) -> Tuple[str, str, int, str, int]:
+        """The identity tuple used to join static and dynamic results."""
+        return (
+            self.var,
+            self.definition.model,
+            self.definition.line,
+            self.use.model,
+            self.use.line,
+        )
+
+    @property
+    def def_model(self) -> str:
+        """Defining model ``dm``."""
+        return self.definition.model
+
+    @property
+    def use_model(self) -> str:
+        """Using model ``um``."""
+        return self.use.model
+
+    def __str__(self) -> str:
+        return (
+            f"({self.var}, {self.definition.line}, {self.definition.model}, "
+            f"{self.use.line}, {self.use.model})"
+        )
+
+
+@dataclass(frozen=True)
+class Definition:
+    """A definition site of a variable (used by the all-defs criterion)."""
+
+    var: str
+    location: SourceLocation
+    scope: VarScope
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """Identity tuple ``(var, model, line)``."""
+        return (self.var, self.location.model, self.location.line)
+
+    def __str__(self) -> str:
+        return f"def({self.var} @ {self.location})"
+
+
+@dataclass(frozen=True)
+class ExercisedPair:
+    """A def-use pair observed at runtime by the dynamic analysis."""
+
+    var: str
+    def_model: str
+    def_line: int
+    use_model: str
+    use_line: int
+    testcase: str
+
+    @property
+    def key(self) -> Tuple[str, str, int, str, int]:
+        """Identity tuple matching :attr:`Association.key`."""
+        return (self.var, self.def_model, self.def_line, self.use_model, self.use_line)

@@ -1,0 +1,110 @@
+"""Test adequacy criteria (paper §IV-B2).
+
+Every classification defines a disjoint association set, so each class
+gets its own criterion; ``all-defs`` asks for at least one covered
+association per definition, the classical ``all-uses`` (which §VI-A
+reports alongside all-defs) asks for at least one covered association
+per *use* site, and ``all-dataflow`` is the conjunction of everything.
+Because the class sets are disjoint, criteria can be satisfied
+independently — the paper's buck-boost converter satisfies all-PFirm
+and all-PWeak while all-defs still fails.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .associations import AssocClass
+from .coverage import CoverageResult
+
+
+class Criterion(enum.Enum):
+    """The six TDF data-flow adequacy criteria."""
+
+    ALL_STRONG = "all-Strong"
+    ALL_FIRM = "all-Firm"
+    ALL_PFIRM = "all-PFirm"
+    ALL_PWEAK = "all-PWeak"
+    ALL_DEFS = "all-defs"
+    ALL_USES = "all-uses"
+    ALL_DATAFLOW = "all-dataflow"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_CLASS_OF = {
+    Criterion.ALL_STRONG: AssocClass.STRONG,
+    Criterion.ALL_FIRM: AssocClass.FIRM,
+    Criterion.ALL_PFIRM: AssocClass.PFIRM,
+    Criterion.ALL_PWEAK: AssocClass.PWEAK,
+}
+
+
+def satisfied(criterion: Criterion, coverage: CoverageResult) -> bool:
+    """Whether ``coverage`` satisfies ``criterion``."""
+    if criterion in _CLASS_OF:
+        return coverage.class_coverage()[_CLASS_OF[criterion]].complete
+    if criterion is Criterion.ALL_DEFS:
+        universe = coverage.definitions_with_associations()
+        return len(coverage.covered_definitions()) == len(universe)
+    if criterion is Criterion.ALL_USES:
+        universe = coverage.use_sites()
+        return len(coverage.covered_use_sites()) == len(universe)
+    if criterion is Criterion.ALL_DATAFLOW:
+        return all(
+            satisfied(c, coverage) for c in Criterion if c is not Criterion.ALL_DATAFLOW
+        )
+    raise ValueError(f"unknown criterion {criterion!r}")
+
+
+def evaluate_all(coverage: CoverageResult) -> Dict[Criterion, bool]:
+    """Evaluate every criterion against ``coverage``."""
+    return {criterion: satisfied(criterion, coverage) for criterion in Criterion}
+
+
+@dataclass(frozen=True)
+class CriterionStatus:
+    """Satisfaction plus the covered/total behind it (for reports)."""
+
+    criterion: Criterion
+    satisfied: bool
+    covered: int
+    total: int
+
+
+def detailed_status(coverage: CoverageResult) -> List[CriterionStatus]:
+    """Per-criterion status rows with the underlying counts."""
+    rows: List[CriterionStatus] = []
+    classes = coverage.class_coverage()
+    for criterion, klass in _CLASS_OF.items():
+        cc = classes[klass]
+        rows.append(CriterionStatus(criterion, cc.complete, cc.covered, cc.total))
+    universe = coverage.definitions_with_associations()
+    covered = coverage.covered_definitions()
+    rows.append(
+        CriterionStatus(
+            Criterion.ALL_DEFS, len(covered) == len(universe), len(covered), len(universe)
+        )
+    )
+    use_universe = coverage.use_sites()
+    use_covered = coverage.covered_use_sites()
+    rows.append(
+        CriterionStatus(
+            Criterion.ALL_USES,
+            len(use_covered) == len(use_universe),
+            len(use_covered),
+            len(use_universe),
+        )
+    )
+    rows.append(
+        CriterionStatus(
+            Criterion.ALL_DATAFLOW,
+            satisfied(Criterion.ALL_DATAFLOW, coverage),
+            coverage.exercised_total,
+            coverage.static_total,
+        )
+    )
+    return rows

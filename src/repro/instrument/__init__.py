@@ -1,0 +1,33 @@
+"""Dynamic analysis: instrumentation, probes, event matching, runner."""
+
+from .instrumenter import PROBE_NAME, instrument_processing, restore_processing
+from .matching import MatchResult, match_events
+from .parallel_print import ParallelPrint, tap_signal
+from .probes import (
+    PortReadEvent,
+    PortWriteEvent,
+    ProbeRuntime,
+    UseWithoutDefWarning,
+    VarEvent,
+    WriterKind,
+)
+from .runner import ClusterFactory, DynamicAnalyzer, DynamicResult
+
+__all__ = [
+    "ClusterFactory",
+    "DynamicAnalyzer",
+    "DynamicResult",
+    "MatchResult",
+    "PROBE_NAME",
+    "ParallelPrint",
+    "PortReadEvent",
+    "PortWriteEvent",
+    "ProbeRuntime",
+    "UseWithoutDefWarning",
+    "VarEvent",
+    "WriterKind",
+    "instrument_processing",
+    "match_events",
+    "restore_processing",
+    "tap_signal",
+]

@@ -1,0 +1,318 @@
+"""AST instrumentation of ``processing()`` bodies (paper §V).
+
+The instrumenter rewrites a model's processing source so that every
+definition and use reports itself to the :class:`ProbeRuntime` at
+execution time, without changing behaviour:
+
+* loads of tracked locals/members are wrapped:
+  ``x``  ->  ``__dft_probe__.u(self, 'x', <line>, x)``;
+* port accesses are routed through the probe:
+  ``self.ip.read(i)``     -> ``__dft_probe__.pr(self, self.ip, <line>, i)``
+  ``self.op.write(v, i)`` -> ``__dft_probe__.pw(self, self.op, <line>, v, i)``;
+* a ``__dft_probe__.d(self, 'x', <line>)`` statement is appended after
+  every assignment (and as the first body statement for loop targets).
+
+All ``<line>`` arguments are *absolute* file lines, so dynamic events
+join directly against the static anchors.  The rewritten function is
+compiled in a copy of the original function's globals (plus the probe)
+and installed on the module instance via ``register_processing`` —
+the class and all other instances stay untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+import types
+from typing import Any, Callable, Optional, Set
+
+from ..analysis.astutils import (
+    KERNEL_ATTRS,
+    SourceInfo,
+    assigned_local_names,
+    get_source_info,
+    port_read_target,
+    port_write_target,
+    self_attribute,
+)
+from ..tdf.module import TdfModule
+
+PROBE_NAME = "__dft_probe__"
+
+
+def _load(name: str) -> ast.Name:
+    return ast.Name(id=name, ctx=ast.Load())
+
+
+def _probe_call(method: str, args: list) -> ast.Call:
+    return ast.Call(
+        func=ast.Attribute(value=_load(PROBE_NAME), attr=method, ctx=ast.Load()),
+        args=args,
+        keywords=[],
+    )
+
+
+class _Rewriter(ast.NodeTransformer):
+    """Expression/statement transformer for one processing body."""
+
+    def __init__(
+        self,
+        in_ports: Set[str],
+        out_ports: Set[str],
+        local_names: Set[str],
+        line_offset: int,
+    ) -> None:
+        self.in_ports = in_ports
+        self.out_ports = out_ports
+        self.local_names = local_names
+        self.line_offset = line_offset
+
+    def _abs(self, node: ast.AST) -> int:
+        return getattr(node, "lineno", 1) + self.line_offset
+
+    def _line_const(self, node: ast.AST) -> ast.Constant:
+        return ast.Constant(value=self._abs(node))
+
+    # -- expression wrapping ---------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> ast.AST:
+        if (
+            isinstance(node.ctx, ast.Load)
+            and node.id in self.local_names
+            and node.id != "self"
+        ):
+            return ast.copy_location(
+                _probe_call(
+                    "u",
+                    [_load("self"), ast.Constant(node.id), self._line_const(node), node],
+                ),
+                node,
+            )
+        return node
+
+    def visit_Attribute(self, node: ast.Attribute) -> ast.AST:
+        attr = self_attribute(node)
+        if attr is not None:
+            if (
+                isinstance(node.ctx, ast.Load)
+                and attr not in self.in_ports
+                and attr not in self.out_ports
+                and attr not in KERNEL_ATTRS
+            ):
+                return ast.copy_location(
+                    _probe_call(
+                        "u",
+                        [_load("self"), ast.Constant(attr), self._line_const(node), node],
+                    ),
+                    node,
+                )
+            return node
+        node.value = self.visit(node.value)
+        return node
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:
+        write_target = port_write_target(node)
+        if write_target is not None and write_target in self.out_ports:
+            args = [self.visit(a) for a in node.args]
+            port_expr = node.func.value  # type: ignore[attr-defined]
+            return ast.copy_location(
+                _probe_call(
+                    "pw",
+                    [_load("self"), port_expr, self._line_const(node)] + args,
+                ),
+                node,
+            )
+        read_target = port_read_target(node)
+        if read_target is not None and read_target in self.in_ports:
+            args = [self.visit(a) for a in node.args]
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "read":
+                port_expr = node.func.value
+            else:
+                port_expr = node.func
+            return ast.copy_location(
+                _probe_call(
+                    "pr",
+                    [_load("self"), port_expr, self._line_const(node)] + args,
+                ),
+                node,
+            )
+        # Ordinary call: transform callee and arguments, but do not wrap
+        # a ``self.helper`` method lookup as a member use.
+        if isinstance(node.func, ast.Attribute) and self_attribute(node.func) is not None:
+            pass
+        else:
+            node.func = self.visit(node.func)
+        node.args = [self.visit(a) for a in node.args]
+        node.keywords = [
+            ast.keyword(arg=kw.arg, value=self.visit(kw.value)) for kw in node.keywords
+        ]
+        return node
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.AST:
+        return node  # nested functions stay opaque
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+    # -- statement rewriting (def probes) -----------------------------------------
+
+    def _def_probes(self, target: ast.AST, line: int) -> list:
+        """Probe statements for every tracked name defined by ``target``."""
+        probes = []
+        for node in ast.walk(target):
+            var: Optional[str] = None
+            if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+                if node.id in self.local_names:
+                    var = node.id
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, (ast.Store, ast.Del)):
+                attr = self_attribute(node)
+                if attr is not None and attr not in KERNEL_ATTRS:
+                    var = attr
+            if var is not None:
+                probes.append(
+                    ast.Expr(
+                        value=_probe_call(
+                            "d",
+                            [_load("self"), ast.Constant(var), ast.Constant(line)],
+                        )
+                    )
+                )
+        return probes
+
+    def visit_Assign(self, node: ast.Assign) -> Any:
+        node.value = self.visit(node.value)
+        # Subscript/attribute chains inside targets may contain loads.
+        new_targets = []
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript,)):
+                target.value = self.visit(target.value)
+                target.slice = self.visit(target.slice)
+            new_targets.append(target)
+        node.targets = new_targets
+        probes = []
+        for target in node.targets:
+            probes.extend(self._def_probes(target, self._abs(node)))
+        return [node] + probes
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> Any:
+        if node.value is None:
+            return node
+        node.value = self.visit(node.value)
+        return [node] + self._def_probes(node.target, self._abs(node))
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> Any:
+        line = self._abs(node)
+        node.value = self.visit(node.value)
+        pre = []
+        # ``x += e`` uses x before redefining it.
+        if isinstance(node.target, ast.Name) and node.target.id in self.local_names:
+            pre.append(
+                ast.Expr(
+                    value=_probe_call(
+                        "u",
+                        [
+                            _load("self"),
+                            ast.Constant(node.target.id),
+                            ast.Constant(line),
+                            ast.Name(id=node.target.id, ctx=ast.Load()),
+                        ],
+                    )
+                )
+            )
+        else:
+            attr = self_attribute(node.target)
+            if attr is not None and attr not in KERNEL_ATTRS:
+                pre.append(
+                    ast.Expr(
+                        value=_probe_call(
+                            "u",
+                            [
+                                _load("self"),
+                                ast.Constant(attr),
+                                ast.Constant(line),
+                                ast.Attribute(
+                                    value=_load("self"), attr=attr, ctx=ast.Load()
+                                ),
+                            ],
+                        )
+                    )
+                )
+        return pre + [node] + self._def_probes(node.target, line)
+
+    def visit_For(self, node: ast.For) -> Any:
+        node.iter = self.visit(node.iter)
+        probes = self._def_probes(node.target, self._abs(node))
+        node.body = probes + [self.visit(s) for s in node.body]
+        node.body = _flatten(node.body)
+        node.orelse = _flatten([self.visit(s) for s in node.orelse])
+        return node
+
+    def visit_With(self, node: ast.With) -> Any:
+        probes = []
+        for item in node.items:
+            item.context_expr = self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                probes.extend(self._def_probes(item.optional_vars, self._abs(node)))
+        node.body = _flatten(probes + [self.visit(s) for s in node.body])
+        return node
+
+    def generic_visit(self, node: ast.AST) -> ast.AST:
+        node = super().generic_visit(node)
+        # Statement bodies may now contain [stmt, probe, ...] lists from
+        # the def-probe insertion; flatten them.  Expression nodes like
+        # IfExp also have a ``body`` attribute, but not as a list.
+        for attr in ("body", "orelse", "finalbody"):
+            value = getattr(node, attr, None)
+            if isinstance(value, list):
+                setattr(node, attr, _flatten(value))
+        return node
+
+
+def _flatten(stmts: list) -> list:
+    flat = []
+    for s in stmts:
+        if isinstance(s, list):
+            flat.extend(s)
+        else:
+            flat.append(s)
+    return flat
+
+
+def instrument_processing(module: TdfModule, probe: Any) -> Callable[[], None]:
+    """Instrument ``module``'s processing callable and install it.
+
+    Returns the previous processing callable registration so the caller
+    can restore it (``None`` when the plain method was in use).
+    """
+    original_registration = module._processing_fn
+    fn = module.resolved_processing()
+    info = get_source_info(fn)
+    in_ports = {p.name for p in module.in_ports()}
+    out_ports = {p.name for p in module.out_ports()}
+    local_names = assigned_local_names(info.func)
+
+    rewriter = _Rewriter(in_ports, out_ports, local_names, info.line_offset)
+    func = info.func
+    # Rewrite the body directly: visit_FunctionDef keeps *nested*
+    # functions opaque, so the top-level def must not go through it.
+    func.body = _flatten([rewriter.visit(stmt) for stmt in func.body])
+    func.decorator_list = []
+    tree = ast.Module(body=[func], type_ignores=[])
+    ast.fix_missing_locations(tree)
+    # Shift line numbers so tracebacks point at the original file lines.
+    ast.increment_lineno(tree, info.line_offset)
+
+    code = compile(tree, info.filename, "exec")
+    underlying = fn
+    if isinstance(underlying, types.MethodType):
+        underlying = underlying.__func__
+    namespace = dict(getattr(underlying, "__globals__", {}))
+    namespace[PROBE_NAME] = probe
+    exec(code, namespace)
+    new_fn = namespace[func.name]
+    module.register_processing(types.MethodType(new_fn, module))
+    return original_registration
+
+
+def restore_processing(module: TdfModule, previous: Optional[Callable[[], None]]) -> None:
+    """Undo :func:`instrument_processing`."""
+    module._processing_fn = previous

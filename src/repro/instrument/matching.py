@@ -1,0 +1,159 @@
+"""Joining dynamic events into exercised def-use pairs (paper §V).
+
+"Each definition is mapped onto a corresponding use as soon as it is
+encountered.  If there exists a use, but no definition, it is notified
+as a warning."  Concretely:
+
+* **local/member variables** — a use pairs with the most recent
+  definition event of the same variable in the same model instance
+  (member values persist, so the last def may be from an earlier
+  activation — exactly the paper's ``m_mux_s`` cross-activation pairs);
+
+* **ports** — a read of token ``i`` on a signal pairs with the write
+  event of the greatest token index ``<= i`` on that signal (the
+  floor accounts for the kernel's sample-and-hold repetition of
+  unwritten samples).  The write event carries the definition anchor:
+  a source line for instrumented models, the netlist bind line for
+  redefining library elements, or the *testbench* marker, in which case
+  the read pairs with the reader's own placeholder definition at its
+  model start (Table I's ``(ip_signal_in, 1, TS, 3, TS)``);
+
+* **initial/delay tokens** (negative index or below the priming count)
+  pair with nothing — they are initial values, not definitions;
+
+* a read on an **undriven signal** raises a
+  :class:`~repro.instrument.probes.UseWithoutDefWarning` — the
+  undefined-behaviour bug class both case studies of the paper exhibit.
+"""
+
+from __future__ import annotations
+
+import bisect
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.associations import ExercisedPair
+from .probes import (
+    PortReadEvent,
+    PortWriteEvent,
+    ProbeRuntime,
+    UseWithoutDefWarning,
+    VarEvent,
+    WriterKind,
+)
+
+PairKey = Tuple[str, str, int, str, int]
+
+
+@dataclass
+class MatchResult:
+    """Exercised pairs and diagnostics of one testcase run."""
+
+    testcase: str
+    pairs: Set[PairKey] = field(default_factory=set)
+    #: ``port.full()``-style descriptions of use-without-def reads.
+    use_without_def: List[str] = field(default_factory=list)
+
+    def exercised(self) -> List[ExercisedPair]:
+        """The pairs as :class:`ExercisedPair` records."""
+        return [
+            ExercisedPair(var, dm, dl, um, ul, self.testcase)
+            for (var, dm, dl, um, ul) in sorted(self.pairs)
+        ]
+
+
+def match_events(
+    probe: ProbeRuntime,
+    testcase: str,
+    model_start_lines: Dict[str, int],
+    initial_tokens: Dict[str, int],
+    warn: bool = True,
+) -> MatchResult:
+    """Join the probe's event streams into exercised pairs.
+
+    ``model_start_lines`` maps model name to the placeholder definition
+    line (the ``def processing`` line); ``initial_tokens`` maps signal
+    name to the number of priming (output-delay) tokens, which must not
+    be treated as definitions.
+    """
+    result = MatchResult(testcase=testcase)
+    _match_var_events(probe.var_events, result)
+    _match_port_events(
+        probe.port_writes,
+        probe.port_reads,
+        model_start_lines,
+        initial_tokens,
+        result,
+        warn,
+    )
+    return result
+
+
+def _match_var_events(events: List[VarEvent], result: MatchResult) -> None:
+    last_def: Dict[Tuple[str, str], int] = {}
+    # Events are appended in execution order; no re-sort needed.
+    for ev in events:
+        key = (ev.model, ev.var)
+        if ev.is_def:
+            last_def[key] = ev.line
+        else:
+            def_line = last_def.get(key)
+            if def_line is None:
+                # Value predates processing (initialize()/constructor):
+                # not a def-use pair within the analysed scope.
+                continue
+            result.pairs.add((ev.var, ev.model, def_line, ev.model, ev.line))
+
+
+def _match_port_events(
+    writes: List[PortWriteEvent],
+    reads: List[PortReadEvent],
+    model_start_lines: Dict[str, int],
+    initial_tokens: Dict[str, int],
+    result: MatchResult,
+    warn: bool,
+) -> None:
+    # Per signal: sorted token indices with their (last-by-seq) write event.
+    per_signal: Dict[str, Dict[int, PortWriteEvent]] = {}
+    for w in sorted(writes, key=lambda w: w.seq):
+        per_signal.setdefault(w.signal, {})[w.token_index] = w
+    sorted_indices: Dict[str, List[int]] = {
+        sig: sorted(idx_map) for sig, idx_map in per_signal.items()
+    }
+
+    warned: Set[str] = set()
+    for r in reads:
+        if r.undriven:
+            desc = f"{r.reader_model}.{r.port}"
+            if desc not in warned:
+                warned.add(desc)
+                result.use_without_def.append(desc)
+                if warn:
+                    warnings.warn(
+                        f"use of port {desc} without any definition "
+                        f"(signal {r.signal!r} has no driver): undefined "
+                        f"behaviour per the SystemC-AMS standard",
+                        UseWithoutDefWarning,
+                        stacklevel=2,
+                    )
+            continue
+        if r.token_index < 0:
+            continue  # reader-side delay: initial value, not a definition
+        indices = sorted_indices.get(r.signal, [])
+        pos = bisect.bisect_right(indices, r.token_index) - 1
+        if pos < 0:
+            # No write at or before this token: priming tokens are
+            # initial values; anything else is a repetition of the
+            # initial value and likewise carries no definition.
+            continue
+        w = per_signal[r.signal][indices[pos]]
+        if w.kind is WriterKind.TESTBENCH:
+            start = model_start_lines.get(r.reader_model)
+            if start is None:
+                continue
+            result.pairs.add(
+                (r.port, r.reader_model, start, r.anchor_model, r.anchor_line)
+            )
+        else:
+            result.pairs.add((w.var, w.model, w.line, r.anchor_model, r.anchor_line))

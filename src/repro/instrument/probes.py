@@ -1,0 +1,209 @@
+"""Runtime probes: the instrumented-code logging API.
+
+The paper's dynamic analysis inserts a print instruction before every
+definition/use so that executing the testsuite produces logs of the
+exercised data flow (§V).  Here the "print instructions" are calls into
+a :class:`ProbeRuntime` whose short methods (``u``, ``d``, ``pr``,
+``pw``) the instrumenter splices into the model's ``processing()`` AST:
+
+* ``u`` / ``d`` — a local/member use/def was executed at a source line;
+* ``pr`` / ``pw`` — a port read/write, which additionally records the
+  global token index on the port's signal so cross-model flows can be
+  joined exactly (see :mod:`repro.instrument.matching`).
+
+The runtime also receives *generic* events from uninstrumented modules
+(testbench sources, redefining library elements) via port hooks
+installed by the runner.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, TextIO
+
+from ..tdf.ports import TdfIn, TdfOut
+
+
+class UseWithoutDefWarning(UserWarning):
+    """A port was used although its signal is never defined.
+
+    Undefined behaviour per the SystemC-AMS standard; the paper found
+    exactly this bug class in both case-study VPs ("the ports were not
+    defined, but still used in a different TDF model", §VI-B).
+    """
+
+
+class WriterKind(enum.Enum):
+    """Who produced a token (decides how a read is paired)."""
+
+    MODEL = "model"          #: instrumented model write (def anchored in source)
+    REDEF = "redef"          #: redefining library element (netlist anchor)
+    TESTBENCH = "testbench"  #: testbench stimulus (pairs to placeholder defs)
+
+
+@dataclass(slots=True)
+class VarEvent:
+    """A local/member def or use executed by instrumented code."""
+
+    is_def: bool
+    var: str
+    model: str
+    line: int
+    seq: int
+
+
+@dataclass(slots=True)
+class PortWriteEvent:
+    """A token written to a signal (a port-level definition)."""
+
+    signal: str
+    token_index: int
+    var: str
+    model: str
+    line: int
+    kind: WriterKind
+    seq: int
+
+
+@dataclass(slots=True)
+class PortReadEvent:
+    """A token consumed from a signal (a port-level use)."""
+
+    signal: str
+    token_index: int
+    port: str              #: reader port name (for placeholder pairing)
+    reader_model: str      #: reader module name
+    anchor_model: str      #: use anchor: model name or cluster name
+    anchor_line: int
+    undriven: bool         #: True when the signal has no driver at all
+    seq: int
+
+
+class ProbeRuntime:
+    """Collects all dynamic events of one testcase execution."""
+
+    def __init__(self, cluster_name: str) -> None:
+        self.cluster_name = cluster_name
+        self.var_events: List[VarEvent] = []
+        self.port_writes: List[PortWriteEvent] = []
+        self.port_reads: List[PortReadEvent] = []
+        self._seq = 0
+
+    def _next(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def clear(self) -> None:
+        """Drop all recorded events (between testcases)."""
+        self.var_events.clear()
+        self.port_writes.clear()
+        self.port_reads.clear()
+        self._seq = 0
+
+    # -- instrumented-code API (names kept short on purpose) -----------------
+
+    def u(self, module: Any, var: str, line: int, value: Any) -> Any:
+        """Record a local/member use; returns ``value`` unchanged."""
+        self._seq += 1
+        self.var_events.append(VarEvent(False, var, module.name, line, self._seq))
+        return value
+
+    def d(self, module: Any, var: str, line: int) -> None:
+        """Record a local/member definition."""
+        self._seq += 1
+        self.var_events.append(VarEvent(True, var, module.name, line, self._seq))
+
+    def pr(self, module: Any, port: TdfIn, line: int, offset: int = 0) -> Any:
+        """Perform an instrumented port read and record the use."""
+        index = port.global_index(offset)
+        value = port.read(offset)
+        assert port.signal is not None
+        if module.OPAQUE_USES and port.bind_site is not None:
+            anchor_model = self.cluster_name
+            anchor_line = port.bind_site.lineno
+        else:
+            anchor_model = module.name
+            anchor_line = line
+        self.port_reads.append(
+            PortReadEvent(
+                signal=port.signal.name,
+                token_index=index,
+                port=port.name,
+                reader_model=module.name,
+                anchor_model=anchor_model,
+                anchor_line=anchor_line,
+                undriven=port.signal.driver is None,
+                seq=self._next(),
+            )
+        )
+        return value
+
+    def pw(self, module: Any, port: TdfOut, line: int, value: Any, offset: int = 0) -> int:
+        """Perform an instrumented port write and record the definition."""
+        index = port.write(value, offset)
+        assert port.signal is not None
+        self.port_writes.append(
+            PortWriteEvent(
+                signal=port.signal.name,
+                token_index=index,
+                var=port.name,
+                model=module.name,
+                line=line,
+                kind=WriterKind.MODEL,
+                seq=self._next(),
+            )
+        )
+        return index
+
+    # -- generic (hook-based) events ---------------------------------------------
+
+    def generic_write(
+        self,
+        port: TdfOut,
+        token_index: int,
+        var: str,
+        model: str,
+        line: int,
+        kind: WriterKind,
+    ) -> None:
+        """Record a write from an uninstrumented module (via port hook)."""
+        assert port.signal is not None
+        self.port_writes.append(
+            PortWriteEvent(
+                signal=port.signal.name,
+                token_index=token_index,
+                var=var,
+                model=model,
+                line=line,
+                kind=kind,
+                seq=self._next(),
+            )
+        )
+
+    # -- log dump (the paper's textual instrumentation log) -------------------------
+
+    def write_log(self, stream: TextIO) -> None:
+        """Dump all events as a text log (one line per event).
+
+        This mirrors the paper's print-based instrumentation output; the
+        in-memory events above are authoritative, the log is for humans
+        and tests.
+        """
+        rows: List[tuple] = []
+        for ev in self.var_events:
+            rows.append((ev.seq, "DEF" if ev.is_def else "USE", ev.var, ev.model, ev.line, ""))
+        for w in self.port_writes:
+            rows.append((w.seq, "PW", w.var, w.model, w.line, f"{w.signal}[{w.token_index}] {w.kind.value}"))
+        for r in self.port_reads:
+            rows.append((r.seq, "PR", r.port, r.anchor_model, r.anchor_line, f"{r.signal}[{r.token_index}]"))
+        for seq, tag, var, model, line, extra in sorted(rows):
+            stream.write(f"{seq}\t{tag}\t{var}\t{model}:{line}\t{extra}\n")
+
+    def log_text(self) -> str:
+        """The event log as a string."""
+        buf = io.StringIO()
+        self.write_log(buf)
+        return buf.getvalue()

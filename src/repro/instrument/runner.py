@@ -1,0 +1,153 @@
+"""The dynamic-analysis runner (paper Fig. 3, right side).
+
+For every testcase the runner builds a fresh cluster (testcases must
+not contaminate each other's member state), instruments every analysed
+model's ``processing()``, installs port hooks on the uninstrumented
+modules (testbench sources, redefining library elements), applies the
+testcase's stimuli, simulates, and joins the recorded events into the
+set of exercised def-use pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..analysis.cluster_analysis import StaticAnalysisResult
+from ..analysis.netlist import origin_of
+from ..tdf.cluster import Cluster
+from ..tdf.module import TdfModule
+from ..tdf.ports import TdfOut
+from ..tdf.simulator import Simulator
+from ..testing.testcase import TestCase, TestSuite
+from .instrumenter import instrument_processing
+from .matching import MatchResult, match_events
+from .probes import ProbeRuntime, WriterKind
+
+ClusterFactory = Callable[[], Cluster]
+
+
+@dataclass
+class DynamicResult:
+    """Per-testcase exercised pairs for one suite execution."""
+
+    per_testcase: Dict[str, MatchResult] = field(default_factory=dict)
+
+    def exercised_keys(self) -> set:
+        """Union of exercised pair keys over all testcases."""
+        keys = set()
+        for match in self.per_testcase.values():
+            keys |= match.pairs
+        return keys
+
+    def use_without_def(self) -> List[str]:
+        """All distinct use-without-def findings across testcases."""
+        found: List[str] = []
+        for match in self.per_testcase.values():
+            for desc in match.use_without_def:
+                if desc not in found:
+                    found.append(desc)
+        return found
+
+
+class DynamicAnalyzer:
+    """Executes a testsuite against an instrumented cluster."""
+
+    def __init__(
+        self,
+        cluster_factory: ClusterFactory,
+        static: StaticAnalysisResult,
+        warn: bool = False,
+    ) -> None:
+        self.cluster_factory = cluster_factory
+        self.static = static
+        self.warn = warn
+
+    # -- single testcase ------------------------------------------------------
+
+    def run_testcase(self, testcase: TestCase) -> MatchResult:
+        """Run one testcase and return its exercised pairs."""
+        cluster = self.cluster_factory()
+        probe = ProbeRuntime(cluster.name)
+        self._instrument(cluster, probe)
+        self._install_hooks(cluster, probe)
+        testcase.apply(cluster)
+        simulator = Simulator(cluster)
+        simulator.run(testcase.duration)
+        simulator.finish()
+        initial_tokens = {
+            sig.name: (sig.driver.delay if sig.driver is not None else 0)
+            for sig in cluster.signals
+        }
+        return match_events(
+            probe,
+            testcase.name,
+            self.static.model_start_lines,
+            initial_tokens,
+            warn=self.warn,
+        )
+
+    def run_suite(self, suite: TestSuite) -> DynamicResult:
+        """Run every testcase of ``suite`` in order."""
+        result = DynamicResult()
+        for testcase in suite:
+            result.per_testcase[testcase.name] = self.run_testcase(testcase)
+        return result
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _instrument(self, cluster: Cluster, probe: ProbeRuntime) -> None:
+        for module in cluster.modules:
+            if module.TESTBENCH or module.REDEFINING:
+                continue
+            instrument_processing(module, probe)
+
+    def _install_hooks(self, cluster: Cluster, probe: ProbeRuntime) -> None:
+        for module in cluster.modules:
+            if module.TESTBENCH:
+                for port in module.out_ports():
+                    self._hook_write(probe, module, port, WriterKind.TESTBENCH, port.name, 0)
+            elif module.REDEFINING:
+                for port in module.out_ports():
+                    var, kind, line = self._redef_annotation(cluster, module, port)
+                    self._hook_write(probe, module, port, kind, var, line)
+
+    def _redef_annotation(
+        self, cluster: Cluster, module: TdfModule, port: TdfOut
+    ) -> tuple:
+        """Definition anchor for tokens leaving a redefining element.
+
+        The variable is the originating (non-redefining) output port's
+        name; the anchor is this element's output bind statement, and
+        the defining "model" is the cluster (netlist) — matching the
+        static PFirm/PWeak anchors.  Chains that originate at the
+        testbench (or are undriven) degrade to testbench semantics: the
+        reader pairs with its own placeholder definition.
+        """
+        ins = module.in_ports()
+        origin = origin_of(ins[0]) if ins else None
+        line = port.bind_site.lineno if port.bind_site is not None else 0
+        if origin is None:
+            return port.name, WriterKind.TESTBENCH, line
+        driver, _redefined, _anchor = origin
+        if driver.module is not None and driver.module.TESTBENCH:
+            return driver.name, WriterKind.TESTBENCH, line
+        return driver.name, WriterKind.REDEF, line
+
+    def _hook_write(
+        self,
+        probe: ProbeRuntime,
+        module: TdfModule,
+        port: TdfOut,
+        kind: WriterKind,
+        var: str,
+        line: int,
+    ) -> None:
+        if port.signal is None:
+            return
+        model = probe.cluster_name if kind is WriterKind.REDEF else module.name
+
+        def hook(p: TdfOut, index: int, value, offset: int) -> None:
+            probe.generic_write(p, index, var, model, line, kind)
+
+        port.add_write_hook(hook)

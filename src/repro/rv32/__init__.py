@@ -1,0 +1,24 @@
+"""A minimal RV32I substrate (ISA, assembler, interpreter core).
+
+Built for the paper's stated future work (§VII): "system-level
+verification of mixed-signal platforms using the RISC-V VP".  The
+:mod:`repro.systems.riscv_platform` VP wraps :class:`Rv32Core` in a TDF
+module and maps the AMS front-end into the firmware's address space.
+"""
+
+from .assembler import AssemblerError, assemble, parse_register
+from .core import Memory, MemoryAccessError, Rv32Core
+from .isa import Decoded, IllegalInstruction, decode, sign_extend
+
+__all__ = [
+    "AssemblerError",
+    "Decoded",
+    "IllegalInstruction",
+    "Memory",
+    "MemoryAccessError",
+    "Rv32Core",
+    "assemble",
+    "decode",
+    "parse_register",
+    "sign_extend",
+]

@@ -1,0 +1,220 @@
+"""A two-pass assembler for the RV32I subset of :mod:`repro.rv32.isa`.
+
+Supports labels, ABI and numeric register names, decimal/hex immediates,
+``lw rd, imm(rs1)`` / ``sw rs2, imm(rs1)`` address syntax, comments
+(``#`` and ``;``), and the pseudo-instructions firmware actually wants:
+
+====================  =========================================
+pseudo                expansion
+====================  =========================================
+``nop``               ``addi x0, x0, 0``
+``mv rd, rs``         ``addi rd, rs, 0``
+``li rd, imm``        ``addi`` / ``lui``+``addi`` as needed
+``j label``           ``jal x0, label``
+``beqz/bnez rs, l``   ``beq/bne rs, x0, l``
+``ret``               ``jalr x0, ra, 0``
+====================  =========================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from .isa import (
+    ALU_IMM_F3,
+    ALU_REG_CODES,
+    BRANCH_F3,
+    EBREAK_WORD,
+    OP_ALU_IMM,
+    OP_ALU_REG,
+    OP_BRANCH,
+    OP_JAL,
+    OP_JALR,
+    OP_LOAD,
+    OP_LUI,
+    OP_AUIPC,
+    OP_STORE,
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+    sign_extend,
+)
+
+
+class AssemblerError(Exception):
+    """Raised for malformed assembly input."""
+
+
+_ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def parse_register(token: str) -> int:
+    """Resolve an ``x<N>`` or ABI register name."""
+    token = token.strip().lower()
+    if token in _ABI_NAMES:
+        return _ABI_NAMES[token]
+    if token.startswith("x") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index <= 31:
+            return index
+    raise AssemblerError(f"unknown register {token!r}")
+
+
+def parse_immediate(token: str, labels: Dict[str, int], pc: int) -> int:
+    """Resolve an immediate: number, hex, or label (PC-relative)."""
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    if token in labels:
+        return labels[token] - pc
+    raise AssemblerError(f"unknown immediate or label {token!r}")
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",") if part.strip()]
+
+
+def _strip(line: str) -> str:
+    for marker in ("#", ";"):
+        if marker in line:
+            line = line.split(marker, 1)[0]
+    return line.strip()
+
+
+def _first_pass(lines: Sequence[str]) -> Tuple[List[Tuple[str, List[str]]], Dict[str, int]]:
+    labels: Dict[str, int] = {}
+    instructions: List[Tuple[str, List[str]]] = []
+    for raw in lines:
+        line = _strip(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"invalid label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r}")
+            labels[label] = len(instructions) * 4
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        for expanded in _expand_pseudo(mnemonic, operands):
+            instructions.append(expanded)
+    return instructions, labels
+
+
+def _expand_pseudo(mnemonic: str, ops: List[str]) -> List[Tuple[str, List[str]]]:
+    if mnemonic == "nop":
+        return [("addi", ["x0", "x0", "0"])]
+    if mnemonic == "mv":
+        return [("addi", [ops[0], ops[1], "0"])]
+    if mnemonic == "j":
+        return [("jal", ["x0", ops[0]])]
+    if mnemonic == "beqz":
+        return [("beq", [ops[0], "x0", ops[1]])]
+    if mnemonic == "bnez":
+        return [("bne", [ops[0], "x0", ops[1]])]
+    if mnemonic == "ret":
+        return [("jalr", ["x0", "ra", "0"])]
+    if mnemonic == "li":
+        try:
+            value = int(ops[1], 0)
+        except ValueError:
+            raise AssemblerError(f"li needs a numeric immediate, got {ops[1]!r}")
+        if -2048 <= value <= 2047:
+            return [("addi", [ops[0], "x0", str(value)])]
+        upper = (value + 0x800) >> 12 & 0xFFFFF
+        lower = sign_extend(value & 0xFFF, 12)
+        out = [("lui", [ops[0], str(upper)])]
+        if lower:
+            out.append(("addi", [ops[0], ops[0], str(lower)]))
+        else:
+            out.append(("addi", [ops[0], ops[0], "0"]))
+        return out
+    return [(mnemonic, ops)]
+
+
+def assemble(source: str) -> List[int]:
+    """Assemble ``source`` into a list of 32-bit instruction words."""
+    instructions, labels = _first_pass(source.splitlines())
+    words: List[int] = []
+    for index, (mnemonic, ops) in enumerate(instructions):
+        pc = index * 4
+        try:
+            words.append(_encode_one(mnemonic, ops, labels, pc))
+        except (AssemblerError, ValueError) as exc:
+            raise AssemblerError(
+                f"at instruction {index} ({mnemonic} {', '.join(ops)}): {exc}"
+            ) from exc
+    return words
+
+
+def _encode_one(mnemonic: str, ops: List[str], labels: Dict[str, int], pc: int) -> int:
+    if mnemonic == "ebreak":
+        return EBREAK_WORD
+    if mnemonic == "lui":
+        return encode_u(OP_LUI, parse_register(ops[0]), int(ops[1], 0) & 0xFFFFF)
+    if mnemonic == "auipc":
+        return encode_u(OP_AUIPC, parse_register(ops[0]), int(ops[1], 0) & 0xFFFFF)
+    if mnemonic == "jal":
+        if len(ops) == 1:
+            ops = ["ra"] + ops
+        return encode_j(OP_JAL, parse_register(ops[0]),
+                        parse_immediate(ops[1], labels, pc))
+    if mnemonic == "jalr":
+        return encode_i(OP_JALR, 0, parse_register(ops[0]),
+                        parse_register(ops[1]), int(ops[2], 0))
+    if mnemonic in BRANCH_F3:
+        return encode_b(OP_BRANCH, BRANCH_F3[mnemonic],
+                        parse_register(ops[0]), parse_register(ops[1]),
+                        parse_immediate(ops[2], labels, pc))
+    if mnemonic == "lw":
+        match = _MEM_RE.match(ops[1])
+        if not match:
+            raise AssemblerError(f"expected imm(rs1), got {ops[1]!r}")
+        return encode_i(OP_LOAD, 0b010, parse_register(ops[0]),
+                        parse_register(match.group(2)), int(match.group(1), 0))
+    if mnemonic == "sw":
+        match = _MEM_RE.match(ops[1])
+        if not match:
+            raise AssemblerError(f"expected imm(rs1), got {ops[1]!r}")
+        return encode_s(OP_STORE, 0b010, parse_register(match.group(2)),
+                        parse_register(ops[0]), int(match.group(1), 0))
+    if mnemonic in ("slli", "srli", "srai"):
+        shamt = int(ops[2], 0)
+        if not 0 <= shamt <= 31:
+            raise AssemblerError(f"shift amount out of range: {shamt}")
+        funct7 = 0b0100000 if mnemonic == "srai" else 0
+        return encode_r(OP_ALU_IMM, ALU_IMM_F3[mnemonic], funct7,
+                        parse_register(ops[0]), parse_register(ops[1]), shamt)
+    if mnemonic in ALU_IMM_F3:
+        return encode_i(OP_ALU_IMM, ALU_IMM_F3[mnemonic],
+                        parse_register(ops[0]), parse_register(ops[1]),
+                        int(ops[2], 0))
+    if mnemonic in ALU_REG_CODES:
+        funct3, funct7 = ALU_REG_CODES[mnemonic]
+        return encode_r(OP_ALU_REG, funct3, funct7,
+                        parse_register(ops[0]), parse_register(ops[1]),
+                        parse_register(ops[2]))
+    raise AssemblerError(f"unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,196 @@
+"""An RV32I interpreter core with memory-mapped I/O hooks.
+
+:class:`Memory` is word-addressed with optional per-address load/store
+hooks — the mechanism the mixed-signal platform uses to map the ADC
+sample register and the control/DAC registers into the firmware's
+address space.  :class:`Rv32Core` executes one instruction per
+:meth:`Rv32Core.step`; ``ebreak`` halts the core.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .isa import Decoded, IllegalInstruction, decode, sign_extend
+
+LoadHook = Callable[[], int]
+StoreHook = Callable[[int], None]
+
+
+def _to_signed(value: int) -> int:
+    return sign_extend(value, 32)
+
+
+def _to_u32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+class MemoryAccessError(Exception):
+    """Raised for misaligned or out-of-range accesses."""
+
+
+class Memory:
+    """Sparse word-addressed memory with MMIO hooks."""
+
+    def __init__(self, size: int = 1 << 16) -> None:
+        self.size = size
+        self._words: Dict[int, int] = {}
+        self._load_hooks: Dict[int, LoadHook] = {}
+        self._store_hooks: Dict[int, StoreHook] = {}
+
+    def map_load(self, address: int, hook: LoadHook) -> None:
+        """Route word loads of ``address`` through ``hook``."""
+        self._check(address)
+        self._load_hooks[address] = hook
+
+    def map_store(self, address: int, hook: StoreHook) -> None:
+        """Route word stores to ``address`` through ``hook``."""
+        self._check(address)
+        self._store_hooks[address] = hook
+
+    def _check(self, address: int) -> None:
+        if address % 4 != 0:
+            raise MemoryAccessError(f"misaligned word access at {address:#x}")
+        if not 0 <= address < self.size:
+            raise MemoryAccessError(f"address out of range: {address:#x}")
+
+    def load_word(self, address: int) -> int:
+        """Load a 32-bit word (MMIO hooks take precedence)."""
+        self._check(address)
+        hook = self._load_hooks.get(address)
+        if hook is not None:
+            return _to_u32(hook())
+        return self._words.get(address, 0)
+
+    def store_word(self, address: int, value: int) -> None:
+        """Store a 32-bit word (MMIO hooks take precedence)."""
+        self._check(address)
+        hook = self._store_hooks.get(address)
+        if hook is not None:
+            hook(_to_u32(value))
+            return
+        self._words[address] = _to_u32(value)
+
+    def load_program(self, words: Sequence[int], base: int = 0) -> None:
+        """Write instruction ``words`` starting at ``base``."""
+        for offset, word in enumerate(words):
+            self.store_word(base + offset * 4, word)
+
+
+class Rv32Core:
+    """A single-hart RV32I interpreter."""
+
+    def __init__(self, memory: Memory, entry: int = 0) -> None:
+        self.memory = memory
+        self.regs: List[int] = [0] * 32
+        self.pc = entry
+        self.halted = False
+        self.instret = 0
+
+    # -- register access (x0 hard-wired to zero) --------------------------------
+
+    def read_reg(self, index: int) -> int:
+        """Unsigned value of register ``index``."""
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        """Write register ``index`` (writes to x0 are ignored)."""
+        if index != 0:
+            self.regs[index] = _to_u32(value)
+
+    # -- execution -------------------------------------------------------------------
+
+    def step(self) -> Optional[Decoded]:
+        """Execute one instruction; returns it (None when halted)."""
+        if self.halted:
+            return None
+        word = self.memory.load_word(self.pc)
+        inst = decode(word)
+        next_pc = self.pc + 4
+
+        rs1 = self.read_reg(inst.rs1)
+        rs2 = self.read_reg(inst.rs2)
+        s1 = _to_signed(rs1)
+        s2 = _to_signed(rs2)
+        name = inst.mnemonic
+
+        if name == "lui":
+            self.write_reg(inst.rd, inst.imm << 12)
+        elif name == "auipc":
+            self.write_reg(inst.rd, self.pc + (inst.imm << 12))
+        elif name == "jal":
+            self.write_reg(inst.rd, next_pc)
+            next_pc = self.pc + inst.imm
+        elif name == "jalr":
+            self.write_reg(inst.rd, next_pc)
+            next_pc = (rs1 + inst.imm) & ~1
+        elif name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = {
+                "beq": rs1 == rs2,
+                "bne": rs1 != rs2,
+                "blt": s1 < s2,
+                "bge": s1 >= s2,
+                "bltu": rs1 < rs2,
+                "bgeu": rs1 >= rs2,
+            }[name]
+            if taken:
+                next_pc = self.pc + inst.imm
+        elif name == "lw":
+            self.write_reg(inst.rd, self.memory.load_word(_to_u32(rs1 + inst.imm)))
+        elif name == "sw":
+            self.memory.store_word(_to_u32(rs1 + inst.imm), rs2)
+        elif name == "addi":
+            self.write_reg(inst.rd, rs1 + inst.imm)
+        elif name == "slti":
+            self.write_reg(inst.rd, 1 if s1 < inst.imm else 0)
+        elif name == "sltiu":
+            self.write_reg(inst.rd, 1 if rs1 < _to_u32(inst.imm) else 0)
+        elif name == "xori":
+            self.write_reg(inst.rd, rs1 ^ _to_u32(inst.imm))
+        elif name == "ori":
+            self.write_reg(inst.rd, rs1 | _to_u32(inst.imm))
+        elif name == "andi":
+            self.write_reg(inst.rd, rs1 & _to_u32(inst.imm))
+        elif name == "slli":
+            self.write_reg(inst.rd, rs1 << inst.imm)
+        elif name == "srli":
+            self.write_reg(inst.rd, rs1 >> inst.imm)
+        elif name == "srai":
+            self.write_reg(inst.rd, s1 >> inst.imm)
+        elif name == "add":
+            self.write_reg(inst.rd, rs1 + rs2)
+        elif name == "sub":
+            self.write_reg(inst.rd, rs1 - rs2)
+        elif name == "sll":
+            self.write_reg(inst.rd, rs1 << (rs2 & 0x1F))
+        elif name == "slt":
+            self.write_reg(inst.rd, 1 if s1 < s2 else 0)
+        elif name == "sltu":
+            self.write_reg(inst.rd, 1 if rs1 < rs2 else 0)
+        elif name == "xor":
+            self.write_reg(inst.rd, rs1 ^ rs2)
+        elif name == "srl":
+            self.write_reg(inst.rd, rs1 >> (rs2 & 0x1F))
+        elif name == "sra":
+            self.write_reg(inst.rd, s1 >> (rs2 & 0x1F))
+        elif name == "or":
+            self.write_reg(inst.rd, rs1 | rs2)
+        elif name == "and":
+            self.write_reg(inst.rd, rs1 & rs2)
+        elif name == "ebreak":
+            self.halted = True
+            return inst
+        else:  # pragma: no cover - decode() already rejects these
+            raise IllegalInstruction(name)
+
+        self.pc = _to_u32(next_pc)
+        self.instret += 1
+        return inst
+
+    def run(self, max_steps: int = 100_000) -> int:
+        """Step until halt or ``max_steps``; returns executed count."""
+        executed = 0
+        while not self.halted and executed < max_steps:
+            self.step()
+            executed += 1
+        return executed

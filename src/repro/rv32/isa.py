@@ -1,0 +1,225 @@
+"""RV32I instruction encodings (the subset the platform firmware uses).
+
+Implements encode/decode for the R/I/S/B/U/J instruction formats of the
+RISC-V RV32I base ISA: LUI, AUIPC, JAL, JALR, the conditional branches,
+LW/SW, the ALU immediates and register-register ALU ops, plus EBREAK
+(used as the firmware halt).  Loads/stores are word-granular — enough
+for memory-mapped peripheral registers and firmware data.
+
+The encodings follow the RISC-V unprivileged specification; a
+property-based round-trip test (encode -> decode -> fields) guards them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class IllegalInstruction(Exception):
+    """Raised for words that do not decode to a supported instruction."""
+
+
+def _mask32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as two's complement."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+# -- encoders ----------------------------------------------------------------
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg <= 31:
+        raise ValueError(f"register index out of range: {reg}")
+    return reg
+
+
+def encode_r(opcode: int, funct3: int, funct7: int, rd: int, rs1: int, rs2: int) -> int:
+    return (
+        (funct7 << 25)
+        | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+def encode_i(opcode: int, funct3: int, rd: int, rs1: int, imm: int) -> int:
+    if not -2048 <= imm <= 2047:
+        raise ValueError(f"I-immediate out of range: {imm}")
+    return (
+        ((imm & 0xFFF) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    if not -2048 <= imm <= 2047:
+        raise ValueError(f"S-immediate out of range: {imm}")
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25)
+        | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    if imm % 2 != 0:
+        raise ValueError(f"B-immediate must be even: {imm}")
+    if not -4096 <= imm <= 4094:
+        raise ValueError(f"B-immediate out of range: {imm}")
+    imm &= 0x1FFF
+    return (
+        (((imm >> 12) & 0x1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 0x1) << 7)
+        | opcode
+    )
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    if not 0 <= imm <= 0xFFFFF:
+        raise ValueError(f"U-immediate out of range: {imm}")
+    return (imm << 12) | (_check_reg(rd) << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    if imm % 2 != 0:
+        raise ValueError(f"J-immediate must be even: {imm}")
+    if not -(1 << 20) <= imm <= (1 << 20) - 2:
+        raise ValueError(f"J-immediate out of range: {imm}")
+    imm &= 0x1FFFFF
+    return (
+        (((imm >> 20) & 0x1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 0x1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+# -- opcode map ----------------------------------------------------------------
+
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_ALU_IMM = 0b0010011
+OP_ALU_REG = 0b0110011
+OP_SYSTEM = 0b1110011
+
+#: branch funct3 codes
+BRANCH_F3 = {"beq": 0b000, "bne": 0b001, "blt": 0b100, "bge": 0b101,
+             "bltu": 0b110, "bgeu": 0b111}
+#: ALU-immediate funct3 codes
+ALU_IMM_F3 = {"addi": 0b000, "slti": 0b010, "sltiu": 0b011, "xori": 0b100,
+              "ori": 0b110, "andi": 0b111, "slli": 0b001, "srli": 0b101,
+              "srai": 0b101}
+#: ALU register-register (funct3, funct7) codes
+ALU_REG_CODES = {
+    "add": (0b000, 0b0000000), "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000), "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000), "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000), "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000), "and": (0b111, 0b0000000),
+}
+
+EBREAK_WORD = encode_i(OP_SYSTEM, 0b000, 0, 0, 1)
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """Fields of one decoded instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+
+def decode(word: int) -> Decoded:
+    """Decode a 32-bit word into mnemonic + fields."""
+    word = _mask32(word)
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == OP_LUI:
+        return Decoded("lui", rd=rd, imm=word >> 12)
+    if opcode == OP_AUIPC:
+        return Decoded("auipc", rd=rd, imm=word >> 12)
+    if opcode == OP_JAL:
+        imm = (
+            (((word >> 31) & 0x1) << 20)
+            | (((word >> 21) & 0x3FF) << 1)
+            | (((word >> 20) & 0x1) << 11)
+            | (((word >> 12) & 0xFF) << 12)
+        )
+        return Decoded("jal", rd=rd, imm=sign_extend(imm, 21))
+    if opcode == OP_JALR and funct3 == 0:
+        return Decoded("jalr", rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12))
+    if opcode == OP_BRANCH:
+        imm = (
+            (((word >> 31) & 0x1) << 12)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+            | (((word >> 7) & 0x1) << 11)
+        )
+        for name, f3 in BRANCH_F3.items():
+            if funct3 == f3:
+                return Decoded(name, rs1=rs1, rs2=rs2, imm=sign_extend(imm, 13))
+        raise IllegalInstruction(f"branch funct3 {funct3:#05b}")
+    if opcode == OP_LOAD and funct3 == 0b010:
+        return Decoded("lw", rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12))
+    if opcode == OP_STORE and funct3 == 0b010:
+        imm = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+        return Decoded("sw", rs1=rs1, rs2=rs2, imm=sign_extend(imm, 12))
+    if opcode == OP_ALU_IMM:
+        if funct3 == ALU_IMM_F3["slli"] and funct7 == 0:
+            return Decoded("slli", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 0b101:
+            if funct7 == 0b0000000:
+                return Decoded("srli", rd=rd, rs1=rs1, imm=rs2)
+            if funct7 == 0b0100000:
+                return Decoded("srai", rd=rd, rs1=rs1, imm=rs2)
+            raise IllegalInstruction(f"shift funct7 {funct7:#09b}")
+        for name, f3 in ALU_IMM_F3.items():
+            if name in ("slli", "srli", "srai"):
+                continue
+            if funct3 == f3:
+                return Decoded(name, rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12))
+        raise IllegalInstruction(f"alu-imm funct3 {funct3:#05b}")
+    if opcode == OP_ALU_REG:
+        for name, (f3, f7) in ALU_REG_CODES.items():
+            if funct3 == f3 and funct7 == f7:
+                return Decoded(name, rd=rd, rs1=rs1, rs2=rs2)
+        raise IllegalInstruction(f"alu-reg funct3/7 {funct3:#05b}/{funct7:#09b}")
+    if word == EBREAK_WORD:
+        return Decoded("ebreak")
+    raise IllegalInstruction(f"opcode {opcode:#09b} (word {word:#010x})")

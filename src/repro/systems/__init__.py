@@ -1,0 +1,6 @@
+"""The paper's evaluation vehicles.
+
+* :mod:`repro.systems.sensor` — the running example (Fig. 1/2);
+* :mod:`repro.systems.window_lifter` — case study 1 (§VI-A);
+* :mod:`repro.systems.buck_boost` — case study 2 (§VI-B).
+"""

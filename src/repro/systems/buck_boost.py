@@ -1,0 +1,424 @@
+"""Case study 2: the energy-efficient buck-boost converter (paper §VI-B).
+
+A DC/DC converter operating as step-down (buck) or step-up (boost)
+converter, as used in battery-powered IoT devices.  The controller sets
+the mode, the expected output voltage and the maximum current allowed
+through the converter; the switching-frequency control algorithm
+monitors the current.  Tests check how fast the programmed output
+voltage is reached and how stable it is.
+
+Blocks (all TDF): mode controller with hysteresis, soft-start reference
+ramp, switching controller with light-load PFM mode and current
+back-off, averaged power stage with testbench-controlled load,
+current limiter, over-voltage protection latch, and a thermal monitor.
+
+Coverage shape reproduced from the paper's Table II:
+
+* **PFirm associations, 100 % from iteration 0** — the output voltage
+  reaches the switching controller both directly and through a delay
+  element (previous-sample slope detection): both branches are
+  exercised on every single sample, so any testcase covers them;
+* **PWeak associations, 100 % from iteration 0** — the inductor current
+  reaches the current limiter and the thermal monitor only through the
+  sense gain, again exercised on every sample;
+* **use-without-def** — the current limiter reads an undriven
+  calibration-trim port ("in some cases, the ports were not defined,
+  but still used in a different TDF model", §VI-B);
+* Strong/Firm coverage starts well below 100 % (soft-start edges, OVP
+  latch, PFM mode and thermal back-off need dedicated testcases) and
+  grows over the iterations.
+"""
+
+from __future__ import annotations
+
+from ..tdf import Cluster, ScaTime, TdfIn, TdfModule, TdfOut, us
+from ..tdf.library import DelayTdf, GainTdf, StimulusSource
+
+
+class ModeController(TdfModule):
+    """Sets converter mode, reference voltage and current limit.
+
+    Mode is 0 (buck) when the programmed target is below the input
+    voltage and 1 (boost) otherwise, with a small hysteresis band so
+    the mode does not chatter when ``target ~ vin``.  Negative targets
+    are clamped to zero.
+    """
+
+    def __init__(self, name: str, imax: float = 2.0, hysteresis: float = 0.2) -> None:
+        super().__init__(name)
+        self.ip_vin = TdfIn()
+        self.ip_target = TdfIn()
+        self.op_mode = TdfOut()
+        self.op_vref = TdfOut()
+        self.op_imax = TdfOut()
+        self.m_imax = float(imax)
+        self.m_hyst = float(hysteresis)
+        self.m_mode = 0
+
+    def initialize(self) -> None:
+        self.m_mode = 0
+
+    def processing(self) -> None:
+        vin = self.ip_vin.read()
+        target = self.ip_target.read()
+        if target < 0.0:
+            target = 0.0
+        if target > vin + self.m_hyst:
+            self.m_mode = 1
+        elif target < vin - self.m_hyst:
+            self.m_mode = 0
+        self.op_mode.write(self.m_mode)
+        self.op_vref.write(target)
+        self.op_imax.write(self.m_imax)
+
+
+class SoftStart(TdfModule):
+    """Reference slope limiter.
+
+    Large upward reference steps are ramped with ``slew`` volts per
+    sample so the converter does not slam into the current limit;
+    downward steps and small corrections pass through unchanged.
+    """
+
+    def __init__(self, name: str, slew: float = 0.05, step_threshold: float = 0.5) -> None:
+        super().__init__(name)
+        self.ip_vref = TdfIn()
+        self.op_vref = TdfOut()
+        self.m_slew = float(slew)
+        self.m_threshold = float(step_threshold)
+        self.m_current = 0.0
+
+    def initialize(self) -> None:
+        self.m_current = 0.0
+
+    def processing(self) -> None:
+        vref = self.ip_vref.read()
+        delta = vref - self.m_current
+        if delta > self.m_threshold:
+            self.m_current = self.m_current + self.m_slew
+        elif delta < 0.0:
+            self.m_current = vref
+        else:
+            self.m_current = vref
+        self.op_vref.write(self.m_current)
+
+
+class SwitchingController(TdfModule):
+    """Duty-cycle / switching-frequency control loop.
+
+    Proportional control on the voltage error plus derivative damping
+    from the *previous* output sample (via the external delay element —
+    this is what makes the ``vout`` association PFirm).  When the
+    current limiter trips, the duty cycle is cut back regardless of the
+    voltage error; at very light load the controller enters PFM mode
+    and skips pulses.
+    """
+
+    def __init__(self, name: str, kp: float = 0.08, kd: float = 0.04,
+                 pfm_threshold: float = 0.02) -> None:
+        super().__init__(name)
+        self.ip_vref = TdfIn()
+        self.ip_vout = TdfIn()
+        self.ip_vout_prev = TdfIn()
+        self.ip_ilim = TdfIn()
+        self.ip_iload = TdfIn()
+        self.ip_mode = TdfIn()
+        self.ip_fault = TdfIn()
+        self.op_duty = TdfOut()
+        self.op_pfm = TdfOut()
+        self.m_kp = float(kp)
+        self.m_kd = float(kd)
+        self.m_pfm_threshold = float(pfm_threshold)
+        self.m_duty = 0.0
+        self.m_skip = 0
+        self.m_pfm_cycles = 0
+
+    def set_attributes(self) -> None:
+        # The converter loop is closed through this module: one-sample
+        # delays on the feedback inputs break the scheduling cycle.
+        self.ip_vout.set_delay(1)
+        self.ip_vout_prev.set_delay(1)
+        self.ip_ilim.set_delay(1)
+        self.ip_iload.set_delay(1)
+        self.ip_fault.set_delay(1)
+
+    def initialize(self) -> None:
+        self.m_duty = 0.0
+        self.m_skip = 0
+        self.m_pfm_cycles = 0
+
+    def processing(self) -> None:
+        vref = self.ip_vref.read()
+        vout = self.ip_vout.read()
+        vout_prev = self.ip_vout_prev.read()
+        limited = self.ip_ilim.read()
+        iload = self.ip_iload.read()
+        mode = self.ip_mode.read()
+        fault = self.ip_fault.read()
+
+        pfm = False
+        if fault:
+            # OVP latched: switches off until the latch clears.
+            duty = 0.0
+            self.m_duty = 0.0
+        else:
+            error = vref - vout
+            slope = vout - vout_prev
+            duty = self.m_duty + self.m_kp * error - self.m_kd * slope
+            if limited:
+                duty = duty * 0.5
+            lo = 0.0
+            hi = 0.85 if mode else 0.98
+            if duty < lo:
+                duty = lo
+            elif duty > hi:
+                duty = hi
+            # The regulator state keeps the unskipped duty so PFM exit
+            # resumes seamlessly.
+            self.m_duty = duty
+            if iload < self.m_pfm_threshold and error < 0.05:
+                # Light load: pulse skipping (PFM).
+                pfm = True
+                self.m_skip = self.m_skip + 1
+                self.m_pfm_cycles = self.m_pfm_cycles + 1
+                if self.m_skip % 4 != 0:
+                    duty = 0.0
+            else:
+                self.m_skip = 0
+        self.op_duty.write(duty)
+        self.op_pfm.write(pfm)
+
+
+class PowerStage(TdfModule):
+    """Averaged switched power stage (inductor + capacitor + load).
+
+    Buck: steady-state output ``duty * vin``; boost:
+    ``vin / (1 - duty)``.  A first-order lag models the LC filtering;
+    the inductor current follows the delivered power plus the load the
+    testbench programs (in ohms).
+    """
+
+    def __init__(self, name: str, tau_samples: float = 12.0) -> None:
+        super().__init__(name)
+        self.ip_duty = TdfIn()
+        self.ip_mode = TdfIn()
+        self.ip_vin = TdfIn()
+        self.ip_load_ohm = TdfIn()
+        self.op_vout = TdfOut()
+        self.op_il = TdfOut()
+        self.op_iload = TdfOut()
+        self.m_tau = float(tau_samples)
+        self.m_vout = 0.0
+
+    def initialize(self) -> None:
+        self.m_vout = 0.0
+
+    def processing(self) -> None:
+        duty = self.ip_duty.read()
+        mode = self.ip_mode.read()
+        vin = self.ip_vin.read()
+        load = self.ip_load_ohm.read()
+        if load < 0.1:
+            load = 0.1
+        if mode:
+            vss = vin / (1.0 - min(duty, 0.9))
+        else:
+            vss = duty * vin
+        self.m_vout = self.m_vout + (vss - self.m_vout) / self.m_tau
+        iload = self.m_vout / load
+        if mode:
+            il = iload / max(1.0 - duty, 0.1)
+        else:
+            il = iload * max(duty, 0.05)
+        self.op_vout.write(self.m_vout)
+        self.op_il.write(il)
+        self.op_iload.write(iload)
+
+
+class CurrentLimiter(TdfModule):
+    """Compares the sensed inductor current against the allowed maximum.
+
+    **Seeded bug (use-without-def)**: the comparison offsets the sense
+    reading by a calibration trim read from ``ip_trim`` — a port whose
+    signal no model drives (undefined behaviour the dynamic analysis
+    reports).
+    """
+
+    def __init__(self, name: str, sense_scale: float = 0.01) -> None:
+        super().__init__(name)
+        self.ip_isense = TdfIn()
+        self.ip_imax = TdfIn()
+        self.ip_trim = TdfIn()
+        self.op_limit = TdfOut()
+        self.m_scale = float(sense_scale)
+        self.m_trips = 0
+
+    def initialize(self) -> None:
+        self.m_trips = 0
+
+    def processing(self) -> None:
+        sensed = self.ip_isense.read() * self.m_scale
+        trim = self.ip_trim.read()
+        imax = self.ip_imax.read()
+        over = (sensed + trim) > imax
+        if over:
+            self.m_trips = self.m_trips + 1
+        self.op_limit.write(over)
+
+
+class OverVoltageProtection(TdfModule):
+    """Latching over-voltage protection.
+
+    Trips when the output exceeds the reference by 20 % for three
+    consecutive samples; the latch clears once the output falls back
+    below the reference.
+    """
+
+    def __init__(self, name: str, margin: float = 1.2, debounce: int = 3) -> None:
+        super().__init__(name)
+        self.ip_vout = TdfIn()
+        self.ip_vref = TdfIn()
+        self.op_fault = TdfOut()
+        self.m_margin = float(margin)
+        self.m_debounce = int(debounce)
+        self.m_count = 0
+        self.m_latched = False
+
+    def initialize(self) -> None:
+        self.m_count = 0
+        self.m_latched = False
+
+    def processing(self) -> None:
+        vout = self.ip_vout.read()
+        vref = self.ip_vref.read()
+        if self.m_latched:
+            if vout < vref or vref <= 0.0:
+                self.m_latched = False
+                self.m_count = 0
+        elif vref > 0.0 and vout > vref * self.m_margin:
+            self.m_count = self.m_count + 1
+            if self.m_count >= self.m_debounce:
+                self.m_latched = True
+        else:
+            self.m_count = 0
+        self.op_fault.write(self.m_latched)
+
+
+class ThermalMonitor(TdfModule):
+    """Estimates conduction losses and flags a thermal warning.
+
+    Consumes the *scaled* inductor current (through the sense gain
+    only — a PWeak path) and low-pass filters ``i^2`` as a proxy for
+    junction temperature.
+    """
+
+    def __init__(self, name: str, sense_scale: float = 0.01,
+                 alpha: float = 0.98, warn_level: float = 3.0) -> None:
+        super().__init__(name)
+        self.ip_isense = TdfIn()
+        self.op_hot = TdfOut()
+        self.m_scale = float(sense_scale)
+        self.m_alpha = float(alpha)
+        self.m_warn = float(warn_level)
+        self.m_temp = 0.0
+
+    def initialize(self) -> None:
+        self.m_temp = 0.0
+
+    def processing(self) -> None:
+        amps = self.ip_isense.read() * self.m_scale
+        self.m_temp = self.m_alpha * self.m_temp + (1.0 - self.m_alpha) * amps * amps
+        hot = self.m_temp > self.m_warn
+        self.op_hot.write(hot)
+
+
+class BuckBoostTop(Cluster):
+    """The buck-boost converter TDF cluster."""
+
+    def __init__(self, name: str = "buck_boost", timestep: ScaTime = us(50)) -> None:
+        self._timestep = timestep
+        super().__init__(name)
+
+    def architecture(self) -> None:
+        # Testbench: battery voltage, programmed target, load resistance.
+        self.vin_src = self.add(StimulusSource("vin_src", lambda t: 3.6, self._timestep))
+        self.target_src = self.add(StimulusSource("target_src", lambda t: 1.8))
+        self.load_src = self.add(StimulusSource("load_src", lambda t: 10.0))
+
+        # DUV.
+        self.mode_ctrl = self.add(ModeController("mode_ctrl"))
+        self.soft_start = self.add(SoftStart("soft_start"))
+        self.sw_ctrl = self.add(SwitchingController("sw_ctrl"))
+        self.power = self.add(PowerStage("power"))
+        self.limiter = self.add(CurrentLimiter("limiter"))
+        self.ovp = self.add(OverVoltageProtection("ovp"))
+        self.thermal = self.add(ThermalMonitor("thermal"))
+
+        # Redefining elements: output-voltage history delay and the
+        # current-sense amplifier.
+        self.i_vout_delay = self.add(DelayTdf("i_vout_delay", delay=1))
+        self.i_sense_gain = self.add(GainTdf("i_sense_gain", gain=100.0))
+
+        # Netlist.
+        self.connect(self.vin_src.op, self.mode_ctrl.ip_vin, self.power.ip_vin, name="vin")
+        self.connect(self.target_src.op, self.mode_ctrl.ip_target, name="target")
+        self.connect(self.load_src.op, self.power.ip_load_ohm, name="load_ohm")
+        vref_raw = self.connect(self.mode_ctrl.op_vref, self.soft_start.ip_vref, name="vref_raw")
+        self.connect(
+            self.soft_start.op_vref, self.sw_ctrl.ip_vref, self.ovp.ip_vref, name="vref"
+        )
+        self.connect(self.mode_ctrl.op_imax, self.limiter.ip_imax, name="imax")
+        self.connect(
+            self.mode_ctrl.op_mode, self.sw_ctrl.ip_mode, self.power.ip_mode, name="mode"
+        )
+        self.connect(self.sw_ctrl.op_duty, self.power.ip_duty, name="duty")
+
+        # vout: direct branch + delayed branch into the same module -> PFirm.
+        vout = self.signal("vout")
+        vout_prev = self.signal("vout_prev")
+        self.power.op_vout.bind(vout)
+        self.sw_ctrl.ip_vout.bind(vout)
+        self.ovp.ip_vout.bind(vout)
+        self.i_vout_delay.ip.bind(vout)
+        self.i_vout_delay.op.bind(vout_prev)
+        self.sw_ctrl.ip_vout_prev.bind(vout_prev)
+
+        # il: only through the sense gain -> PWeak (two consumers).
+        il = self.signal("il")
+        il_scaled = self.signal("il_scaled")
+        self.power.op_il.bind(il)
+        self.i_sense_gain.ip.bind(il)
+        self.i_sense_gain.op.bind(il_scaled)
+        self.limiter.ip_isense.bind(il_scaled)
+        self.thermal.ip_isense.bind(il_scaled)
+
+        self.connect(self.power.op_iload, self.sw_ctrl.ip_iload, name="iload")
+        self.connect(self.limiter.op_limit, self.sw_ctrl.ip_ilim, name="ilim")
+        self.connect(self.ovp.op_fault, self.sw_ctrl.ip_fault, name="fault")
+
+        # Thermal warning and PFM indicator are observed by the
+        # testbench only.
+        from ..tdf.library import NullSink
+
+        self.hot_sink = self.add(NullSink("hot_sink"))
+        self.pfm_sink = self.add(NullSink("pfm_sink"))
+        self.connect(self.thermal.op_hot, self.hot_sink.ip, name="hot")
+        self.connect(self.sw_ctrl.op_pfm, self.pfm_sink.ip, name="pfm")
+
+        # Undriven calibration trim: the seeded use-without-def bug.
+        trim = self.signal("trim")
+        self.limiter.ip_trim.bind(trim)
+
+    # -- testbench helpers --------------------------------------------------------
+
+    def apply_vin(self, waveform) -> None:
+        """Install the battery/input-voltage waveform."""
+        self.vin_src.set_waveform(waveform)
+
+    def apply_target(self, waveform) -> None:
+        """Install the programmed target-voltage waveform."""
+        self.target_src.set_waveform(waveform)
+
+    def apply_load(self, waveform) -> None:
+        """Install the load-resistance waveform (ohms)."""
+        self.load_src.set_waveform(waveform)

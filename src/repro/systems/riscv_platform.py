@@ -1,0 +1,255 @@
+"""Extension: a RISC-V based mixed-signal platform (paper §VII).
+
+The paper closes with "we plan to investigate our proposed methodology
+on system-level verification of mixed-signal platforms using the RISC-V
+VP".  This module builds exactly that kind of platform on this repo's
+substrates:
+
+* an AMS front-end — sensor stimulus, scaling amplifier (redefining
+  gain), 10-bit ADC;
+* a :class:`RiscvCpuTdf` model wrapping the :mod:`repro.rv32`
+  interpreter: every TDF activation latches the ADC sample into a
+  memory-mapped register and lets the firmware execute a bounded number
+  of instructions;
+* firmware (real RV32I assembly, assembled at elaboration) implementing
+  a hysteresis alarm plus a DAC-driven actuator command;
+* an analog back-end — DAC and actuator smoothing filter.
+
+The DFT methodology applies at the *model* level, exactly like the
+paper's TDF analysis: the CPU wrapper's defs/uses (sample mailbox,
+MMIO latches, halt flag) are analysed and instrumented like any other
+processing(); the firmware itself is data, not model source — its
+verification is the firmware toolchain's job (see DESIGN.md).
+
+Memory map (word registers):
+
+=========  =======================================
+``0x400``  ADC sample (read-only, latched per activation)
+``0x404``  DAC command (write)
+``0x408``  alarm flag (write)
+``0x40C``  activation counter (read-only)
+=========  =======================================
+"""
+
+from __future__ import annotations
+
+from ..rv32 import Memory, Rv32Core, assemble
+from ..tdf import Cluster, ScaTime, TdfIn, TdfModule, TdfOut, ms
+from ..tdf.library import (
+    AdcTdf,
+    DacTdf,
+    GainTdf,
+    IirLowPassTdf,
+    LedSink,
+    NullSink,
+    StimulusSource,
+)
+
+MMIO_ADC = 0x400
+MMIO_DAC = 0x404
+MMIO_ALARM = 0x408
+MMIO_TICKS = 0x40C
+
+#: Default firmware: hysteresis alarm + actuator shutdown.
+#:
+#: Registers: s0 = HI threshold, s1 = LO threshold, s2 = alarm state,
+#: s3 = nominal DAC command.  The loop reads the ADC register, updates
+#: the alarm with hysteresis, commands the DAC (0 when alarmed) and
+#: yields by spinning on the tick register until the next activation.
+DEFAULT_FIRMWARE = """
+    li   s0, 700        # HI threshold (ADC counts)
+    li   s1, 500        # LO threshold
+    li   s2, 0          # alarm state
+    li   s3, 512        # nominal DAC command
+
+main_loop:
+    lw   t0, 0x40C(zero)    # current activation tick
+wait_tick:
+    lw   t1, 0x40C(zero)
+    beq  t1, t0, wait_tick  # spin until the platform advances
+
+    lw   a0, 0x400(zero)    # sampled sensor value
+    bnez s2, check_clear
+    blt  a0, s0, drive      # below HI: keep driving
+    li   s2, 1              # latch the alarm
+    j    drive
+check_clear:
+    bge  a0, s1, drive      # still above LO: stay alarmed
+    li   s2, 0
+drive:
+    sw   s2, 0x408(zero)    # alarm flag
+    beqz s2, normal
+    sw   zero, 0x404(zero)  # alarmed: shut the actuator down
+    j    main_loop
+normal:
+    sw   s3, 0x404(zero)    # nominal actuator command
+    j    main_loop
+"""
+
+
+class RiscvCpuTdf(TdfModule):
+    """A RISC-V microcontroller as a TDF model.
+
+    Each activation latches the ADC input into the memory-mapped sample
+    register, bumps the tick register (releasing the firmware's wait
+    loop), executes up to ``ipc`` instructions, and drives the output
+    ports from the MMIO latches.  A halted core (``ebreak`` or an
+    execution fault) freezes the outputs — observable in the coverage
+    report as the drive pairs going dead.
+    """
+
+    def __init__(self, name: str, firmware: str = DEFAULT_FIRMWARE, ipc: int = 64) -> None:
+        super().__init__(name)
+        self.ip_adc = TdfIn()
+        self.ip_cmd_prev = TdfIn()
+        self.op_dac = TdfOut()
+        self.op_alarm = TdfOut()
+        self.m_ipc = int(ipc)
+        self.m_sample = 0
+        self.m_ticks = 0
+        self.m_dac_latch = 0
+        self.m_alarm_latch = 0
+        self.m_fault = False
+        self.m_glitches = 0
+        self._firmware = firmware
+        self._mem = Memory()
+        self._core = Rv32Core(self._mem)
+        self._install()
+
+    def _install(self) -> None:
+        self._mem.load_program(assemble(self._firmware))
+        self._mem.map_load(MMIO_ADC, lambda: self.m_sample)
+        self._mem.map_load(MMIO_TICKS, lambda: self.m_ticks)
+        self._mem.map_store(MMIO_DAC, self._store_dac)
+        self._mem.map_store(MMIO_ALARM, self._store_alarm)
+
+    def _store_dac(self, value: int) -> None:
+        self.m_dac_latch = value
+
+    def _store_alarm(self, value: int) -> None:
+        self.m_alarm_latch = value
+
+    def initialize(self) -> None:
+        self.m_sample = 0
+        self.m_ticks = 0
+        self.m_dac_latch = 0
+        self.m_alarm_latch = 0
+        self.m_fault = False
+        self.m_glitches = 0
+        self._mem = Memory()
+        self._core = Rv32Core(self._mem)
+        self._install()
+
+    def processing(self) -> None:
+        sample = self.ip_adc.read()
+        self.m_sample = int(sample)
+        self.m_ticks = self.m_ticks + 1
+        budget = self.m_ipc
+        if not self.m_fault:
+            while budget > 0:
+                budget = budget - 1
+                try:
+                    self._core.step()
+                except Exception:
+                    self.m_fault = True
+                    break
+                if self._core.halted:
+                    self.m_fault = True
+                    break
+        # Watchdog: compare the previous command (observed through the
+        # history delay) against the fresh latch; a large step without
+        # an alarm transition counts as a command glitch.
+        cmd_prev = self.ip_cmd_prev.read()
+        delta = self.m_dac_latch - cmd_prev
+        if delta < 0:
+            delta = -delta
+        if delta > 256 and self.m_ticks > 1:
+            self.m_glitches = self.m_glitches + 1
+        self.op_dac.write(self.m_dac_latch)
+        self.op_alarm.write(self.m_alarm_latch)
+
+    # -- introspection helpers (testbench/debug) ------------------------------
+
+    @property
+    def instructions_retired(self) -> int:
+        """Total firmware instructions executed so far."""
+        return self._core.instret
+
+
+class RiscvPlatformTop(Cluster):
+    """Sensor -> amplifier -> ADC -> RISC-V MCU -> DAC -> actuator filter."""
+
+    def __init__(self, name: str = "riscv_platform", timestep: ScaTime = ms(1),
+                 firmware: str = DEFAULT_FIRMWARE) -> None:
+        self._timestep = timestep
+        self._firmware = firmware
+        super().__init__(name)
+
+    def architecture(self) -> None:
+        # Testbench stimulus: sensor voltage in volts.
+        self.sensor_src = self.add(
+            StimulusSource("sensor_src", lambda t: 0.1, self._timestep)
+        )
+        # AMS front-end.
+        self.afe_gain = self.add(GainTdf("afe_gain", gain=1000.0))   # V -> counts
+        self.adc = self.add(AdcTdf("adc", bits=10, lsb=1.0))
+        # Digital core.
+        self.cpu = self.add(RiscvCpuTdf("cpu", firmware=self._firmware))
+        # Analog back-end.
+        self.dac = self.add(DacTdf("dac", bits=10, lsb=1.0 / 1024.0))
+        self.actuator_filter = self.add(IirLowPassTdf("actuator_filter", alpha=0.9))
+        # Observers.
+        self.alarm_led = self.add(LedSink("alarm_led"))
+        self.actuator_sink = self.add(NullSink("actuator_sink"))
+
+        # Command-history delay: the CPU watchdog sees its own command
+        # only through the delay element (a PWeak association).
+        from ..tdf.library import DelayTdf
+
+        self.i_cmd_hist = self.add(DelayTdf("i_cmd_hist", delay=1))
+
+        sensor = self.signal("sensor")
+        sensor_scaled = self.signal("sensor_scaled")
+        self.sensor_src.op.bind(sensor)
+        self.afe_gain.ip.bind(sensor)
+        self.afe_gain.op.bind(sensor_scaled)
+        self.adc.adc_i.bind(sensor_scaled)
+        self.connect(self.adc.adc_o, self.cpu.ip_adc, name="adc_din")
+        dac_cmd = self.signal("dac_cmd")
+        dac_cmd_prev = self.signal("dac_cmd_prev")
+        self.cpu.op_dac.bind(dac_cmd)
+        self.dac.dac_i.bind(dac_cmd)
+        self.i_cmd_hist.ip.bind(dac_cmd)
+        self.i_cmd_hist.op.bind(dac_cmd_prev)
+        self.cpu.ip_cmd_prev.bind(dac_cmd_prev)
+        self.connect(self.dac.dac_o, self.actuator_filter.ip, name="dac_out")
+        self.connect(self.actuator_filter.op, self.actuator_sink.ip, name="actuator")
+        self.connect(self.cpu.op_alarm, self.alarm_led.ip, name="alarm")
+
+    # -- testbench helpers ----------------------------------------------------------
+
+    def apply_sensor(self, waveform) -> None:
+        """Install the sensor waveform (volts over seconds)."""
+        self.sensor_src.set_waveform(waveform)
+
+
+def paper_style_testcases():
+    """A starter suite for the platform (quiet / overheat / recovery)."""
+    from ..testing import Constant, Pwl, TestCase
+
+    def quiet(cluster):
+        cluster.apply_sensor(Constant(0.1, name="quiet"))
+
+    def overheat(cluster):
+        cluster.apply_sensor(Constant(0.8, name="overheat"))
+
+    def recovery(cluster):
+        cluster.apply_sensor(Pwl(
+            [(0.0, 0.1), (0.01, 0.8), (0.02, 0.8), (0.03, 0.2)], name="recovery"
+        ))
+
+    return [
+        TestCase("rv_quiet", ms(30), quiet, "sensor well below threshold"),
+        TestCase("rv_overheat", ms(30), overheat, "sensor above the HI threshold"),
+        TestCase("rv_recovery", ms(60), recovery, "overheat then fall below LO"),
+    ]

@@ -1,0 +1,275 @@
+"""The paper's running example: an IoT sensor system (Fig. 1 / Fig. 2).
+
+A temperature sensor (TS) and a humidity sensor (HS) feed a 3-input
+analog mux (AM); the mux output passes a gain element and a 9-bit ADC
+into a digital control model (ctrl) that drives two LEDs and the mux
+select line.  The TS output additionally passes an analog delay
+(``Z^-1``) into the mux's second input, so the controller can re-read a
+held sample.
+
+The Python models below port the C++ of Fig. 2 statement-for-statement,
+preserving the def-use structure the paper's Table I enumerates —
+including the two seeded issues the paper discusses:
+
+* the **ADC interface bug**: with 9-bit resolution anything above
+  512 mV saturates, so the controller never sees more than 51.2 °C and
+  the ``T_LED`` associations (Fig. 2 lines 49-52) stay unexercised
+  under TC2;
+* the **PFirm/PWeak structure**: ``op_signal_out`` reaches AM both
+  directly and through the delay (PFirm), and ``op_mux_out`` reaches
+  the ADC only through the gain (PWeak).
+
+Units follow the paper: sensor inputs are volts; the sensors output
+millivolts; ``ctrl`` divides by the scale factor 10 to get °C.
+"""
+
+from __future__ import annotations
+
+from ..tdf import Cluster, ScaTime, TdfIn, TdfModule, TdfOut, ms
+from ..tdf.library import (
+    AdcTdf,
+    DelayTdf,
+    GainTdf,
+    LedSink,
+    StimulusSource,
+)
+
+# Humidity sensor constants (paper Fig. 2 caption, from [17]).
+B1 = 0.0014     # %RH / degC
+B2 = 0.1325     # %RH / degC
+B3 = -0.0317
+B4 = -3.0876    # %RH
+
+
+class TS(TdfModule):
+    """Temperature sensor (Fig. 2, lines 1-16)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip_signal_in = TdfIn()
+        self.ip_hold = TdfIn()
+        self.ip_clear = TdfIn()
+        self.op_intr = TdfOut()
+        self.op_signal_out = TdfOut()
+
+    def processing(self) -> None:
+        sig_in = self.ip_signal_in.read()           # volts
+        tmpr = sig_in * 1000                        # millivolts
+        out_tmpr = 0.0
+        intr_ = False
+        if not self.ip_hold.read():
+            if self.ip_clear.read():
+                intr_ = False
+            elif tmpr > 30 and tmpr < 1500:
+                out_tmpr = tmpr
+                intr_ = True
+            self.op_intr.write(intr_)
+            self.op_signal_out.write(out_tmpr)
+
+
+class HS(TdfModule):
+    """Humidity sensor (Fig. 2, lines 18-30)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip_signal_in = TdfIn()
+        self.op_intr = TdfOut()
+        self.op_signal_out = TdfOut()
+
+    def processing(self) -> None:
+        temp = self.ip_signal_in.read() * 1000      # mV
+        Tdepend = (B1 * 42 + B2) * temp + (B3 * 42 + B4)
+        C = 153e-12                                 # capacitance
+        BC = 150e-12                                # bulk capacitance at 30%RH
+        sensitivity = 0.25e-12
+        intr_ = False
+        newRH = 30 + ((C - BC) / sensitivity) + Tdepend
+        if newRH > 30:
+            intr_ = True
+        self.op_intr.write(intr_)
+        self.op_signal_out.write(newRH)
+
+
+class AM(TdfModule):
+    """3-input analog mux (Fig. 2, lines 32-39)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip_select = TdfIn()
+        self.ip_port_0 = TdfIn()
+        self.ip_port_1 = TdfIn()
+        self.ip_port_2 = TdfIn()
+        self.op_mux_out = TdfOut()
+
+    def processing(self) -> None:
+        tmp_out = 0.0
+        if self.ip_select.read() == 0:
+            tmp_out = self.ip_port_0.read()
+        elif self.ip_select.read() == 1:
+            tmp_out = self.ip_port_1.read()
+        elif self.ip_select.read() == 2:
+            tmp_out = self.ip_port_2.read()
+        self.op_mux_out.write(tmp_out)
+
+
+class Ctrl(TdfModule):
+    """Digital control model (Fig. 2, lines 41-68).
+
+    Translates the ADC code into a temperature by dividing by the scale
+    factor 10 (200 mV -> 20 degC), runs the hold/clear/LED state
+    machine, and drives the mux select line from the member
+    ``m_mux_s``.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip_intr0 = TdfIn()
+        self.ip_intr1 = TdfIn()
+        self.ip_DIN = TdfIn()
+        self.op_hold = TdfOut()
+        self.op_clear = TdfOut()
+        self.op_T_LED = TdfOut()
+        self.op_H_LED = TdfOut()
+        self.op_mux_s = TdfOut()
+        self.m_mux_s = 0
+
+    def set_attributes(self) -> None:
+        # The controller closes the feedback loop: one-sample delays on
+        # its inputs break the cycle for the static schedule, so ctrl
+        # reacts to the sensors/ADC of the previous sample while the
+        # sensors and mux see the controller's current outputs.
+        self.ip_intr0.set_delay(1)
+        self.ip_intr1.set_delay(1)
+        self.ip_DIN.set_delay(1)
+
+    def processing(self) -> None:
+        if self.ip_intr0.read():
+            if (self.ip_DIN.read() / 10) < 60:
+                self.op_clear.write(1)
+                self.m_mux_s = 0
+                self.op_hold.write(0)
+            elif self.m_mux_s == 1 and (self.ip_DIN.read() / 10) > 60:
+                self.op_T_LED.write(1)
+                self.op_clear.write(1)
+                self.op_hold.write(0)
+                self.m_mux_s = 0
+            elif self.m_mux_s == 0 and (self.ip_DIN.read() / 10) > 50:
+                self.m_mux_s = 1
+                self.op_hold.write(1)
+            else:
+                self.op_hold.write(0)
+                self.op_clear.write(1)
+                self.m_mux_s = 0
+        elif self.ip_intr1.read() and self.m_mux_s == 2:
+            if self.ip_DIN.read() > 45:
+                self.op_H_LED.write(1)
+            self.m_mux_s = 0
+        elif self.ip_intr1.read():
+            self.m_mux_s = 2
+        self.op_mux_s.write(self.m_mux_s)
+        if self.ip_intr0.read() == 0:
+            self.op_clear.write(0)
+
+
+class SenseTop(Cluster):
+    """The sensor-system TDF cluster (Fig. 2, ``sense_top::architecture``)."""
+
+    def __init__(
+        self,
+        name: str = "sense_top",
+        timestep: ScaTime = ms(1),
+        adc_bits: int = 9,
+    ) -> None:
+        self._timestep = timestep
+        self._adc_bits = adc_bits
+        super().__init__(name)
+
+    def architecture(self) -> None:
+        # Testbench stimuli (outside the analysed DUV, like the paper's
+        # test input signals applied to TS and HS).  At rest the HS
+        # input sits at its -0.1 V bias point, which keeps newRH below
+        # the 30 %RH interrupt threshold (0 V would read 37.6 %RH and
+        # flood the controller with humidity interrupts).
+        self.ts_src = self.add(StimulusSource("ts_src", lambda t: 0.0, self._timestep))
+        self.hs_src = self.add(StimulusSource("hs_src", lambda t: -0.1, self._timestep))
+
+        # DUV models.
+        self.ts = self.add(TS("TS"))
+        self.hs = self.add(HS("HS"))
+        self.am = self.add(AM("AM"))
+        self.ctrl = self.add(Ctrl("ctrl"))
+        self.i_delay_tdf1 = self.add(DelayTdf("i_delay_tdf1", delay=1))
+        self.i_gain_tdf1 = self.add(GainTdf("i_gain_tdf1", gain=1.0))
+        self.i_adc1 = self.add(AdcTdf("i_adc1", bits=self._adc_bits, lsb=1.0))
+
+        # LEDs (testbench observers).
+        self.t_led = self.add(LedSink("T_LED"))
+        self.h_led = self.add(LedSink("H_LED"))
+
+        # Netlist (Fig. 2, lines 70-82).  Bind-call lines below anchor
+        # the PFirm/PWeak associations exactly like the paper's netlist.
+        op_signal_out = self.signal("op_signal_out")
+        op_delay_out = self.signal("op_delay_out")
+        op_mux_out = self.signal("op_mux_out")
+        op_gain_out = self.signal("op_gain_out")
+        op_adc_out = self.signal("op_adc_out")
+
+        self.ts.op_signal_out.bind(op_signal_out)
+        self.i_delay_tdf1.ip.bind(op_signal_out)
+        self.i_delay_tdf1.op.bind(op_delay_out)
+        self.am.op_mux_out.bind(op_mux_out)
+        self.i_gain_tdf1.ip.bind(op_mux_out)
+        self.i_gain_tdf1.op.bind(op_gain_out)
+        self.i_adc1.adc_i.bind(op_gain_out)
+        self.i_adc1.adc_o.bind(op_adc_out)
+        self.am.ip_port_0.bind(op_signal_out)
+        self.am.ip_port_1.bind(op_delay_out)
+        self.ctrl.ip_DIN.bind(op_adc_out)
+
+        self.connect(self.ts_src.op, self.ts.ip_signal_in, name="ts_in")
+        self.connect(self.hs_src.op, self.hs.ip_signal_in, name="hs_in")
+        self.connect(self.hs.op_signal_out, self.am.ip_port_2, name="hs_out")
+        self.connect(self.ts.op_intr, self.ctrl.ip_intr0, name="intr0")
+        self.connect(self.hs.op_intr, self.ctrl.ip_intr1, name="intr1")
+        self.connect(self.ctrl.op_hold, self.ts.ip_hold, name="hold")
+        self.connect(self.ctrl.op_clear, self.ts.ip_clear, name="clear")
+        self.connect(self.ctrl.op_mux_s, self.am.ip_select, name="mux_s")
+        self.connect(self.ctrl.op_T_LED, self.t_led.ip, name="t_led_sig")
+        self.connect(self.ctrl.op_H_LED, self.h_led.ip, name="h_led_sig")
+
+    # -- testbench helpers ---------------------------------------------------
+
+    def apply_ts_waveform(self, waveform) -> None:
+        """Install a waveform (volts over seconds) on the TS input."""
+        self.ts_src.set_waveform(waveform)
+
+    def apply_hs_waveform(self, waveform) -> None:
+        """Install a waveform (volts over seconds) on the HS input."""
+        self.hs_src.set_waveform(waveform)
+
+
+def paper_testcases():
+    """The paper's three testcases (§IV-B3).
+
+    * TC1 — a constant 0.1 V signal (10 °C) on TS;
+    * TC2 — a ramp 0 V -> 0.65 V -> 0 V (0 °C -> 65 °C -> 0 °C) on TS;
+    * TC3 — a constant 0.40 V signal (45 °C equivalent) on HS.
+    """
+    from ..testing import Constant, RampUpDown, TestCase
+
+    tc2_wave = RampUpDown(0.0, 0.65, t_up=0.010, t_hold_end=0.020, t_end=0.030, name="TC2")
+
+    def tc1(cluster):
+        cluster.apply_ts_waveform(Constant(0.1, name="TC1"))
+
+    def tc2(cluster):
+        cluster.apply_ts_waveform(tc2_wave)
+
+    def tc3(cluster):
+        cluster.apply_hs_waveform(Constant(0.40, name="TC3"))
+
+    return [
+        TestCase("TC1", ms(20), tc1, "constant 0.1 V on TS (10 degC)"),
+        TestCase("TC2", ms(40), tc2, "ramp 0 -> 0.65 V -> 0 on TS (0..65 degC)"),
+        TestCase("TC3", ms(20), tc3, "constant 0.40 V on HS (45 degC equivalent)"),
+    ]

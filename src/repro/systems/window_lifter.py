@@ -1,0 +1,451 @@
+"""Case study 1: the car window lifter system (paper §VI-A).
+
+The AMS system controls the window movement while ensuring passengers
+are not harmed: motor current is measured continuously; when an
+obstacle changes the current flow, the controller stops and reverses
+(anti-pinch).  Following the paper's block list, the ECU contains a
+motor-current filter, an ADC, a current detector, the button logic
+(up/down decoder) and the microcontroller; the environment contains the
+motor, the mechanics (window + obstacle) and the control buttons.
+
+The rebuilt VP reproduces the paper's coverage *shape*:
+
+* **no PFirm associations** — no signal reaches a module both directly
+  and through a redefining element;
+* **PWeak associations** — the motor current reaches the filter only
+  through the sensor gain, and the drive command reaches the motor only
+  through the slew delay (which also breaks the control loop);
+* **use-without-def** — the microcontroller reads a diagnostics port
+  whose signal has no driver (undefined behaviour, found dynamically);
+* **dynamic TDF** — near the closed position the microcontroller
+  requests a finer timestep ("the timestep was reduced to accurately
+  determine the hindrance while closing the window"); the current
+  detector's jump threshold is calibrated in ADC counts *per sample*
+  at the nominal 1 ms timestep, so at the finer timestep the threshold
+  comparison never fires and the anti-pinch def-use pairs stay
+  unexercised in the fine zone — the paper's "dynamic TDF induced
+  failures" in the current feedback loop.
+"""
+
+from __future__ import annotations
+
+from ..tdf import Cluster, ScaTime, TdfIn, TdfModule, TdfOut, ms, us
+from ..tdf.library import AdcTdf, DelayTdf, GainTdf, LedSink, StimulusSource
+
+#: Button encodings on the testbench input.
+BTN_NONE = 0
+BTN_UP = 1
+BTN_DOWN = 2
+BTN_BOTH = 3
+
+
+class ButtonDecoder(TdfModule):
+    """Decodes the raw button input into up/down commands.
+
+    Pressing both buttons is treated as "none" (mechanical interlock);
+    the previous request is remembered to debounce one-sample glitches.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip_buttons = TdfIn()
+        self.op_up = TdfOut()
+        self.op_down = TdfOut()
+        self.m_last = 0
+
+    def processing(self) -> None:
+        raw = int(self.ip_buttons.read())
+        code = raw
+        if code == 3:
+            code = 0
+        up = code == 1
+        down = code == 2
+        if code != self.m_last and self.m_last != 0:
+            # One-sample change away from an active request: debounce by
+            # keeping the previous request for this sample.
+            up = self.m_last == 1
+            down = self.m_last == 2
+        self.m_last = code
+        self.op_up.write(up)
+        self.op_down.write(down)
+
+
+class Motor(TdfModule):
+    """DC motor: drive voltage + mechanical load -> speed and current.
+
+    The armature current follows its steady-state value with a
+    first-order *real-time* lag (``tau_s``), so the per-sample current
+    step depends on the simulation timestep — the physical effect
+    behind the seeded dynamic-TDF detector bug (see
+    :class:`CurrentDetector`).
+    """
+
+    def __init__(self, name: str, kt: float = 1.0, kl: float = 4.0,
+                 tau_s: float = 0.0025) -> None:
+        super().__init__(name)
+        self.ip_drive = TdfIn()
+        self.ip_load = TdfIn()
+        self.op_speed = TdfOut()
+        self.op_current = TdfOut()
+        self.m_kt = float(kt)
+        self.m_kl = float(kl)
+        self.m_tau = float(tau_s)
+        self.m_current = 0.0
+
+    def set_attributes(self) -> None:
+        # The mechanics computes the load from our speed: one-sample
+        # delay on the load input breaks that inner loop.
+        self.ip_load.set_delay(1)
+
+    def initialize(self) -> None:
+        self.m_current = 0.0
+
+    def processing(self) -> None:
+        drive = self.ip_drive.read()
+        load = self.ip_load.read()
+        speed = self.m_kt * drive
+        if load > 0:
+            speed = speed * (1.0 / (1.0 + load))
+        target = abs(drive) * (1.0 + self.m_kl * load)
+        dt = self.timestep.to_seconds() if self.timestep is not None else 0.001
+        alpha = 1.0 - 2.718281828 ** (-dt / self.m_tau)
+        self.m_current = self.m_current + (target - self.m_current) * alpha
+        self.op_speed.write(speed)
+        self.op_current.write(self.m_current)
+
+
+class WindowMech(TdfModule):
+    """Window mechanics: integrates speed into position, computes load.
+
+    Position runs from 0 (fully open) to 100 (fully closed).  An
+    obstacle (testbench input > 0) placed at a position adds load while
+    the window is at or above that position and still closing.
+    """
+
+    def __init__(self, name: str, travel_rate: float = 80.0) -> None:
+        super().__init__(name)
+        self.ip_speed = TdfIn()
+        self.ip_obstacle = TdfIn()
+        self.op_position = TdfOut()
+        self.op_load = TdfOut()
+        self.m_position = 0.0
+        self.m_travel_rate = float(travel_rate)
+
+    def initialize(self) -> None:
+        self.m_position = 0.0
+
+    def processing(self) -> None:
+        speed = self.ip_speed.read()
+        obstacle = self.ip_obstacle.read()
+        dt = self.timestep.to_seconds() if self.timestep is not None else 0.0
+        pos = self.m_position + self.m_travel_rate * speed * dt
+        if pos < 0.0:
+            pos = 0.0
+        elif pos > 100.0:
+            pos = 100.0
+        load = 0.0
+        if pos >= 99.5 and speed > 0:
+            load = 3.0          # end stop
+        if obstacle > 0 and speed > 0 and pos >= obstacle:
+            load = load + 5.0   # pinched obstacle
+        self.m_position = pos
+        self.op_position.write(pos)
+        self.op_load.write(load)
+
+
+class CurrentFilter(TdfModule):
+    """ECU motor-current filter: short moving average (noise removal)."""
+
+    def __init__(self, name: str, taps: int = 2) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_taps = int(taps)
+        self.m_history = [0.0] * int(taps)
+
+    def initialize(self) -> None:
+        self.m_history = [0.0] * self.m_taps
+
+    def processing(self) -> None:
+        sample = self.ip.read()
+        self.m_history = [sample] + self.m_history[:-1]
+        acc = 0.0
+        for value in self.m_history:
+            acc = acc + value
+        avg = acc / self.m_taps
+        self.op.write(avg)
+
+
+class CurrentDetector(TdfModule):
+    """Obstacle detector: watches for a sudden current *jump*.
+
+    A pinched obstacle shows up as a steep rise of the motor current,
+    so the detector compares the sample-to-sample difference of the ADC
+    code against a jump threshold.
+
+    **Seeded bug (dynamic TDF)**: the threshold is calibrated in ADC
+    counts *per sample* assuming the nominal 1 ms timestep.  When the
+    microcontroller refines the timestep near the closed position, the
+    per-sample current step shrinks (the armature time constant is a
+    real-time quantity) and the comparison never fires — the paper's
+    "threshold comparisons failed in certain cases (specially current
+    feedback loop) leading to def-use pairs being not exercised".
+    """
+
+    def __init__(self, name: str, jump_threshold: float = 400.0) -> None:
+        super().__init__(name)
+        self.ip_din = TdfIn()
+        self.op_overcurrent = TdfOut()
+        self.m_jump = float(jump_threshold)
+        self.m_prev = 0.0
+        self.m_trips = 0
+
+    def initialize(self) -> None:
+        self.m_prev = 0.0
+        self.m_trips = 0
+
+    def processing(self) -> None:
+        code = self.ip_din.read()
+        delta = code - self.m_prev
+        self.m_prev = code
+        over = delta > self.m_jump
+        if over:
+            self.m_trips = self.m_trips + 1
+        self.op_overcurrent.write(over)
+
+
+class BatteryMonitor(TdfModule):
+    """Supply supervision: integrates drawn charge, flags a low battery.
+
+    Consumes the *scaled* motor current (through the sense amplifier
+    only — another PWeak path) and tells the MCU to refuse movement
+    once the battery budget is exhausted.
+    """
+
+    def __init__(self, name: str, budget: float = 7.5e5, warn_fraction: float = 0.8) -> None:
+        super().__init__(name)
+        self.ip_current = TdfIn()
+        self.op_low_batt = TdfOut()
+        self.m_budget = float(budget)
+        self.m_warn = float(warn_fraction)
+        self.m_drawn = 0.0
+
+    def initialize(self) -> None:
+        self.m_drawn = 0.0
+
+    def processing(self) -> None:
+        current = self.ip_current.read()
+        self.m_drawn = self.m_drawn + abs(current)
+        low = self.m_drawn > self.m_budget * self.m_warn
+        self.op_low_batt.write(low)
+
+
+class MicroController(TdfModule):
+    """ECU microcontroller: movement state machine + anti-pinch.
+
+    States: 0 idle, 1 moving up (closing), 2 moving down (opening),
+    3 anti-pinch reverse.  Near the closed position the controller
+    requests a finer timestep (dynamic TDF) "to accurately determine
+    the hindrance while closing the window" (paper §VI-A).
+
+    **Seeded bug (use-without-def)**: on anti-pinch entry the
+    controller reads a diagnostics word from ``ip_diag`` — a port whose
+    signal no model drives.
+    """
+
+    #: Samples the anti-pinch reversal lasts.
+    REVERSE_SAMPLES = 8
+
+    def __init__(
+        self,
+        name: str,
+        fine_timestep: ScaTime = us(250),
+        nominal_timestep: ScaTime = ms(1),
+    ) -> None:
+        super().__init__(name)
+        self.ip_up = TdfIn()
+        self.ip_down = TdfIn()
+        self.ip_overcurrent = TdfIn()
+        self.ip_position = TdfIn()
+        self.ip_position_prev = TdfIn()
+        self.ip_low_batt = TdfIn()
+        self.ip_diag = TdfIn()
+        self.op_drive = TdfOut()
+        self.op_pinch_led = TdfOut()
+        self.m_stop_position = 0.0
+        self.m_state = 0
+        self.m_reverse_left = 0
+        self.m_diag_word = 0.0
+        self._fine = fine_timestep
+        self._nominal = nominal_timestep
+        self._want_fine = False
+        self._is_fine = False
+
+    def set_attributes(self) -> None:
+        # The MCU is the cluster's timestep master (so its dynamic-TDF
+        # requests never conflict with another anchor).
+        self.set_timestep(self._nominal)
+        self.ip_up.set_delay(1)
+        self.ip_down.set_delay(1)
+        self.ip_overcurrent.set_delay(1)
+        self.ip_position.set_delay(1)
+        self.ip_position_prev.set_delay(1)
+        self.ip_low_batt.set_delay(1)
+        self.ip_diag.set_delay(1)
+
+    def initialize(self) -> None:
+        self.m_state = 0
+        self.m_reverse_left = 0
+
+    def processing(self) -> None:
+        up = self.ip_up.read()
+        down = self.ip_down.read()
+        over = self.ip_overcurrent.read()
+        pos = self.ip_position.read() / 10.0   # ADC counts -> percent travel
+        low_batt = self.ip_low_batt.read()
+
+        drive = 0.0
+        pinch = False
+        if low_batt and self.m_state == 0:
+            # Battery budget exhausted: refuse to start a movement
+            # (an ongoing movement, including anti-pinch, completes) and
+            # log where the window stopped from the position history.
+            up = False
+            down = False
+            self.m_stop_position = self.ip_position_prev.read()
+        if self.m_state == 3:
+            drive = -1.0
+            pinch = True
+            self.m_reverse_left = self.m_reverse_left - 1
+            if self.m_reverse_left <= 0:
+                self.m_state = 0
+        elif over and self.m_state == 1 and pos < 99.0:
+            # End-stop currents above 99 % travel are expected; only a
+            # mid-travel over-current is a pinched obstacle.
+            self.m_diag_word = self.ip_diag.read()
+            self.m_state = 3
+            self.m_reverse_left = self.REVERSE_SAMPLES
+            drive = -1.0
+            pinch = True
+        elif up and pos < 100.0:
+            self.m_state = 1
+            drive = 1.0
+        elif down and pos > 0.0:
+            self.m_state = 2
+            drive = -1.0
+        else:
+            self.m_state = 0
+            drive = 0.0
+        self.op_drive.write(drive)
+        self.op_pinch_led.write(pinch)
+        # Dynamic TDF request: refine the timestep in the pinch-critical
+        # zone while closing, restore it elsewhere.
+        self._want_fine = self.m_state == 1 and pos > 80.0
+
+    def change_attributes(self) -> None:
+        if self._want_fine and not self._is_fine:
+            self.request_timestep(self._fine)
+            self._is_fine = True
+        elif not self._want_fine and self._is_fine:
+            self.request_timestep(self._nominal)
+            self._is_fine = False
+
+
+class WindowLifterTop(Cluster):
+    """The window-lifter TDF cluster."""
+
+    def __init__(self, name: str = "window_lifter", timestep: ScaTime = ms(1)) -> None:
+        self._timestep = timestep
+        super().__init__(name)
+
+    def architecture(self) -> None:
+        # Testbench.  No timestep anchors here: the MCU is the timestep
+        # master and may retune the whole cluster at runtime.
+        self.buttons_src = self.add(StimulusSource("buttons_src", lambda t: BTN_NONE))
+        self.obstacle_src = self.add(StimulusSource("obstacle_src", lambda t: 0.0))
+        self.pinch_led = self.add(LedSink("pinch_led"))
+
+        # Environment.
+        self.motor = self.add(Motor("motor"))
+        self.mech = self.add(WindowMech("mech"))
+
+        # ECU.
+        self.decoder = self.add(ButtonDecoder("decoder"))
+        self.current_filter = self.add(CurrentFilter("current_filter"))
+        self.adc = self.add(AdcTdf("adc", bits=10, lsb=1.0))
+        self.detector = self.add(CurrentDetector("detector"))
+        self.batt_mon = self.add(BatteryMonitor("batt_mon"))
+        self.mcu = self.add(MicroController("mcu", nominal_timestep=self._timestep))
+
+        # Redefining library elements: current-sense and position-sense
+        # amplifiers and the drive slew delay (which also breaks the
+        # control loop).
+        self.i_sense_gain = self.add(GainTdf("i_sense_gain", gain=100.0))
+        self.i_pos_gain = self.add(GainTdf("i_pos_gain", gain=10.0))
+        self.i_drive_delay = self.add(DelayTdf("i_drive_delay", delay=1))
+        self.i_pos_hist = self.add(DelayTdf("i_pos_hist", delay=1))
+        self.pos_adc = self.add(AdcTdf("pos_adc", bits=10, lsb=1.0))
+
+        # Netlist.
+        self.connect(self.buttons_src.op, self.decoder.ip_buttons, name="buttons")
+        self.connect(self.obstacle_src.op, self.mech.ip_obstacle, name="obstacle")
+        self.connect(self.decoder.op_up, self.mcu.ip_up, name="up")
+        self.connect(self.decoder.op_down, self.mcu.ip_down, name="down")
+
+        # Drive path: mcu -> delay -> motor (PWeak: the motor sees the
+        # drive only through the slew delay).
+        drive = self.signal("drive")
+        drive_slewed = self.signal("drive_slewed")
+        self.mcu.op_drive.bind(drive)
+        self.i_drive_delay.ip.bind(drive)
+        self.i_drive_delay.op.bind(drive_slewed)
+        self.motor.ip_drive.bind(drive_slewed)
+
+        # Current path: motor -> gain -> {filter, battery monitor}
+        # (PWeak: both consumers see the current only through the gain).
+        current = self.signal("current")
+        current_scaled = self.signal("current_scaled")
+        self.motor.op_current.bind(current)
+        self.i_sense_gain.ip.bind(current)
+        self.i_sense_gain.op.bind(current_scaled)
+        self.current_filter.ip.bind(current_scaled)
+        self.batt_mon.ip_current.bind(current_scaled)
+        self.connect(self.current_filter.op, self.adc.adc_i, name="current_filtered")
+        self.connect(self.adc.adc_o, self.detector.ip_din, name="current_din")
+        self.connect(self.detector.op_overcurrent, self.mcu.ip_overcurrent, name="overcurrent")
+        self.connect(self.batt_mon.op_low_batt, self.mcu.ip_low_batt, name="low_batt")
+
+        # Mechanics.  The MCU sees the position only through the sense
+        # amplifier and position ADC (another PWeak path).
+        self.connect(self.motor.op_speed, self.mech.ip_speed, name="speed")
+        self.connect(self.mech.op_load, self.motor.ip_load, name="load")
+        position = self.signal("position")
+        position_scaled = self.signal("position_scaled")
+        position_prev = self.signal("position_prev")
+        self.mech.op_position.bind(position)
+        self.i_pos_gain.ip.bind(position)
+        self.i_pos_gain.op.bind(position_scaled)
+        self.pos_adc.adc_i.bind(position_scaled)
+        self.connect(self.pos_adc.adc_o, self.mcu.ip_position, name="position_din")
+        # Position history (through the delay only -> PWeak), consumed
+        # by the MCU exclusively in the low-battery refusal branch.
+        self.i_pos_hist.ip.bind(position)
+        self.i_pos_hist.op.bind(position_prev)
+        self.mcu.ip_position_prev.bind(position_prev)
+
+        # Diagnostics word: the signal exists but nothing drives it —
+        # the seeded use-without-def bug.
+        diag = self.signal("diag")
+        self.mcu.ip_diag.bind(diag)
+
+        self.connect(self.mcu.op_pinch_led, self.pinch_led.ip, name="pinch")
+
+    # -- testbench helpers -------------------------------------------------------
+
+    def apply_buttons(self, waveform) -> None:
+        """Install a button-code waveform (see ``BTN_*``)."""
+        self.buttons_src.set_waveform(waveform)
+
+    def apply_obstacle(self, waveform) -> None:
+        """Install an obstacle-position waveform (0 = no obstacle)."""
+        self.obstacle_src.set_waveform(waveform)

@@ -1,0 +1,86 @@
+"""A Timed Data Flow (TDF) model-of-computation kernel.
+
+This package is the Python substrate standing in for SystemC-AMS's TDF
+MoC (see DESIGN.md, "Substitutions"): modules with the
+``set_attributes / initialize / processing / change_attributes``
+lifecycle, rated and delayed ports, single-driver signals, cluster
+elaboration with exact SDF scheduling, a timed simulator with dynamic
+TDF support, and a library of predefined components.
+
+Quick example::
+
+    from repro.tdf import Cluster, Simulator, TdfModule, TdfIn, TdfOut, ms
+    from repro.tdf.library import ConstantSource, CollectorSink
+
+    class Doubler(TdfModule):
+        def processing(self):
+            self.op.write(self.ip.read() * 2)
+        def __init__(self, name):
+            super().__init__(name)
+            self.ip = TdfIn()
+            self.op = TdfOut()
+
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(ConstantSource("src", 21.0, timestep=ms(1)))
+            self.dbl = self.add(Doubler("dbl"))
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.dbl.ip)
+            self.connect(self.dbl.op, self.sink.ip)
+
+    top = Top("top")
+    Simulator(top).run(ms(5))
+    assert top.sink.values() == [42.0] * 5
+"""
+
+from .cluster import Cluster
+from .errors import (
+    BindingError,
+    DynamicTdfError,
+    ElaborationError,
+    PortAccessError,
+    RateConsistencyError,
+    SchedulingDeadlockError,
+    SimulationError,
+    TdfError,
+    TimestepError,
+)
+from .module import TdfModule
+from .ports import BindSite, Port, TdfIn, TdfOut
+from .scheduler import Schedule, elaborate
+from .signal import Signal
+from .simulator import Simulator
+from .time import ScaTime, fs, gcd_time, lcm_time, ms, ns, ps, sec, us
+from .trace import Tracer
+
+__all__ = [
+    "BindSite",
+    "BindingError",
+    "Cluster",
+    "DynamicTdfError",
+    "ElaborationError",
+    "Port",
+    "PortAccessError",
+    "RateConsistencyError",
+    "ScaTime",
+    "Schedule",
+    "SchedulingDeadlockError",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "TdfError",
+    "TdfIn",
+    "TdfModule",
+    "TdfOut",
+    "TimestepError",
+    "Tracer",
+    "elaborate",
+    "fs",
+    "gcd_time",
+    "lcm_time",
+    "ms",
+    "ns",
+    "ps",
+    "sec",
+    "us",
+]

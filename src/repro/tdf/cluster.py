@@ -1,0 +1,184 @@
+"""TDF clusters: module containers, signals and netlist construction.
+
+A :class:`Cluster` owns a set of TDF modules and the signals connecting
+them.  Subclasses typically build their netlist in an
+:meth:`Cluster.architecture` override — mirroring the paper's
+``sense_top::architecture()`` netlist function (Fig. 2, lines 70-82) —
+which the constructor invokes automatically::
+
+    class SenseTop(Cluster):
+        def architecture(self):
+            self.ts = self.add(TS("ts"))
+            ...
+            self.connect(self.ts.op_signal_out, self.delay.ip)
+
+Binding can be done either with explicit signals (``port.bind(sig)``)
+or with the :meth:`connect` convenience.  Either way, each port records
+the source location of its bind call; those *bind sites* anchor the
+cluster-level data-flow associations of opaque library components
+(paper §V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, TypeVar
+
+from .errors import BindingError, ElaborationError
+from .module import TdfModule
+from .ports import Port, TdfIn, TdfOut
+from .signal import Signal
+
+M = TypeVar("M", bound=TdfModule)
+
+
+class Cluster:
+    """A connected set of TDF modules (the unit of static scheduling)."""
+
+    def __init__(self, name: str, autobuild: bool = True) -> None:
+        self.name = name
+        self._modules: Dict[str, TdfModule] = {}
+        self._signals: Dict[str, Signal] = {}
+        self._signal_counter = 0
+        if autobuild:
+            self.architecture()
+
+    # -- netlist construction (override in subclasses) -------------------------
+
+    def architecture(self) -> None:
+        """Build modules and bindings.  Default: empty cluster."""
+
+    # -- modules ----------------------------------------------------------------
+
+    def add(self, module: M) -> M:
+        """Register ``module`` with the cluster and return it."""
+        if module.name in self._modules:
+            raise ElaborationError(
+                f"cluster {self.name!r} already contains a module named "
+                f"{module.name!r}"
+            )
+        self._modules[module.name] = module
+        module.cluster = self
+        return module
+
+    @property
+    def modules(self) -> List[TdfModule]:
+        """All registered modules in registration order."""
+        return list(self._modules.values())
+
+    def module(self, name: str) -> TdfModule:
+        """Look up a module by name."""
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise ElaborationError(
+                f"cluster {self.name!r} has no module {name!r}"
+            ) from None
+
+    # -- signals ----------------------------------------------------------------
+
+    def signal(self, name: Optional[str] = None, initial_value: float = 0.0) -> Signal:
+        """Create (or fetch) a named signal."""
+        if name is None:
+            self._signal_counter += 1
+            name = f"sig_{self._signal_counter}"
+        if name in self._signals:
+            return self._signals[name]
+        sig = Signal(name, initial_value)
+        self._signals[name] = sig
+        return sig
+
+    @property
+    def signals(self) -> List[Signal]:
+        """All signals in creation order."""
+        return list(self._signals.values())
+
+    def connect(
+        self,
+        source: TdfOut,
+        *sinks: TdfIn,
+        name: Optional[str] = None,
+        initial_value: float = 0.0,
+    ) -> Signal:
+        """Bind ``source`` and each of ``sinks`` to one (new) signal.
+
+        The signal is named after the source port unless ``name`` is
+        given.  Returns the signal so callers can attach more readers
+        later.
+        """
+        if not isinstance(source, TdfOut):
+            raise BindingError(
+                f"connect() source must be an output port, got {source!r}"
+            )
+        if source.signal is not None:
+            sig = source.signal
+        else:
+            sig = self.signal(name or f"{source.full_name()}_sig", initial_value)
+            source.bind(sig)
+        for sink in sinks:
+            if not isinstance(sink, TdfIn):
+                raise BindingError(
+                    f"connect() sinks must be input ports, got {sink!r}"
+                )
+            sink.bind(sig)
+        return sig
+
+    # -- netlist queries (used by the analysis layer) ------------------------------
+
+    def bindings(self) -> Iterator[Tuple[Signal, TdfOut, List[TdfIn]]]:
+        """Yield ``(signal, driver, readers)`` for every bound signal."""
+        for sig in self._signals.values():
+            if sig.driver is not None or sig.readers:
+                yield sig, sig.driver, list(sig.readers)
+
+    def readers_of(self, port: TdfOut) -> List[TdfIn]:
+        """Input ports fed (directly) by ``port``."""
+        if port.signal is None:
+            return []
+        return list(port.signal.readers)
+
+    def driver_of(self, port: TdfIn) -> Optional[TdfOut]:
+        """The output port driving ``port``, if any."""
+        if port.signal is None:
+            return None
+        return port.signal.driver
+
+    def check_bindings(self) -> None:
+        """Validate the netlist: every port bound, every signal driven.
+
+        An input port bound to a driverless signal is reported — this is
+        the paper's "use of ports without definitions" undefined
+        behaviour — but only as part of the returned diagnostics of
+        :meth:`undriven_inputs`; elaboration tolerates it so that the
+        dynamic analysis can observe and warn about it at runtime.
+        """
+        for module in self._modules.values():
+            for port in module.ports():
+                if not port.bound:
+                    raise BindingError(
+                        f"port {port.full_name()} of cluster {self.name!r} "
+                        f"is not bound to any signal"
+                    )
+
+    def undriven_inputs(self) -> List[TdfIn]:
+        """Input ports whose signal has no driver (undefined behaviour)."""
+        result = []
+        for module in self._modules.values():
+            for port in module.in_ports():
+                if port.signal is not None and port.signal.driver is None:
+                    result.append(port)
+        return result
+
+    def reset_signals(self) -> None:
+        """Reset all token buffers for a fresh simulation run."""
+        for sig in self._signals.values():
+            sig.reset()
+        for module in self._modules.values():
+            for port in module.out_ports():
+                port._reset()
+            module.activation_count = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.name!r}, modules={len(self._modules)}, "
+            f"signals={len(self._signals)})"
+        )

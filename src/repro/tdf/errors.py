@@ -1,0 +1,64 @@
+"""Exception hierarchy for the TDF simulation kernel.
+
+The names mirror the error classes a SystemC-AMS implementation reports
+during elaboration and simulation of Timed Data Flow (TDF) clusters:
+binding errors, rate/timestep inconsistencies, and scheduling deadlocks.
+"""
+
+from __future__ import annotations
+
+
+class TdfError(Exception):
+    """Base class for every error raised by :mod:`repro.tdf`."""
+
+
+class ElaborationError(TdfError):
+    """Raised when a cluster cannot be elaborated.
+
+    Typical causes: an unbound port, a port bound twice, a signal with
+    more than one driver, or a module registered under a duplicate name.
+    """
+
+
+class BindingError(ElaborationError):
+    """Raised for an illegal port/signal binding."""
+
+
+class RateConsistencyError(ElaborationError):
+    """Raised when the SDF balance equations have no non-trivial solution.
+
+    A multirate TDF cluster is *consistent* when a repetition vector
+    ``q`` exists with ``q[writer] * out_rate == q[reader] * in_rate`` for
+    every signal.  Inconsistent rate annotations make the token buffers
+    grow (or starve) without bound, so elaboration must reject them.
+    """
+
+
+class TimestepError(ElaborationError):
+    """Raised when port/module timestep assignments contradict each other
+    or when no timestep can be derived for a module at all."""
+
+
+class SchedulingDeadlockError(ElaborationError):
+    """Raised when no periodic admissible static schedule exists.
+
+    This happens for feedback loops that do not carry enough initial
+    delay tokens: every module in the loop waits for tokens that only
+    the loop itself can produce.
+    """
+
+
+class SimulationError(TdfError):
+    """Raised for errors during the simulation phase (after elaboration)."""
+
+
+class PortAccessError(SimulationError):
+    """Raised when a port is read/written outside its declared rate
+    (e.g. ``read(2)`` on a port with ``rate == 1``) or outside of the
+    module's :meth:`processing` callback."""
+
+
+class DynamicTdfError(SimulationError):
+    """Raised when a dynamic TDF reconfiguration request is illegal,
+    e.g. requesting a non-positive timestep or changing attributes of a
+    module that opted out with ``ACCEPT_ATTRIBUTE_CHANGES = False``."""

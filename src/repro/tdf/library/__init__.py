@@ -1,0 +1,65 @@
+"""Built-in TDF component library.
+
+Mirrors the SystemC-AMS predefined module set the paper relies on:
+redefining SISO elements (gain / delay / buffer), converters (ADC /
+DAC), arithmetic and threshold blocks, muxes, filters, and the
+source/sink models used by testbenches.
+"""
+
+from .arithmetic import (
+    AdderTdf,
+    ComparatorTdf,
+    MultiplierTdf,
+    OffsetTdf,
+    SaturatorTdf,
+    SchmittTriggerTdf,
+    SubtractorTdf,
+)
+from .converters import AdcTdf, DacTdf
+from .filters import (
+    DifferentiatorTdf,
+    FirFilterTdf,
+    IirLowPassTdf,
+    IntegratorTdf,
+    MovingAverageTdf,
+)
+from .mux import AnalogDemuxTdf, AnalogMuxTdf
+from .sinks import CollectorSink, LedSink, NullSink
+from .siso import BufferTdf, DelayTdf, GainTdf
+from .sources import (
+    ConstantSource,
+    RampSource,
+    SineSource,
+    StepSource,
+    StimulusSource,
+)
+
+__all__ = [
+    "AdderTdf",
+    "AdcTdf",
+    "AnalogDemuxTdf",
+    "AnalogMuxTdf",
+    "BufferTdf",
+    "CollectorSink",
+    "ComparatorTdf",
+    "ConstantSource",
+    "DacTdf",
+    "DelayTdf",
+    "DifferentiatorTdf",
+    "FirFilterTdf",
+    "GainTdf",
+    "IirLowPassTdf",
+    "IntegratorTdf",
+    "LedSink",
+    "MovingAverageTdf",
+    "MultiplierTdf",
+    "NullSink",
+    "OffsetTdf",
+    "RampSource",
+    "SaturatorTdf",
+    "SchmittTriggerTdf",
+    "SineSource",
+    "StepSource",
+    "StimulusSource",
+    "SubtractorTdf",
+]

@@ -1,0 +1,77 @@
+"""Data converters: ADC and DAC library models.
+
+The ADC reproduces the paper's interface bug verbatim: with the default
+9-bit resolution, any input above ``2**9 = 512`` (mV) saturates to 512
+at the output — the bug TC2 of the running example uncovers when the
+expected ``T_LED`` data-flow associations are never exercised
+(paper §IV-B3).
+
+Both converters are *analyzable* library models (the paper's Table I
+contains Strong pairs anchored at lines inside the ``adc`` model), but
+their input-port uses anchor at the netlist bind sites
+(``OPAQUE_USES``), matching the paper's PWeak pair
+``(op_mux_out, 77, sense_top, 79, sense_top)``.
+"""
+
+from __future__ import annotations
+
+from ..module import TdfModule
+from ..ports import TdfIn, TdfOut
+
+
+class AdcTdf(TdfModule):
+    """An N-bit analog-to-digital converter.
+
+    For ease of exposition (exactly like the paper's running example)
+    the ADC outputs the same numeric value it receives, quantised to
+    ``lsb`` and **saturated at the full-scale value ``2**bits * lsb``**.
+    The default 9-bit/1 mV configuration saturates at 512.
+    """
+
+    OPAQUE_USES = True
+
+    def __init__(self, name: str, bits: int = 9, lsb: float = 1.0) -> None:
+        super().__init__(name)
+        if bits < 1:
+            raise ValueError(f"ADC needs at least 1 bit, got {bits}")
+        if lsb <= 0:
+            raise ValueError(f"ADC lsb must be positive, got {lsb}")
+        self.adc_i = TdfIn()
+        self.adc_o = TdfOut()
+        self.m_bits = int(bits)
+        self.m_lsb = float(lsb)
+        self.m_full_scale = (2 ** int(bits)) * float(lsb)
+
+    def processing(self) -> None:
+        vin = self.adc_i.read()
+        code = round(vin / self.m_lsb) * self.m_lsb
+        if code < 0:
+            code = 0.0
+        if code > self.m_full_scale:
+            code = self.m_full_scale
+        adc_out = code
+        self.adc_o.write(adc_out)
+
+
+class DacTdf(TdfModule):
+    """An N-bit digital-to-analog converter (code in, voltage out)."""
+
+    OPAQUE_USES = True
+
+    def __init__(self, name: str, bits: int = 9, lsb: float = 1.0) -> None:
+        super().__init__(name)
+        if bits < 1:
+            raise ValueError(f"DAC needs at least 1 bit, got {bits}")
+        if lsb <= 0:
+            raise ValueError(f"DAC lsb must be positive, got {lsb}")
+        self.dac_i = TdfIn()
+        self.dac_o = TdfOut()
+        self.m_bits = int(bits)
+        self.m_lsb = float(lsb)
+        self.m_max_code = (2 ** int(bits)) - 1
+
+    def processing(self) -> None:
+        code = self.dac_i.read()
+        clamped = min(max(code, 0), self.m_max_code)
+        vout = clamped * self.m_lsb
+        self.dac_o.write(vout)

@@ -1,0 +1,133 @@
+"""Filtering and calculus library models.
+
+Discrete-time approximations of common analog blocks, used by the
+window-lifter VP (motor-current noise filter) and the buck-boost VP
+(inductor/capacitor integration).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..module import TdfModule
+from ..ports import TdfIn, TdfOut
+
+
+class FirFilterTdf(TdfModule):
+    """Finite impulse response filter with fixed coefficients."""
+
+    OPAQUE_USES = True
+
+    def __init__(self, name: str, coefficients: Sequence[float]) -> None:
+        super().__init__(name)
+        if not coefficients:
+            raise ValueError("FIR filter needs at least one coefficient")
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_coeffs: List[float] = [float(c) for c in coefficients]
+        self.m_history: List[float] = [0.0] * len(self.m_coeffs)
+
+    def initialize(self) -> None:
+        self.m_history = [0.0] * len(self.m_coeffs)
+
+    def processing(self) -> None:
+        sample = self.ip.read()
+        self.m_history.insert(0, sample)
+        self.m_history.pop()
+        acc = 0.0
+        for coeff, past in zip(self.m_coeffs, self.m_history):
+            acc = acc + coeff * past
+        self.op.write(acc)
+
+
+class MovingAverageTdf(TdfModule):
+    """Moving average over the last ``window`` samples."""
+
+    OPAQUE_USES = True
+
+    def __init__(self, name: str, window: int) -> None:
+        super().__init__(name)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_window = int(window)
+        self.m_history: List[float] = []
+
+    def initialize(self) -> None:
+        self.m_history = []
+
+    def processing(self) -> None:
+        sample = self.ip.read()
+        self.m_history.append(sample)
+        if len(self.m_history) > self.m_window:
+            self.m_history.pop(0)
+        avg = sum(self.m_history) / len(self.m_history)
+        self.op.write(avg)
+
+
+class IirLowPassTdf(TdfModule):
+    """First-order IIR low-pass: ``y[n] = a*y[n-1] + (1-a)*x[n]``."""
+
+    OPAQUE_USES = True
+
+    def __init__(self, name: str, alpha: float) -> None:
+        super().__init__(name)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_alpha = float(alpha)
+        self.m_state = 0.0
+
+    def initialize(self) -> None:
+        self.m_state = 0.0
+
+    def processing(self) -> None:
+        sample = self.ip.read()
+        self.m_state = self.m_alpha * self.m_state + (1.0 - self.m_alpha) * sample
+        self.op.write(self.m_state)
+
+
+class IntegratorTdf(TdfModule):
+    """Forward-Euler integrator: accumulates ``x[n] * dt``."""
+
+    OPAQUE_USES = True
+
+    def __init__(self, name: str, initial: float = 0.0, gain: float = 1.0) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_initial = float(initial)
+        self.m_gain = float(gain)
+        self.m_state = float(initial)
+
+    def initialize(self) -> None:
+        self.m_state = self.m_initial
+
+    def processing(self) -> None:
+        dt = self.timestep.to_seconds() if self.timestep is not None else 0.0
+        self.m_state = self.m_state + self.m_gain * self.ip.read() * dt
+        self.op.write(self.m_state)
+
+
+class DifferentiatorTdf(TdfModule):
+    """Backward-difference differentiator: ``(x[n] - x[n-1]) / dt``."""
+
+    OPAQUE_USES = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_prev = 0.0
+
+    def initialize(self) -> None:
+        self.m_prev = 0.0
+
+    def processing(self) -> None:
+        sample = self.ip.read()
+        dt = self.timestep.to_seconds() if self.timestep is not None else 1.0
+        slope = (sample - self.m_prev) / dt if dt > 0 else 0.0
+        self.m_prev = sample
+        self.op.write(slope)

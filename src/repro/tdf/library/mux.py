@@ -1,0 +1,63 @@
+"""Analog multiplexer / demultiplexer library models.
+
+The 4x1 :class:`AnalogMuxTdf` mirrors the paper's ``AM`` model (Fig. 2,
+lines 32-39), including the exact def-use structure: a local ``tmp_out``
+defined once per branch and written to the output at the end — the
+source of the Firm association ``(tmp_out, 34, AM, 38, AM)``.
+"""
+
+from __future__ import annotations
+
+from ..module import TdfModule
+from ..ports import TdfIn, TdfOut
+
+
+class AnalogMuxTdf(TdfModule):
+    """A 4-to-1 analog mux with an integer select input."""
+
+    OPAQUE_USES = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip_select = TdfIn()
+        self.ip_port_0 = TdfIn()
+        self.ip_port_1 = TdfIn()
+        self.ip_port_2 = TdfIn()
+        self.ip_port_3 = TdfIn()
+        self.op_mux_out = TdfOut()
+
+    def processing(self) -> None:
+        tmp_out = 0.0
+        sel = self.ip_select.read()
+        if sel == 0:
+            tmp_out = self.ip_port_0.read()
+        elif sel == 1:
+            tmp_out = self.ip_port_1.read()
+        elif sel == 2:
+            tmp_out = self.ip_port_2.read()
+        elif sel == 3:
+            tmp_out = self.ip_port_3.read()
+        self.op_mux_out.write(tmp_out)
+
+
+class AnalogDemuxTdf(TdfModule):
+    """1-to-4 demux: routes the input to the selected output, 0 elsewhere."""
+
+    OPAQUE_USES = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.ip_select = TdfIn()
+        self.op_port_0 = TdfOut()
+        self.op_port_1 = TdfOut()
+        self.op_port_2 = TdfOut()
+        self.op_port_3 = TdfOut()
+
+    def processing(self) -> None:
+        value = self.ip.read()
+        sel = self.ip_select.read()
+        self.op_port_0.write(value if sel == 0 else 0.0)
+        self.op_port_1.write(value if sel == 1 else 0.0)
+        self.op_port_2.write(value if sel == 2 else 0.0)
+        self.op_port_3.write(value if sel == 3 else 0.0)

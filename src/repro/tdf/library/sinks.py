@@ -1,0 +1,91 @@
+"""Sink library models: collectors, LEDs and null terminators."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..module import TdfModule
+from ..ports import TdfIn
+from ..time import ScaTime
+
+
+class NullSink(TdfModule):
+    """Consumes and discards its input (keeps the netlist fully bound)."""
+
+    OPAQUE_USES = True
+    TESTBENCH = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+
+    def processing(self) -> None:
+        self.ip.read()
+
+
+class CollectorSink(TdfModule):
+    """Records every ``(time_seconds, value)`` sample it consumes."""
+
+    OPAQUE_USES = True
+    TESTBENCH = True
+
+    def __init__(self, name: str, max_samples: Optional[int] = None) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.m_samples: List[Tuple[float, Any]] = []
+        self.m_max_samples = max_samples
+
+    def processing(self) -> None:
+        value = self.ip.read()
+        if self.m_max_samples is None or len(self.m_samples) < self.m_max_samples:
+            self.m_samples.append((self.local_time().to_seconds(), value))
+
+    def values(self) -> List[Any]:
+        """Just the recorded values, in sample order."""
+        return [value for _, value in self.m_samples]
+
+    def times(self) -> List[float]:
+        """Sample times in seconds."""
+        return [t for t, _ in self.m_samples]
+
+    def clear(self) -> None:
+        """Drop all recorded samples."""
+        self.m_samples.clear()
+
+
+class LedSink(TdfModule):
+    """A light-emitting diode: latches on/off from a boolean-ish input.
+
+    Records every state *change* with its time, so tests can assert both
+    the final state and when the LED switched — the observable the
+    paper's running example checks (``T_LED`` switching on above 60°C).
+    """
+
+    OPAQUE_USES = True
+    TESTBENCH = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.m_state = False
+        self.m_transitions: List[Tuple[float, bool]] = []
+
+    def processing(self) -> None:
+        new_state = bool(self.ip.read())
+        if new_state != self.m_state:
+            self.m_state = new_state
+            self.m_transitions.append((self.local_time().to_seconds(), new_state))
+
+    @property
+    def is_on(self) -> bool:
+        """Current LED state."""
+        return self.m_state
+
+    def ever_on(self) -> bool:
+        """Whether the LED was switched on at any point."""
+        return any(state for _, state in self.m_transitions) or self.m_state
+
+    def clear(self) -> None:
+        """Reset state and transition history."""
+        self.m_state = False
+        self.m_transitions.clear()

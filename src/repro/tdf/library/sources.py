@@ -1,0 +1,113 @@
+"""Stimulus sources.
+
+:class:`StimulusSource` is the bridge between the testing layer and a
+TDF cluster: it samples an arbitrary ``f(t_seconds) -> value`` callable
+(usually a :class:`repro.testing.stimuli.Stimulus`) at its port
+timestep.  The specialised sources below are convenience wrappers for
+common waveforms used directly in examples and unit tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from ..module import TdfModule
+from ..ports import TdfOut
+from ..time import ScaTime
+
+
+class StimulusSource(TdfModule):
+    """Drives its output from a time-domain callable."""
+
+    OPAQUE_USES = True
+    TESTBENCH = True
+
+    def __init__(
+        self,
+        name: str,
+        waveform: Callable[[float], Any],
+        timestep: Optional[ScaTime] = None,
+    ) -> None:
+        super().__init__(name)
+        self.op = TdfOut()
+        self.m_waveform = waveform
+        self._timestep_request = timestep
+
+    def set_attributes(self) -> None:
+        if self._timestep_request is not None:
+            self.set_timestep(self._timestep_request)
+
+    def set_waveform(self, waveform: Callable[[float], Any]) -> None:
+        """Swap the waveform (e.g. between testcases)."""
+        self.m_waveform = waveform
+
+    def processing(self) -> None:
+        t = self.local_time().to_seconds()
+        self.op.write(self.m_waveform(t))
+
+
+class ConstantSource(StimulusSource):
+    """Emits a constant value."""
+
+    def __init__(self, name: str, value: Any, timestep: Optional[ScaTime] = None) -> None:
+        super().__init__(name, lambda t: value, timestep)
+        self.m_value = value
+
+
+class SineSource(StimulusSource):
+    """Emits ``offset + amplitude * sin(2*pi*freq*t + phase)``."""
+
+    def __init__(
+        self,
+        name: str,
+        amplitude: float = 1.0,
+        frequency_hz: float = 1.0,
+        offset: float = 0.0,
+        phase: float = 0.0,
+        timestep: Optional[ScaTime] = None,
+    ) -> None:
+        def waveform(t: float) -> float:
+            return offset + amplitude * math.sin(2 * math.pi * frequency_hz * t + phase)
+
+        super().__init__(name, waveform, timestep)
+
+
+class StepSource(StimulusSource):
+    """Steps from ``initial`` to ``final`` at ``step_time`` seconds."""
+
+    def __init__(
+        self,
+        name: str,
+        initial: float,
+        final: float,
+        step_time: float,
+        timestep: Optional[ScaTime] = None,
+    ) -> None:
+        def waveform(t: float) -> float:
+            return final if t >= step_time else initial
+
+        super().__init__(name, waveform, timestep)
+
+
+class RampSource(StimulusSource):
+    """Linear ramp from ``start`` to ``stop`` over ``duration`` seconds,
+    then held at ``stop``."""
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        stop: float,
+        duration: float,
+        timestep: Optional[ScaTime] = None,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError(f"ramp duration must be positive, got {duration}")
+
+        def waveform(t: float) -> float:
+            if t >= duration:
+                return stop
+            return start + (stop - start) * (t / duration)
+
+        super().__init__(name, waveform, timestep)

@@ -1,0 +1,219 @@
+"""TDF signals: single-driver, multi-reader token streams.
+
+A :class:`Signal` connects exactly one output port (the *driver*) to any
+number of input ports (the *readers*).  Tokens written to the signal are
+identified by a monotonically increasing global index — index ``i`` is
+the ``i``-th sample ever produced on the signal.  Every reader owns a
+cursor into that stream; a reader whose input port declares a delay of
+``d`` starts its cursor at ``-d`` and consumes ``d`` initial values
+before it sees the first real token.
+
+The global token index is the backbone of the dynamic data-flow
+analysis: a *definition* event recorded at write time and a *use* event
+recorded at read time are joined on ``(signal, token_index)``, which is
+exact because the kernel is deterministic (see
+:mod:`repro.instrument.matching`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, TYPE_CHECKING
+
+from .errors import BindingError, SimulationError
+from .time import ScaTime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .ports import TdfIn, TdfOut
+
+#: Callback signature for write observers: (signal, token_index, value, time).
+WriteObserver = Callable[["Signal", int, Any, Optional[ScaTime]], None]
+
+#: Callback signature for read observers: (signal, reader_port, token_index, value).
+ReadObserver = Callable[["Signal", "TdfIn", int, Any], None]
+
+
+class Signal:
+    """A timed token stream with one driver and many readers."""
+
+    def __init__(self, name: str, initial_value: Any = 0.0) -> None:
+        self.name = name
+        #: Value returned for delay tokens unless the reader overrides it.
+        self.initial_value = initial_value
+        self.driver: Optional["TdfOut"] = None
+        self.readers: List["TdfIn"] = []
+        # Token storage. ``_tokens[0]`` holds the token with global index
+        # ``_base_index``; consumed tokens are dropped from the left.
+        self._tokens: Deque[Any] = deque()
+        self._base_index = 0
+        self._write_count = 0
+        # Per-reader cursor: global index of the next token the reader
+        # will consume.  Negative cursors address initial (delay) values.
+        self._cursors: Dict[int, int] = {}
+        self._write_observers: List[WriteObserver] = []
+        self._read_observers: List[ReadObserver] = []
+        #: Timestamp of the most recent write (set by the simulator).
+        self.last_write_time: Optional[ScaTime] = None
+
+    # -- topology ---------------------------------------------------------
+
+    def attach_driver(self, port: "TdfOut") -> None:
+        """Register ``port`` as the signal's unique driver."""
+        if self.driver is not None and self.driver is not port:
+            raise BindingError(
+                f"signal {self.name!r} already driven by "
+                f"{self.driver.full_name()}; cannot also bind {port.full_name()}"
+            )
+        self.driver = port
+
+    def attach_reader(self, port: "TdfIn") -> None:
+        """Register ``port`` as one of the signal's readers."""
+        if port not in self.readers:
+            self.readers.append(port)
+            self._cursors[id(port)] = 0
+
+    def detach_all(self) -> None:
+        """Remove every binding (used when rebuilding clusters in tests)."""
+        self.driver = None
+        self.readers.clear()
+        self._cursors.clear()
+
+    # -- observers --------------------------------------------------------
+
+    def add_write_observer(self, callback: WriteObserver) -> None:
+        """Invoke ``callback`` after every token written to this signal."""
+        self._write_observers.append(callback)
+
+    def add_read_observer(self, callback: ReadObserver) -> None:
+        """Invoke ``callback`` after every token consumed from this signal."""
+        self._read_observers.append(callback)
+
+    def clear_observers(self) -> None:
+        """Drop all registered observers."""
+        self._write_observers.clear()
+        self._read_observers.clear()
+
+    # -- elaboration-time state -------------------------------------------
+
+    def reset(self) -> None:
+        """Reset token storage and cursors for a fresh simulation run."""
+        self._tokens.clear()
+        self._base_index = 0
+        self._write_count = 0
+        self.last_write_time = None
+        for port in self.readers:
+            self._cursors[id(port)] = -port.delay
+
+    def prime_output_delay(self, count: int, values: Optional[List[Any]] = None) -> None:
+        """Insert ``count`` initial tokens produced by an output-port delay.
+
+        SystemC-AMS allows a delay on the *output* port, in which case
+        the port emits ``count`` initial samples before the first
+        computed one.  ``values`` overrides the per-token initial values
+        (padded with :attr:`initial_value`).
+        """
+        for i in range(count):
+            if values is not None and i < len(values):
+                self._append(values[i], None)
+            else:
+                self._append(self.initial_value, None)
+
+    # -- simulation-time API ------------------------------------------------
+
+    @property
+    def write_count(self) -> int:
+        """Total number of tokens ever written (including delay priming)."""
+        return self._write_count
+
+    def available(self, port: "TdfIn") -> int:
+        """Number of tokens ``port`` could consume right now."""
+        cursor = self._cursors[id(port)]
+        return self._write_count - max(cursor, 0) + max(-cursor, 0)
+
+    def write(self, value: Any, time: Optional[ScaTime] = None) -> int:
+        """Append one token; returns its global index."""
+        return self._append(value, time)
+
+    def _append(self, value: Any, time: Optional[ScaTime]) -> int:
+        index = self._write_count
+        self._tokens.append(value)
+        self._write_count += 1
+        self.last_write_time = time
+        for callback in self._write_observers:
+            callback(self, index, value, time)
+        return index
+
+    def peek(self, port: "TdfIn", offset: int = 0) -> Any:
+        """Return the token ``offset`` positions ahead of ``port``'s cursor
+        without consuming it."""
+        index = self._cursors[id(port)] + offset
+        return self._value_at(index, port)
+
+    def consume(self, port: "TdfIn", count: int) -> List[Any]:
+        """Consume ``count`` tokens for ``port`` and return them in order.
+
+        Fires the read observers once per token with the token's global
+        index (delay/initial tokens have negative indices).
+        """
+        cursor = self._cursors[id(port)]
+        values = []
+        for i in range(count):
+            index = cursor + i
+            value = self._value_at(index, port)
+            values.append(value)
+            for callback in self._read_observers:
+                callback(self, port, index, value)
+        self._cursors[id(port)] = cursor + count
+        self._collect_garbage()
+        return values
+
+    def _value_at(self, index: int, port: "TdfIn") -> Any:
+        if index < 0:
+            # Delay/initial value region.  A reader may carry its own
+            # initial-value list (index -1 maps to the *last* element so
+            # that values appear in write order).
+            init = port.initial_values
+            if init:
+                mapped = len(init) + index
+                if 0 <= mapped < len(init):
+                    return init[mapped]
+            return self.initial_value
+        if index >= self._write_count:
+            raise SimulationError(
+                f"read past end of signal {self.name!r}: token {index} "
+                f"requested but only {self._write_count} written "
+                f"(reader {port.full_name()})"
+            )
+        offset = index - self._base_index
+        if offset < 0:
+            raise SimulationError(
+                f"token {index} of signal {self.name!r} already discarded"
+            )
+        return self._tokens[offset]
+
+    def _collect_garbage(self) -> None:
+        """Drop tokens every reader has consumed to bound memory.
+
+        Amortised: the min-cursor scan only runs once the retained
+        backlog exceeds a small threshold, which keeps the per-sample
+        cost constant without letting buffers grow unbounded.
+        """
+        if not self.readers:
+            return
+        if len(self._tokens) < 64:
+            return
+        min_cursor = min(self._cursors[id(p)] for p in self.readers)
+        drop = min(min_cursor, self._write_count) - self._base_index
+        for _ in range(max(drop, 0)):
+            self._tokens.popleft()
+        if drop > 0:
+            self._base_index += drop
+
+    # -- debugging ----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        driver = self.driver.full_name() if self.driver else None
+        return (
+            f"Signal({self.name!r}, driver={driver}, "
+            f"readers={len(self.readers)}, written={self._write_count})"
+        )

@@ -1,0 +1,131 @@
+"""The TDF simulation kernel.
+
+:class:`Simulator` drives a :class:`~repro.tdf.cluster.Cluster` through
+time: it elaborates the cluster (computing the static schedule), calls
+``initialize()`` once, then repeats the schedule period after period
+until the requested stop time.  After every period each module's
+``change_attributes()`` hook runs; if any module filed a dynamic-TDF
+request (new timestep or port rate) the kernel applies the request and
+re-elaborates before the next period — the SystemC-AMS *dynamic TDF*
+behaviour the paper's window-lifter experiment exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .cluster import Cluster
+from .errors import SimulationError
+from .module import TdfModule
+from .scheduler import Schedule, elaborate
+from .time import ScaTime
+
+
+class Simulator:
+    """Executes a TDF cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.schedule: Optional[Schedule] = None
+        #: Simulated time at the start of the next period.
+        self.now = ScaTime.zero()
+        self.periods_run = 0
+        self.reelaborations = 0
+        self._initialized = False
+        #: Observers called after every period: ``(simulator)``.
+        self._period_hooks: List[Callable[["Simulator"], None]] = []
+
+    # -- observers --------------------------------------------------------
+
+    def add_period_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        """Run ``hook(self)`` after every completed cluster period."""
+        self._period_hooks.append(hook)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def elaborate(self) -> Schedule:
+        """(Re-)elaborate the cluster and return the fresh schedule."""
+        self.schedule = elaborate(self.cluster)
+        return self.schedule
+
+    def initialize(self) -> None:
+        """Elaborate (if needed), reset token buffers, run ``initialize()``."""
+        if self.schedule is None:
+            self.elaborate()
+        self.cluster.reset_signals()
+        for module in self.cluster.modules:
+            module.initialize()
+        self._initialized = True
+
+    # -- execution --------------------------------------------------------------
+
+    def run_period(self) -> None:
+        """Execute exactly one cluster period."""
+        if not self._initialized:
+            self.initialize()
+        assert self.schedule is not None
+        schedule = self.schedule
+        now = self.now
+        for module, offset in schedule.timed_firings:
+            module._activate(now + offset)
+        self.now = self.now + schedule.period
+        self.periods_run += 1
+        for hook in self._period_hooks:
+            hook(self)
+        self._handle_dynamic_tdf()
+
+    def _handle_dynamic_tdf(self) -> None:
+        """Run ``change_attributes()`` and re-elaborate on request."""
+        changed = False
+        for module in self.cluster.modules:
+            module.change_attributes()
+        for module in self.cluster.modules:
+            if module.has_pending_attribute_requests:
+                module.consume_attribute_requests()
+                changed = True
+        if changed:
+            # Re-elaboration keeps all token buffers: dynamic TDF changes
+            # timing, not data already in flight.  ``initial=False``
+            # skips set_attributes() so the requests just applied stand.
+            self.schedule = elaborate(self.cluster, initial=False)
+            self.reelaborations += 1
+
+    def run(self, duration: ScaTime) -> None:
+        """Run for (at least) ``duration`` of simulated time.
+
+        Whole periods are executed; simulation stops at the first period
+        boundary at or after ``start + duration``.
+        """
+        if not isinstance(duration, ScaTime) or duration.femtoseconds < 0:
+            raise SimulationError(
+                f"run() expects a non-negative ScaTime duration, got {duration!r}"
+            )
+        if not self._initialized:
+            self.initialize()
+        stop = self.now + duration
+        while self.now < stop:
+            before = self.now
+            self.run_period()
+            if self.now == before:
+                raise SimulationError(
+                    f"cluster {self.cluster.name!r} has a zero-length period; "
+                    f"check timestep assignments"
+                )
+
+    def run_periods(self, count: int) -> None:
+        """Run exactly ``count`` cluster periods."""
+        if count < 0:
+            raise SimulationError(f"period count must be >= 0, got {count}")
+        for _ in range(count):
+            self.run_period()
+
+    def finish(self) -> None:
+        """Signal end of simulation to every module."""
+        for module in self.cluster.modules:
+            module.end_of_simulation()
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator({self.cluster.name!r}, now={self.now}, "
+            f"periods={self.periods_run})"
+        )

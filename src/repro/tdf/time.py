@@ -1,0 +1,216 @@
+"""Time representation for the TDF kernel.
+
+SystemC represents time as an integer count of a global resolution unit
+(by default one femtosecond) precisely so that repeated accumulation of
+timesteps stays exact.  :class:`ScaTime` follows the same design: an
+immutable integer number of femtoseconds with arithmetic, comparison and
+pretty-printing, plus the usual unit constructors (:func:`fs` ...
+:func:`sec`).
+
+>>> ms(1) + us(500)
+ScaTime('1.5 ms')
+>>> (ms(1) / us(1))
+1000.0
+>>> ms(1) // us(250)
+4
+"""
+
+from __future__ import annotations
+
+import math
+from functools import total_ordering
+from typing import Union
+
+#: Number of femtoseconds per unit, indexed by unit name.
+_UNIT_FS = {
+    "fs": 1,
+    "ps": 10**3,
+    "ns": 10**6,
+    "us": 10**9,
+    "ms": 10**12,
+    "s": 10**15,
+}
+
+# Display order from coarsest to finest for __str__.
+_DISPLAY_UNITS = ("s", "ms", "us", "ns", "ps", "fs")
+
+Number = Union[int, float]
+
+
+@total_ordering
+class ScaTime:
+    """An exact, immutable point/duration in simulated time.
+
+    Internally an integer count of femtoseconds.  All arithmetic between
+    two :class:`ScaTime` values is exact; multiplying and dividing by
+    scalars rounds to the nearest femtosecond.
+    """
+
+    __slots__ = ("_fs",)
+
+    def __init__(self, value: Number = 0, unit: str = "fs") -> None:
+        if unit not in _UNIT_FS:
+            raise ValueError(f"unknown time unit {unit!r}; expected one of {sorted(_UNIT_FS)}")
+        if isinstance(value, float):
+            if not math.isfinite(value):
+                raise ValueError(f"time value must be finite, got {value!r}")
+            self._fs = round(value * _UNIT_FS[unit])
+        else:
+            self._fs = int(value) * _UNIT_FS[unit]
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_femtoseconds(cls, fs_count: int) -> "ScaTime":
+        """Build a time directly from an integer femtosecond count."""
+        t = cls.__new__(cls)
+        t._fs = int(fs_count)
+        return t
+
+    @classmethod
+    def zero(cls) -> "ScaTime":
+        """The zero time (additive identity)."""
+        return cls.from_femtoseconds(0)
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def femtoseconds(self) -> int:
+        """The exact integer femtosecond count."""
+        return self._fs
+
+    def to(self, unit: str) -> float:
+        """Value expressed in ``unit`` as a float (may lose precision)."""
+        if unit not in _UNIT_FS:
+            raise ValueError(f"unknown time unit {unit!r}")
+        return self._fs / _UNIT_FS[unit]
+
+    def to_seconds(self) -> float:
+        """Value in seconds as a float."""
+        return self.to("s")
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other: "ScaTime") -> "ScaTime":
+        if not isinstance(other, ScaTime):
+            return NotImplemented
+        return ScaTime.from_femtoseconds(self._fs + other._fs)
+
+    def __sub__(self, other: "ScaTime") -> "ScaTime":
+        if not isinstance(other, ScaTime):
+            return NotImplemented
+        return ScaTime.from_femtoseconds(self._fs - other._fs)
+
+    def __mul__(self, factor: Number) -> "ScaTime":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return ScaTime.from_femtoseconds(round(self._fs * factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["ScaTime", Number]):
+        if isinstance(other, ScaTime):
+            if other._fs == 0:
+                raise ZeroDivisionError("division by zero time")
+            return self._fs / other._fs
+        if isinstance(other, (int, float)):
+            if other == 0:
+                raise ZeroDivisionError("division of time by zero")
+            return ScaTime.from_femtoseconds(round(self._fs / other))
+        return NotImplemented
+
+    def __floordiv__(self, other: "ScaTime") -> int:
+        if not isinstance(other, ScaTime):
+            return NotImplemented
+        if other._fs == 0:
+            raise ZeroDivisionError("division by zero time")
+        return self._fs // other._fs
+
+    def __mod__(self, other: "ScaTime") -> "ScaTime":
+        if not isinstance(other, ScaTime):
+            return NotImplemented
+        if other._fs == 0:
+            raise ZeroDivisionError("modulo by zero time")
+        return ScaTime.from_femtoseconds(self._fs % other._fs)
+
+    def __neg__(self) -> "ScaTime":
+        return ScaTime.from_femtoseconds(-self._fs)
+
+    def __abs__(self) -> "ScaTime":
+        return ScaTime.from_femtoseconds(abs(self._fs))
+
+    def __bool__(self) -> bool:
+        return self._fs != 0
+
+    # -- comparisons ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScaTime):
+            return NotImplemented
+        return self._fs == other._fs
+
+    def __lt__(self, other: "ScaTime") -> bool:
+        if not isinstance(other, ScaTime):
+            return NotImplemented
+        return self._fs < other._fs
+
+    def __hash__(self) -> int:
+        return hash(("ScaTime", self._fs))
+
+    # -- formatting -----------------------------------------------------
+
+    def __str__(self) -> str:
+        if self._fs == 0:
+            return "0 s"
+        magnitude = abs(self._fs)
+        for unit in _DISPLAY_UNITS:
+            if magnitude >= _UNIT_FS[unit]:
+                value = self._fs / _UNIT_FS[unit]
+                # Trim trailing zeros while keeping exactness where possible.
+                if self._fs % _UNIT_FS[unit] == 0:
+                    return f"{self._fs // _UNIT_FS[unit]} {unit}"
+                return f"{value:g} {unit}"
+        return f"{self._fs} fs"
+
+    def __repr__(self) -> str:
+        return f"ScaTime({str(self)!r})"
+
+
+def fs(value: Number) -> ScaTime:
+    """``value`` femtoseconds."""
+    return ScaTime(value, "fs")
+
+
+def ps(value: Number) -> ScaTime:
+    """``value`` picoseconds."""
+    return ScaTime(value, "ps")
+
+
+def ns(value: Number) -> ScaTime:
+    """``value`` nanoseconds."""
+    return ScaTime(value, "ns")
+
+
+def us(value: Number) -> ScaTime:
+    """``value`` microseconds."""
+    return ScaTime(value, "us")
+
+
+def ms(value: Number) -> ScaTime:
+    """``value`` milliseconds."""
+    return ScaTime(value, "ms")
+
+
+def sec(value: Number) -> ScaTime:
+    """``value`` seconds."""
+    return ScaTime(value, "s")
+
+
+def gcd_time(a: ScaTime, b: ScaTime) -> ScaTime:
+    """Greatest common divisor of two times (exact, femtosecond-based)."""
+    return ScaTime.from_femtoseconds(math.gcd(a.femtoseconds, b.femtoseconds))
+
+
+def lcm_time(a: ScaTime, b: ScaTime) -> ScaTime:
+    """Least common multiple of two times (exact, femtosecond-based)."""
+    return ScaTime.from_femtoseconds(math.lcm(a.femtoseconds, b.femtoseconds))

@@ -1,0 +1,100 @@
+"""Signal tracing (the ``sca_trace`` analogue).
+
+:class:`Tracer` subscribes to signal writes and records ``(time,
+value)`` rows per signal.  Traces feed the examples' plots/dumps and
+give tests a way to assert on waveforms.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from .signal import Signal
+from .time import ScaTime
+
+Row = Tuple[Optional[ScaTime], Any]
+
+
+class Tracer:
+    """Records the sample stream of one or more signals."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, List[Row]] = {}
+        self._order: List[str] = []
+
+    def trace(self, signal: Signal, name: Optional[str] = None) -> None:
+        """Start recording ``signal`` (under ``name`` if given)."""
+        key = name or signal.name
+        if key in self._traces:
+            raise ValueError(f"already tracing a signal under name {key!r}")
+        self._traces[key] = []
+        self._order.append(key)
+
+        def observer(sig: Signal, index: int, value: Any, time: Optional[ScaTime]) -> None:
+            self._traces[key].append((time, value))
+
+        signal.add_write_observer(observer)
+
+    def names(self) -> List[str]:
+        """Traced signal names in registration order."""
+        return list(self._order)
+
+    def samples(self, name: str) -> List[Row]:
+        """All recorded ``(time, value)`` rows of ``name``."""
+        return list(self._traces[name])
+
+    def values(self, name: str) -> List[Any]:
+        """Just the values of ``name``, in sample order."""
+        return [value for _, value in self._traces[name]]
+
+    def last(self, name: str) -> Any:
+        """Most recent value of ``name``."""
+        rows = self._traces[name]
+        if not rows:
+            raise ValueError(f"no samples recorded for {name!r}")
+        return rows[-1][1]
+
+    def clear(self) -> None:
+        """Drop all recorded samples (keeps subscriptions)."""
+        for rows in self._traces.values():
+            rows.clear()
+
+    # -- tabular dump --------------------------------------------------------
+
+    def write_tabular(self, stream: TextIO, time_unit: str = "us") -> None:
+        """Write all traces as a whitespace-separated table.
+
+        One row per distinct sample time, one column per traced signal;
+        missing samples repeat the previous value (sample-and-hold),
+        matching the tabular trace format of SystemC-AMS.
+        """
+        times = sorted(
+            {
+                t.femtoseconds
+                for rows in self._traces.values()
+                for t, _ in rows
+                if t is not None
+            }
+        )
+        stream.write("time_" + time_unit + "\t" + "\t".join(self._order) + "\n")
+        held: Dict[str, Any] = {name: "" for name in self._order}
+        cursors = {name: 0 for name in self._order}
+        for t_fs in times:
+            for name in self._order:
+                rows = self._traces[name]
+                i = cursors[name]
+                while i < len(rows) and rows[i][0] is not None and rows[i][0].femtoseconds <= t_fs:
+                    held[name] = rows[i][1]
+                    i += 1
+                cursors[name] = i
+            t = ScaTime.from_femtoseconds(t_fs).to(time_unit)
+            stream.write(
+                f"{t:g}\t" + "\t".join(str(held[name]) for name in self._order) + "\n"
+            )
+
+    def to_tabular(self, time_unit: str = "us") -> str:
+        """Return the tabular dump as a string."""
+        buf = io.StringIO()
+        self.write_tabular(buf, time_unit)
+        return buf.getvalue()

@@ -1,0 +1,33 @@
+"""Testbench layer: stimuli, testcases and suites."""
+
+from .stimuli import (
+    Clip,
+    Constant,
+    Offset,
+    Pulse,
+    Pwl,
+    RampUpDown,
+    SeededNoise,
+    Sine,
+    Step,
+    Stimulus,
+    Sum,
+)
+from .testcase import TestCase, TestSuite, waveform_testcase
+
+__all__ = [
+    "Clip",
+    "Constant",
+    "Offset",
+    "Pulse",
+    "Pwl",
+    "RampUpDown",
+    "SeededNoise",
+    "Sine",
+    "Step",
+    "Stimulus",
+    "Sum",
+    "TestCase",
+    "TestSuite",
+    "waveform_testcase",
+]

@@ -1,0 +1,240 @@
+"""Test input signals (stimuli).
+
+A stimulus is a named waveform ``f(t_seconds) -> value`` installed on a
+:class:`~repro.tdf.library.sources.StimulusSource` by a testcase.  The
+paper's testcases are exactly such signals (e.g. TC2: "a time
+continuous signal from 0 V to 0.65 V and back to 0 V"); the classes
+below cover the waveform shapes both case studies need, plus seeded
+random stimuli standing in for the constrained-random generation the
+paper delegates to CRAVE.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class Stimulus:
+    """Base class: a named time-domain waveform."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+
+    def __call__(self, t: float) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Constant(Stimulus):
+    """A constant level (the paper's TC1/TC3 shape)."""
+
+    def __init__(self, value: float, name: str = "") -> None:
+        super().__init__(name or f"const({value})")
+        self.value = value
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+
+class Step(Stimulus):
+    """Steps from ``initial`` to ``final`` at ``at`` seconds."""
+
+    def __init__(self, initial: float, final: float, at: float, name: str = "") -> None:
+        super().__init__(name or f"step({initial}->{final}@{at})")
+        self.initial = initial
+        self.final = final
+        self.at = at
+
+    def __call__(self, t: float) -> float:
+        return self.final if t >= self.at else self.initial
+
+
+class RampUpDown(Stimulus):
+    """Ramp from ``lo`` to ``hi`` and back (the paper's TC2 shape).
+
+    Rises over ``[0, t_up]``, holds ``hi`` until ``t_hold_end``, falls
+    back to ``lo`` by ``t_end``, then stays at ``lo``.
+    """
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        t_up: float,
+        t_hold_end: float,
+        t_end: float,
+        name: str = "",
+    ) -> None:
+        if not 0 < t_up <= t_hold_end <= t_end:
+            raise ValueError(
+                f"need 0 < t_up <= t_hold_end <= t_end, got "
+                f"{t_up}, {t_hold_end}, {t_end}"
+            )
+        super().__init__(name or f"ramp({lo}<->{hi})")
+        self.lo = lo
+        self.hi = hi
+        self.t_up = t_up
+        self.t_hold_end = t_hold_end
+        self.t_end = t_end
+
+    def __call__(self, t: float) -> float:
+        if t < self.t_up:
+            return self.lo + (self.hi - self.lo) * (t / self.t_up)
+        if t < self.t_hold_end:
+            return self.hi
+        if t < self.t_end:
+            frac = (t - self.t_hold_end) / (self.t_end - self.t_hold_end)
+            return self.hi - (self.hi - self.lo) * frac
+        return self.lo
+
+
+class Sine(Stimulus):
+    """``offset + amplitude*sin(2*pi*f*t + phase)``."""
+
+    def __init__(
+        self,
+        amplitude: float,
+        frequency_hz: float,
+        offset: float = 0.0,
+        phase: float = 0.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or f"sine({amplitude}@{frequency_hz}Hz)")
+        self.amplitude = amplitude
+        self.frequency_hz = frequency_hz
+        self.offset = offset
+        self.phase = phase
+
+    def __call__(self, t: float) -> float:
+        return self.offset + self.amplitude * math.sin(
+            2 * math.pi * self.frequency_hz * t + self.phase
+        )
+
+
+class Pulse(Stimulus):
+    """Periodic rectangular pulse: ``hi`` for ``width`` of each ``period``."""
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        period: float,
+        width: float,
+        delay: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if period <= 0 or not 0 < width <= period:
+            raise ValueError(f"need period > 0 and 0 < width <= period")
+        super().__init__(name or f"pulse({lo}/{hi})")
+        self.lo = lo
+        self.hi = hi
+        self.period = period
+        self.width = width
+        self.delay = delay
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.lo
+        phase = (t - self.delay) % self.period
+        return self.hi if phase < self.width else self.lo
+
+
+class Pwl(Stimulus):
+    """Piecewise-linear waveform through ``(time, value)`` points."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]], name: str = "") -> None:
+        if len(points) < 1:
+            raise ValueError("PWL needs at least one point")
+        times = [t for t, _ in points]
+        if times != sorted(times):
+            raise ValueError("PWL points must be sorted by time")
+        super().__init__(name or "pwl")
+        self.points = [(float(t), float(v)) for t, v in points]
+
+    def __call__(self, t: float) -> float:
+        times = [p[0] for p in self.points]
+        i = bisect.bisect_right(times, t) - 1
+        if i < 0:
+            return self.points[0][1]
+        if i >= len(self.points) - 1:
+            return self.points[-1][1]
+        t0, v0 = self.points[i]
+        t1, v1 = self.points[i + 1]
+        if t1 == t0:
+            return v1
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+
+class SeededNoise(Stimulus):
+    """Uniform noise in ``[lo, hi]``, deterministic per seed and time.
+
+    Sampling is *stateless*: the value at time ``t`` is derived from
+    ``hash(seed, quantised t)``, so re-runs and out-of-order sampling
+    give identical waveforms (essential for reproducible coverage).
+    """
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        seed: int,
+        quantum: float = 1e-6,
+        name: str = "",
+    ) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        super().__init__(name or f"noise[{lo},{hi}]#{seed}")
+        self.lo = lo
+        self.hi = hi
+        self.seed = seed
+        self.quantum = quantum
+
+    def __call__(self, t: float) -> float:
+        tick = round(t / self.quantum)
+        rng = random.Random((self.seed << 32) ^ tick)
+        return self.lo + (self.hi - self.lo) * rng.random()
+
+
+class Offset(Stimulus):
+    """Adds a constant to another stimulus."""
+
+    def __init__(self, base: Stimulus, offset: float, name: str = "") -> None:
+        super().__init__(name or f"{base.name}+{offset}")
+        self.base = base
+        self.offset = offset
+
+    def __call__(self, t: float) -> float:
+        return self.base(t) + self.offset
+
+
+class Sum(Stimulus):
+    """Pointwise sum of several stimuli (e.g. signal + noise)."""
+
+    def __init__(self, parts: Sequence[Stimulus], name: str = "") -> None:
+        if not parts:
+            raise ValueError("Sum needs at least one stimulus")
+        super().__init__(name or "+".join(p.name for p in parts))
+        self.parts = list(parts)
+
+    def __call__(self, t: float) -> float:
+        return sum(p(t) for p in self.parts)
+
+
+class Clip(Stimulus):
+    """Clamps another stimulus into ``[lo, hi]``."""
+
+    def __init__(self, base: Stimulus, lo: float, hi: float, name: str = "") -> None:
+        if lo > hi:
+            raise ValueError(f"clip bounds inverted: {lo} > {hi}")
+        super().__init__(name or f"clip({base.name})")
+        self.base = base
+        self.lo = lo
+        self.hi = hi
+
+    def __call__(self, t: float) -> float:
+        return min(max(self.base(t), self.lo), self.hi)

@@ -1,0 +1,102 @@
+"""Testcases and testsuites.
+
+A :class:`TestCase` is one test input configuration: a simulated
+duration plus a setup callable that installs stimuli on the cluster's
+testbench sources (and may tweak any other testbench knob).  A
+:class:`TestSuite` is an ordered collection of testcases; suites are
+the unit the coverage pipeline executes and the iterative-refinement
+workflow grows (paper §VI: "Table II shows four iterations where 9
+testcases were added").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..tdf.cluster import Cluster
+from ..tdf.time import ScaTime
+
+
+SetupFn = Callable[[Cluster], None]
+
+
+@dataclass
+class TestCase:
+    """One test input signal applied for a fixed duration."""
+
+    #: Tell pytest this is a data type, not a test collection target.
+    __test__ = False
+
+    name: str
+    duration: ScaTime
+    setup: SetupFn
+    description: str = ""
+
+    def apply(self, cluster: Cluster) -> None:
+        """Install this testcase's stimuli on ``cluster``."""
+        self.setup(cluster)
+
+    def __repr__(self) -> str:
+        return f"TestCase({self.name!r}, {self.duration})"
+
+
+def waveform_testcase(
+    name: str,
+    duration: ScaTime,
+    waveforms: Dict[str, Callable[[float], float]],
+    description: str = "",
+) -> TestCase:
+    """Build a testcase that installs waveforms on named sources.
+
+    ``waveforms`` maps a :class:`StimulusSource` module name to the
+    waveform callable to install on it.
+    """
+
+    def setup(cluster: Cluster) -> None:
+        for source_name, waveform in waveforms.items():
+            cluster.module(source_name).set_waveform(waveform)  # type: ignore[attr-defined]
+
+    return TestCase(name=name, duration=duration, setup=setup, description=description)
+
+
+class TestSuite:
+    """An ordered, growable collection of testcases."""
+
+    #: Tell pytest this is a data type, not a test collection target.
+    __test__ = False
+
+    def __init__(self, name: str, testcases: Optional[Sequence[TestCase]] = None) -> None:
+        self.name = name
+        self._testcases: List[TestCase] = []
+        for tc in testcases or []:
+            self.add(tc)
+
+    def add(self, testcase: TestCase) -> None:
+        """Append a testcase; names must be unique within the suite."""
+        if any(tc.name == testcase.name for tc in self._testcases):
+            raise ValueError(f"suite {self.name!r} already has testcase {testcase.name!r}")
+        self._testcases.append(testcase)
+
+    def extend(self, testcases: Sequence[TestCase]) -> None:
+        """Append several testcases."""
+        for tc in testcases:
+            self.add(tc)
+
+    @property
+    def testcases(self) -> List[TestCase]:
+        """The testcases in order."""
+        return list(self._testcases)
+
+    def names(self) -> List[str]:
+        """The testcase names in order."""
+        return [tc.name for tc in self._testcases]
+
+    def __len__(self) -> int:
+        return len(self._testcases)
+
+    def __iter__(self) -> Iterator[TestCase]:
+        return iter(self._testcases)
+
+    def __repr__(self) -> str:
+        return f"TestSuite({self.name!r}, {len(self)} testcases)"

@@ -1,0 +1,99 @@
+"""Unit tests for the AST helper layer."""
+
+import ast
+
+import pytest
+
+from repro.analysis.astutils import (
+    KERNEL_ATTRS,
+    assigned_local_names,
+    get_source_info,
+    port_read_target,
+    port_write_target,
+    self_attribute,
+)
+from repro.tdf import TdfIn, TdfModule, TdfOut
+
+
+class Sample(TdfModule):
+    def __init__(self, name="sample"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+
+    def processing(self):
+        x = self.ip.read()
+        self.op.write(x)
+
+
+class TestGetSourceInfo:
+    def test_def_line_and_offsets(self):
+        import inspect
+
+        info = get_source_info(Sample("s").processing)
+        _, start = inspect.getsourcelines(Sample.processing)
+        assert info.def_line == start
+        # AST line 1 is the def statement itself.
+        assert info.absolute_line(1) == start
+
+    def test_registered_callable_resolved(self):
+        m = Sample("s")
+        m.register_processing(m.processing)
+        info = get_source_info(m.resolved_processing())
+        assert info.func.name == "processing"
+
+    def test_filename_points_at_test_module(self):
+        info = get_source_info(Sample("s").processing)
+        assert info.filename.endswith("test_astutils.py")
+
+
+def _expr(code):
+    return ast.parse(code, mode="eval").body
+
+
+class TestPatternHelpers:
+    def test_self_attribute(self):
+        assert self_attribute(_expr("self.m_x")) == "m_x"
+        assert self_attribute(_expr("other.m_x")) is None
+        assert self_attribute(_expr("self.a.b")) is None
+
+    def test_port_read_patterns(self):
+        assert port_read_target(_expr("self.ip.read()")) == "ip"
+        assert port_read_target(_expr("self.ip.read(2)")) == "ip"
+        assert port_read_target(_expr("self.ip()")) == "ip"
+        assert port_read_target(_expr("self.helper()")) == "helper"  # caller filters
+        assert port_read_target(_expr("foo()")) is None
+
+    def test_port_write_pattern(self):
+        assert port_write_target(_expr("self.op.write(1)")) == "op"
+        assert port_write_target(_expr("self.op.read()")) is None
+        assert port_write_target(_expr("queue.write(1)")) is None
+
+
+class TestAssignedLocalNames:
+    def _names(self, body):
+        code = "def f(self, param):\n" + "\n".join(
+            "    " + line for line in body.splitlines()
+        )
+        return assigned_local_names(ast.parse(code).body[0])
+
+    def test_parameters_included_self_excluded(self):
+        names = self._names("pass")
+        assert "param" in names
+        assert "self" not in names
+
+    def test_assignment_forms(self):
+        names = self._names(
+            "a = 1\nb, c = 1, 2\nd += 1\nfor i in a:\n    pass\n"
+            "with open(a) as fh:\n    pass"
+        )
+        assert {"a", "b", "c", "d", "i", "fh"} <= names
+
+    def test_free_names_excluded(self):
+        names = self._names("a = GLOBAL_CONST + 1")
+        assert "GLOBAL_CONST" not in names
+
+
+class TestKernelAttrs:
+    def test_kernel_plumbing_names_listed(self):
+        assert {"timestep", "name", "cluster"} <= KERNEL_ATTRS

@@ -1,0 +1,154 @@
+"""Unit tests for CFG construction."""
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import ENTRY, EXIT, Cfg, build_cfg
+
+
+def _cfg(body, in_ports=(), out_ports=()):
+    code = "def processing(self):\n" + "\n".join(
+        "    " + line for line in body.strip().splitlines()
+    )
+    func = ast.parse(code).body[0]
+    return build_cfg(func, set(in_ports), set(out_ports))
+
+
+def _labels(cfg):
+    return [n.label for n in cfg.real_nodes()]
+
+
+def _successors_by_label(cfg, label):
+    node = next(n for n in cfg.real_nodes() if n.label == label)
+    return {cfg.node(s).label or cfg.node(s).kind for s in cfg.succ[node.nid]}
+
+
+class TestStraightLine:
+    def test_sequential_chain(self):
+        cfg = _cfg("a = 1\nb = a\nc = b")
+        assert _labels(cfg) == ["assign", "assign", "assign"]
+        nodes = cfg.real_nodes()
+        assert cfg.succ[ENTRY] == {nodes[0].nid}
+        assert cfg.succ[nodes[0].nid] == {nodes[1].nid}
+        assert cfg.succ[nodes[2].nid] == {EXIT}
+
+    def test_empty_body_pass(self):
+        cfg = _cfg("pass")
+        assert len(cfg.real_nodes()) == 1
+        assert EXIT in cfg.succ[cfg.real_nodes()[0].nid]
+
+
+class TestBranches:
+    # Note: the body is wrapped in a ``def`` header, so source line N of
+    # the snippet is AST line N + 1.
+
+    def test_if_without_else_falls_through(self):
+        cfg = _cfg("if c:\n    x = 1\ny = 2")
+        branch = next(n for n in cfg.real_nodes() if n.label == "if")
+        then_node = next(n for n in cfg.real_nodes() if n.line == 3)
+        join = next(n for n in cfg.real_nodes() if n.line == 4)
+        assert cfg.succ[branch.nid] == {then_node.nid, join.nid}
+        assert cfg.succ[then_node.nid] == {join.nid}
+
+    def test_if_else_two_arms(self):
+        cfg = _cfg("if c:\n    x = 1\nelse:\n    x = 2\ny = x")
+        branch = next(n for n in cfg.real_nodes() if n.label == "if")
+        assert len(cfg.succ[branch.nid]) == 2
+        join = next(n for n in cfg.real_nodes() if n.line == 6)
+        preds = cfg.pred[join.nid]
+        assert len(preds) == 2
+
+    def test_elif_chain(self):
+        cfg = _cfg(
+            "if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\ny = x"
+        )
+        branches = [n for n in cfg.real_nodes() if n.label == "if"]
+        assert len(branches) == 2
+        join = next(n for n in cfg.real_nodes() if n.line == 8)
+        assert len(cfg.pred[join.nid]) == 3
+
+    def test_return_goes_to_exit(self):
+        cfg = _cfg("if c:\n    return\nx = 1")
+        ret = next(n for n in cfg.real_nodes() if n.label == "return")
+        assert cfg.succ[ret.nid] == {EXIT}
+
+    def test_code_after_return_unreachable_but_present(self):
+        cfg = _cfg("return\nx = 1")
+        dead = next(n for n in cfg.real_nodes() if n.label == "assign")
+        assert cfg.pred[dead.nid] == set()
+
+
+class TestLoops:
+    def test_while_back_edge(self):
+        cfg = _cfg("while c:\n    x = 1\ny = 2")
+        test = next(n for n in cfg.real_nodes() if n.label == "while")
+        body = next(n for n in cfg.real_nodes() if n.line == 3)
+        assert test.nid in cfg.succ[body.nid]
+        assert body.nid in cfg.succ[test.nid]
+
+    def test_while_break(self):
+        cfg = _cfg("while c:\n    if d:\n        break\n    x = 1\ny = 2")
+        brk = next(n for n in cfg.real_nodes() if n.label == "break")
+        after = next(n for n in cfg.real_nodes() if n.line == 6)
+        assert cfg.succ[brk.nid] == {after.nid}
+
+    def test_while_continue(self):
+        cfg = _cfg("while c:\n    if d:\n        continue\n    x = 1")
+        cont = next(n for n in cfg.real_nodes() if n.label == "continue")
+        test = next(n for n in cfg.real_nodes() if n.label == "while")
+        assert cfg.succ[cont.nid] == {test.nid}
+
+    def test_for_defs_target_uses_iter(self):
+        # ``items`` must be a local (assigned in the function) to count
+        # as a use; free names are treated as globals and ignored.
+        cfg = _cfg("items = f()\nfor i in items:\n    x = i")
+        loop = next(n for n in cfg.real_nodes() if n.label == "for")
+        def_names = {ref.name for ref, _ in loop.defuse.defs}
+        use_names = {ref.name for ref, _ in loop.defuse.uses}
+        assert def_names == {"i"}
+        assert use_names == {"items"}
+
+    def test_for_else(self):
+        cfg = _cfg("for i in items:\n    x = i\nelse:\n    y = 1\nz = 2")
+        else_node = next(n for n in cfg.real_nodes() if n.line == 5)
+        loop = next(n for n in cfg.real_nodes() if n.label == "for")
+        assert else_node.nid in cfg.succ[loop.nid]
+
+
+class TestMisc:
+    def test_with_statement(self):
+        cfg = _cfg("with open(f) as fh:\n    x = fh")
+        w = next(n for n in cfg.real_nodes() if n.label == "with")
+        assert {ref.name for ref, _ in w.defuse.defs} == {"fh"}
+
+    def test_try_except(self):
+        cfg = _cfg("try:\n    x = 1\nexcept ValueError:\n    x = 2\ny = x")
+        handler = next(n for n in cfg.real_nodes() if n.label == "except")
+        join = next(n for n in cfg.real_nodes() if n.line == 5)
+        assert join.nid in {
+            s for h in [handler] for s in _all_reachable(cfg, h.nid)
+        }
+
+    def test_exit_always_reachable(self):
+        cfg = _cfg("while True:\n    x = 1")
+        assert cfg.pred[EXIT]  # ENTRY->EXIT fallback edge
+
+    def test_wraparound_copy(self):
+        cfg = _cfg("x = 1")
+        wrapped = cfg.with_wraparound()
+        assert ENTRY in wrapped.succ[EXIT]
+        assert ENTRY not in cfg.succ[EXIT]
+        # Nodes are shared, edge sets are not.
+        assert wrapped.nodes is cfg.nodes
+
+
+def _all_reachable(cfg, start):
+    seen, stack = set(), [start]
+    while stack:
+        n = stack.pop()
+        for s in cfg.succ[n]:
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return seen

@@ -1,0 +1,219 @@
+"""Unit tests for the cluster-level static analysis (§V step 2)."""
+
+import pytest
+
+from repro.analysis import analyze_cluster
+from repro.core.associations import AssocClass, VarScope
+from repro.tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
+from repro.tdf.library import (
+    AdcTdf,
+    CollectorSink,
+    DelayTdf,
+    GainTdf,
+    StimulusSource,
+)
+
+from helpers import Passthrough
+
+
+def _by_class(result, klass):
+    return [a for a in result.associations if a.klass is klass]
+
+
+class TwoIn(TdfModule):
+    def __init__(self, name="twoin"):
+        super().__init__(name)
+        self.ip_a = TdfIn()
+        self.ip_b = TdfIn()
+        self.op = TdfOut()
+
+    def processing(self):
+        total = self.ip_a.read() + self.ip_b.read()
+        self.op.write(total)
+
+
+class TestStrongResolution:
+    def test_direct_connection_strong(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+                self.a = self.add(Passthrough("a"))
+                self.b = self.add(Passthrough("b"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.a.ip)
+                self.connect(self.a.op, self.b.ip)
+                self.connect(self.b.op, self.sink.ip)
+
+        result = analyze_cluster(Top("top"))
+        cross = [
+            a for a in result.associations
+            if a.var == "op" and a.def_model == "a" and a.use_model == "b"
+        ]
+        assert len(cross) == 1
+        assert cross[0].klass is AssocClass.STRONG
+
+    def test_placeholder_resolved_when_driven_internally(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+                self.a = self.add(Passthrough("a"))
+                self.b = self.add(Passthrough("b"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.a.ip)
+                self.connect(self.a.op, self.b.ip)
+                self.connect(self.b.op, self.sink.ip)
+
+        result = analyze_cluster(Top("top"))
+        # a.ip is testbench-driven: placeholder kept.
+        assert any(a.var == "ip" and a.def_model == "a" for a in result.associations)
+        # b.ip is driven by a: placeholder replaced by the cross pair.
+        placeholders_b = [
+            a for a in result.associations
+            if a.var == "ip" and a.def_model == "b" and a.use_model == "b"
+        ]
+        assert placeholders_b == []
+
+
+class TestPFirm:
+    def _top(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+                self.a = self.add(Passthrough("a"))
+                self.d = self.add(DelayTdf("d", 1))
+                self.m = self.add(TwoIn("m"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.a.ip)
+                sig = self.connect(self.a.op, self.m.ip_a)
+                self.d.ip.bind(sig)
+                self.connect(self.d.op, self.m.ip_b)
+                self.connect(self.m.op, self.sink.ip)
+
+        return Top("top")
+
+    def test_both_branches_pfirm(self):
+        result = analyze_cluster(self._top())
+        pfirm = _by_class(result, AssocClass.PFIRM)
+        assert len(pfirm) == 2
+        # Original branch: def in model a.
+        assert any(a.def_model == "a" for a in pfirm)
+        # Redefined branch: def anchored at the netlist (cluster name).
+        assert any(a.def_model == "top" for a in pfirm)
+
+    def test_redef_definition_registered_for_all_defs(self):
+        result = analyze_cluster(self._top())
+        redef_defs = [
+            d for d in result.definitions if d.location.model == "top"
+        ]
+        assert len(redef_defs) == 1
+
+
+class TestPWeak:
+    def test_only_redefined_branch(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+                self.a = self.add(Passthrough("a"))
+                self.g = self.add(GainTdf("g", 2.0))
+                self.b = self.add(Passthrough("b"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.a.ip)
+                self.connect(self.a.op, self.g.ip)
+                self.connect(self.g.op, self.b.ip)
+                self.connect(self.b.op, self.sink.ip)
+
+        result = analyze_cluster(Top("top"))
+        pweak = _by_class(result, AssocClass.PWEAK)
+        assert len(pweak) == 1
+        assert pweak[0].var == "op"
+        assert pweak[0].def_model == "top"
+        assert pweak[0].use_model == "b"
+
+    def test_opaque_consumer_anchors_at_bind_site(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+                self.a = self.add(Passthrough("a"))
+                self.g = self.add(GainTdf("g", 2.0))
+                self.adc = self.add(AdcTdf("adc"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.a.ip)
+                self.connect(self.a.op, self.g.ip)
+                self.connect(self.g.op, self.adc.adc_i)
+                self.connect(self.adc.adc_o, self.sink.ip)
+
+        result = analyze_cluster(Top("top"))
+        pweak = _by_class(result, AssocClass.PWEAK)
+        assert len(pweak) == 1
+        # ADC is a library component: its use anchors in the netlist.
+        assert pweak[0].use_model == "top"
+
+    def test_branches_to_different_models_classified_individually(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+                self.a = self.add(Passthrough("a"))
+                self.g = self.add(GainTdf("g", 2.0))
+                self.direct = self.add(Passthrough("direct"))
+                self.via_gain = self.add(Passthrough("via_gain"))
+                self.s1 = self.add(CollectorSink("s1"))
+                self.s2 = self.add(CollectorSink("s2"))
+                self.connect(self.src.op, self.a.ip)
+                sig = self.connect(self.a.op, self.direct.ip)
+                self.g.ip.bind(sig)
+                self.connect(self.g.op, self.via_gain.ip)
+                self.connect(self.direct.op, self.s1.ip)
+                self.connect(self.via_gain.op, self.s2.ip)
+
+        result = analyze_cluster(Top("top"))
+        strong_cross = [
+            a for a in _by_class(result, AssocClass.STRONG)
+            if a.def_model == "a" and a.use_model == "direct"
+        ]
+        pweak = _by_class(result, AssocClass.PWEAK)
+        assert len(strong_cross) == 1
+        assert len(pweak) == 1
+        assert pweak[0].use_model == "via_gain"
+        assert _by_class(result, AssocClass.PFIRM) == []
+
+
+class TestDiagnostics:
+    def test_undriven_inputs_reported(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.a = self.add(Passthrough("a"))
+                self.a.set_timestep(ms(1))
+                self.a.ip.bind(self.signal("floating"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.a.op, self.sink.ip)
+
+        result = analyze_cluster(Top("top"))
+        assert result.undriven_input_ports == ["a.ip"]
+        # The placeholder association survives (can never be resolved).
+        assert any(a.var == "ip" and a.def_model == "a" for a in result.associations)
+
+    def test_counts_by_class(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+                self.a = self.add(Passthrough("a"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.a.ip)
+                self.connect(self.a.op, self.sink.ip)
+
+        result = analyze_cluster(Top("top"))
+        counts = result.counts()
+        assert counts[AssocClass.STRONG] == len(result.associations)
+
+    def test_model_start_lines_exposed(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+                self.a = self.add(Passthrough("a"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.a.ip)
+                self.connect(self.a.op, self.sink.ip)
+
+        result = analyze_cluster(Top("top"))
+        assert "a" in result.model_start_lines
+        assert result.model_start_lines["a"] > 0

@@ -1,0 +1,134 @@
+"""Unit tests for def/use extraction from AST fragments."""
+
+import ast
+
+from repro.analysis.astutils import RefKind, VarRef
+from repro.analysis.defuse import extract
+
+
+def _extract(code, in_ports=(), out_ports=(), local_names=None):
+    tree = ast.parse(code)
+    if local_names is None:
+        # By default treat every plain name as a local.
+        local_names = {
+            n.id for n in ast.walk(tree) if isinstance(n, ast.Name) and n.id != "self"
+        }
+    return extract(tree, set(in_ports), set(out_ports), set(local_names))
+
+
+def _names(occurrences):
+    return [(ref.kind, ref.name) for ref, _ in occurrences]
+
+
+class TestLocals:
+    def test_assignment_defines_target_uses_value(self):
+        du = _extract("x = y + 1")
+        assert (RefKind.LOCAL, "x") in _names(du.defs)
+        assert (RefKind.LOCAL, "y") in _names(du.uses)
+
+    def test_augassign_both(self):
+        du = _extract("x += 2")
+        assert _names(du.defs) == [(RefKind.LOCAL, "x")]
+        assert _names(du.uses) == [(RefKind.LOCAL, "x")]
+
+    def test_tuple_unpacking_defines_all(self):
+        du = _extract("a, b = f(c)", local_names={"a", "b", "c"})
+        assert set(_names(du.defs)) == {(RefKind.LOCAL, "a"), (RefKind.LOCAL, "b")}
+        assert _names(du.uses) == [(RefKind.LOCAL, "c")]
+
+    def test_globals_ignored(self):
+        du = _extract("x = B1 * 42", local_names={"x"})
+        assert _names(du.uses) == []
+
+    def test_chained_assignment(self):
+        du = _extract("a = b = 1", local_names={"a", "b"})
+        assert set(_names(du.defs)) == {(RefKind.LOCAL, "a"), (RefKind.LOCAL, "b")}
+
+    def test_subscript_store_is_use_not_def(self):
+        du = _extract("a[i] = v", local_names={"a", "i", "v"})
+        assert (RefKind.LOCAL, "a") in _names(du.uses)
+        assert (RefKind.LOCAL, "a") not in _names(du.defs)
+
+    def test_lines_recorded(self):
+        du = _extract("x = 1\ny = x")
+        lines = {ref.name: line for ref, line in du.defs}
+        assert lines == {"x": 1, "y": 2}
+
+
+class TestMembers:
+    def test_member_store_and_load(self):
+        du = _extract("self.m_a = self.m_b")
+        assert _names(du.defs) == [(RefKind.MEMBER, "m_a")]
+        assert _names(du.uses) == [(RefKind.MEMBER, "m_b")]
+
+    def test_member_augassign(self):
+        du = _extract("self.m_x += 1")
+        assert _names(du.defs) == [(RefKind.MEMBER, "m_x")]
+        assert _names(du.uses) == [(RefKind.MEMBER, "m_x")]
+
+    def test_method_call_not_a_member_use(self):
+        du = _extract("self.helper(x)", local_names={"x"})
+        assert _names(du.uses) == [(RefKind.LOCAL, "x")]
+
+    def test_method_call_on_member_is_member_use(self):
+        du = _extract("self.m_history.append(x)", local_names={"x"})
+        assert (RefKind.MEMBER, "m_history") in _names(du.uses)
+
+    def test_kernel_attrs_excluded(self):
+        du = _extract("x = self.timestep", local_names={"x"})
+        assert _names(du.uses) == []
+
+
+class TestPorts:
+    def test_port_read_is_use(self):
+        du = _extract("x = self.ip_a.read()", in_ports={"ip_a"}, local_names={"x"})
+        assert _names(du.uses) == [(RefKind.IN_PORT, "ip_a")]
+
+    def test_port_call_shorthand_is_use(self):
+        du = _extract("x = self.ip_a()", in_ports={"ip_a"}, local_names={"x"})
+        assert _names(du.uses) == [(RefKind.IN_PORT, "ip_a")]
+
+    def test_port_write_is_def_args_are_uses(self):
+        du = _extract(
+            "self.op_y.write(x + self.m_z)",
+            out_ports={"op_y"},
+            local_names={"x"},
+        )
+        assert _names(du.defs) == [(RefKind.OUT_PORT, "op_y")]
+        assert set(_names(du.uses)) == {(RefKind.LOCAL, "x"), (RefKind.MEMBER, "m_z")}
+
+    def test_read_with_offset_argument(self):
+        du = _extract("x = self.ip_a.read(i)", in_ports={"ip_a"}, local_names={"x", "i"})
+        assert (RefKind.IN_PORT, "ip_a") in _names(du.uses)
+        assert (RefKind.LOCAL, "i") in _names(du.uses)
+
+    def test_unknown_port_name_not_port(self):
+        # 'read' on something that is not a declared port: member use.
+        du = _extract("x = self.m_q.read()", local_names={"x"})
+        assert (RefKind.MEMBER, "m_q") in _names(du.uses)
+
+    def test_bare_port_attribute_ignored(self):
+        du = _extract("f(self.ip_a)", in_ports={"ip_a"}, local_names=set())
+        assert du.uses == []
+        assert du.defs == []
+
+    def test_nested_read_inside_write(self):
+        du = _extract(
+            "self.op_y.write(self.ip_a.read() * 2)",
+            in_ports={"ip_a"},
+            out_ports={"op_y"},
+        )
+        assert _names(du.defs) == [(RefKind.OUT_PORT, "op_y")]
+        assert _names(du.uses) == [(RefKind.IN_PORT, "ip_a")]
+
+
+class TestEvaluationOrder:
+    def test_value_uses_before_target_defs(self):
+        du = _extract("x = x + 1")
+        # Use recorded before def (matters for most-recent-def matching).
+        assert _names(du.uses)[0] == (RefKind.LOCAL, "x")
+        assert _names(du.defs)[0] == (RefKind.LOCAL, "x")
+
+    def test_nested_functions_opaque(self):
+        du = _extract("def inner():\n    q = 1\n", local_names={"q"})
+        assert du.defs == []

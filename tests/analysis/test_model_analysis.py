@@ -1,0 +1,163 @@
+"""Unit tests for the intra-model static analysis."""
+
+import pytest
+
+from repro.analysis.model_analysis import analyze_model
+from repro.core.associations import AssocClass, VarScope
+from repro.tdf import TdfIn, TdfModule, TdfOut
+
+
+class Mixed(TdfModule):
+    """A model exercising locals, members, ports and branches."""
+
+    def __init__(self, name="mixed"):
+        super().__init__(name)
+        self.ip_a = TdfIn()
+        self.op_b = TdfOut()
+        self.m_state = 0
+
+    def processing(self):
+        raw = self.ip_a.read()
+        value = 0.0
+        if raw > 1:
+            value = raw * 2
+        self.m_state = self.m_state + 1
+        self.op_b.write(value)
+
+
+def _assocs(analysis, var):
+    return {
+        (a.definition.line - analysis.source.def_line,
+         a.use.line - analysis.source.def_line): a.klass
+        for a in analysis.associations
+        if a.var == var
+    }
+
+
+class TestLocals:
+    def test_local_pairs_classified(self):
+        analysis = analyze_model(Mixed())
+        # value = 0.0 (line +2) -> write (line +6): Firm (branch redefines).
+        # value = raw*2 (line +4) -> write: Strong.
+        pairs = _assocs(analysis, "value")
+        assert pairs[(2, 6)] is AssocClass.FIRM
+        assert pairs[(4, 6)] is AssocClass.STRONG
+
+    def test_local_scope_marked(self):
+        analysis = analyze_model(Mixed())
+        assoc = next(a for a in analysis.associations if a.var == "raw")
+        assert assoc.scope is VarScope.LOCAL
+
+
+class TestMembers:
+    def test_cross_activation_pair(self):
+        analysis = analyze_model(Mixed())
+        pairs = _assocs(analysis, "m_state")
+        # self.m_state = self.m_state + 1: the def at +5 reaches EXIT and
+        # the use at +5 of the *next* activation.
+        assert pairs == {(5, 5): AssocClass.STRONG}
+
+    def test_member_use_before_def_uses_boundary(self):
+        class Counter(TdfModule):
+            def __init__(self):
+                super().__init__("counter")
+                self.op = TdfOut()
+
+            def processing(self):
+                self.op.write(self.m_n)
+                self.m_n = self.m_n + 1
+
+        analysis = analyze_model(Counter())
+        pairs = _assocs(analysis, "m_n")
+        # def at +2 -> uses at +1 (next activation) and +2.
+        assert set(pairs) == {(2, 1), (2, 2)}
+        assert all(k is AssocClass.STRONG for k in pairs.values())
+
+    def test_paper_mux_state_machine_shape(self):
+        class Ctrl(TdfModule):
+            def __init__(self):
+                super().__init__("ctrl")
+                self.ip = TdfIn()
+                self.op = TdfOut()
+                self.m_s = 0
+
+            def processing(self):
+                if self.ip.read():
+                    if self.m_s == 1:
+                        self.m_s = 0
+                    else:
+                        self.m_s = 1
+                self.op.write(self.m_s)
+
+        analysis = analyze_model(Ctrl())
+        pairs = _assocs(analysis, "m_s")
+        # Each branch def reaches the write (+6) intra-activation and
+        # the condition (+2) across the boundary.
+        assert (3, 6) in pairs and (5, 6) in pairs
+        assert (3, 2) in pairs and (5, 2) in pairs
+        # Intra pairs are Strong (classified on intra paths only, like
+        # the paper's m_mux_s pairs in Table I).
+        assert pairs[(3, 6)] is AssocClass.STRONG
+        assert pairs[(5, 6)] is AssocClass.STRONG
+
+
+class TestPorts:
+    def test_in_port_placeholder(self):
+        analysis = analyze_model(Mixed())
+        ph = analysis.placeholder_associations
+        assert len(ph) == 1
+        assert ph[0].var == "ip_a"
+        # Def anchored at the ``def processing`` line.
+        assert ph[0].definition.line == analysis.source.def_line
+        assert ph[0].klass is AssocClass.STRONG
+
+    def test_out_port_def_site(self):
+        analysis = analyze_model(Mixed())
+        assert len(analysis.out_port_defs) == 1
+        site = analysis.out_port_defs[0]
+        assert site.port == "op_b"
+        assert site.model == "mixed"
+
+    def test_in_port_use_sites(self):
+        analysis = analyze_model(Mixed())
+        assert [u.port for u in analysis.in_port_uses] == ["ip_a"]
+
+    def test_dead_port_write_detected(self):
+        class Dead(TdfModule):
+            def __init__(self):
+                super().__init__("dead")
+                self.op = TdfOut()
+
+            def processing(self):
+                self.op.write(1)
+                self.op.write(2)
+
+        analysis = analyze_model(Dead())
+        # Both writes reach exit as far as tokens are concerned, but the
+        # reaching analysis kills the first: it becomes a dead write.
+        assert len(analysis.dead_port_writes) == 1
+        assert len(analysis.out_port_defs) == 1
+
+
+class TestRegisteredProcessing:
+    def test_register_processing_analyzed(self):
+        class Custom(TdfModule):
+            def __init__(self):
+                super().__init__("custom")
+                self.op = TdfOut()
+                self.register_processing(self.my_proc)
+
+            def my_proc(self):
+                tmp = 1
+                self.op.write(tmp)
+
+        analysis = analyze_model(Custom())
+        assert any(a.var == "tmp" for a in analysis.associations)
+        assert [d.port for d in analysis.out_port_defs] == ["op"]
+
+
+class TestDefinitions:
+    def test_every_def_site_recorded(self):
+        analysis = analyze_model(Mixed())
+        names = sorted({d.var for d in analysis.definitions})
+        assert names == ["m_state", "op_b", "raw", "value"]

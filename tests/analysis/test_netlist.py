@@ -1,0 +1,168 @@
+"""Unit tests for netlist traversal (binding-information extraction)."""
+
+from repro.analysis.netlist import origin_of, trace_branches
+from repro.tdf import Cluster, ms
+from repro.tdf.library import (
+    BufferTdf,
+    CollectorSink,
+    DelayTdf,
+    GainTdf,
+    StimulusSource,
+)
+
+from helpers import Passthrough
+
+
+def _build(wiring):
+    class Top(Cluster):
+        def architecture(self):
+            wiring(self)
+
+    return Top("top")
+
+
+class TestDirectBranches:
+    def test_single_direct_consumer(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+            top.b = top.add(Passthrough("b"))
+            top.connect(top.a.op, top.b.ip)
+
+        top = _build(wiring)
+        branches = trace_branches(top.a.op)
+        assert len(branches) == 1
+        assert branches[0].reader is top.b.ip
+        assert not branches[0].redefined
+
+    def test_fanout_multiple_consumers(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+            top.b = top.add(Passthrough("b"))
+            top.c = top.add(Passthrough("c"))
+            sig = top.connect(top.a.op, top.b.ip)
+            top.c.ip.bind(sig)
+
+        top = _build(wiring)
+        branches = trace_branches(top.a.op)
+        assert {b.module.name for b in branches} == {"b", "c"}
+
+    def test_testbench_consumers_skipped(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+            top.sink = top.add(CollectorSink("sink"))
+            top.connect(top.a.op, top.sink.ip)
+
+        top = _build(wiring)
+        assert trace_branches(top.a.op) == []
+
+    def test_unbound_port_no_branches(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+
+        top = _build(wiring)
+        assert trace_branches(top.a.op) == []
+
+
+class TestRedefinedBranches:
+    def test_gain_redefines(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+            top.g = top.add(GainTdf("g", 2.0))
+            top.b = top.add(Passthrough("b"))
+            top.connect(top.a.op, top.g.ip)
+            top.connect(top.g.op, top.b.ip)
+
+        top = _build(wiring)
+        branches = trace_branches(top.a.op)
+        assert len(branches) == 1
+        assert branches[0].redefined
+        assert branches[0].anchor.element == "g"
+
+    def test_chain_anchors_at_last_element(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+            top.g = top.add(GainTdf("g", 2.0))
+            top.d = top.add(DelayTdf("d", 1))
+            top.b = top.add(Passthrough("b"))
+            top.connect(top.a.op, top.g.ip)
+            top.connect(top.g.op, top.d.ip)
+            top.connect(top.d.op, top.b.ip)
+
+        top = _build(wiring)
+        branches = trace_branches(top.a.op)
+        assert branches[0].anchor.element == "d"
+
+    def test_mixed_branches(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+            top.d = top.add(DelayTdf("d", 1))
+            top.b = top.add(Passthrough("b2in"))
+            top.b.ip2 = __import__("repro.tdf.ports", fromlist=["TdfIn"]).TdfIn("ip2")
+            sig = top.connect(top.a.op, top.b.ip)
+            top.d.ip.bind(sig)
+            top.connect(top.d.op, top.b.ip2)
+
+        top = _build(wiring)
+        branches = trace_branches(top.a.op)
+        tags = {(b.reader.name, b.redefined) for b in branches}
+        assert tags == {("ip", False), ("ip2", True)}
+
+    def test_feedback_cycle_terminates(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+            top.d = top.add(DelayTdf("d", 1))
+            top.connect(top.a.op, top.d.ip)
+            top.connect(top.d.op, top.a.ip)
+
+        top = _build(wiring)
+        branches = trace_branches(top.a.op)
+        assert len(branches) == 1
+        assert branches[0].module.name == "a"
+        assert branches[0].redefined
+
+
+class TestOriginOf:
+    def test_direct_origin(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+            top.b = top.add(Passthrough("b"))
+            top.connect(top.a.op, top.b.ip)
+
+        top = _build(wiring)
+        origin = origin_of(top.b.ip)
+        assert origin is not None
+        driver, redefined, anchor = origin
+        assert driver is top.a.op
+        assert not redefined
+
+    def test_origin_through_redef_chain(self):
+        def wiring(top):
+            top.a = top.add(Passthrough("a"))
+            top.g = top.add(GainTdf("g", 2.0))
+            top.b = top.add(Passthrough("b"))
+            top.connect(top.a.op, top.g.ip)
+            top.connect(top.g.op, top.b.ip)
+
+        top = _build(wiring)
+        driver, redefined, anchor = origin_of(top.b.ip)
+        assert driver is top.a.op
+        assert redefined
+        assert anchor.element == "g"
+
+    def test_undriven_origin_none(self):
+        def wiring(top):
+            top.b = top.add(Passthrough("b"))
+            top.b.ip.bind(top.signal("floating"))
+
+        top = _build(wiring)
+        assert origin_of(top.b.ip) is None
+
+    def test_testbench_origin_returned(self):
+        def wiring(top):
+            top.src = top.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+            top.b = top.add(Passthrough("b"))
+            top.connect(top.src.op, top.b.ip)
+
+        top = _build(wiring)
+        driver, redefined, _ = origin_of(top.b.ip)
+        assert driver.module.TESTBENCH

@@ -1,0 +1,125 @@
+"""Property-based tests on static-analysis invariants.
+
+Random (but syntactically valid) processing bodies are generated from a
+small statement grammar; for each, the CFG/reaching/du-path machinery
+must uphold the structural invariants the rest of the system relies on.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import ENTRY, EXIT, build_cfg
+from repro.analysis.dupaths import has_non_du_path, transitive_closure
+from repro.analysis.reaching import reaching_definitions
+
+VARS = ["a", "b", "c"]
+
+
+@st.composite
+def _stmt(draw, depth=0):
+    kind = draw(st.sampled_from(
+        ["assign", "assign", "aug", "if", "while"] if depth < 2 else ["assign", "aug"]
+    ))
+    target = draw(st.sampled_from(VARS))
+    source = draw(st.sampled_from(VARS))
+    if kind == "assign":
+        return f"{target} = {source} + 1"
+    if kind == "aug":
+        return f"{target} += {source}"
+    body = draw(st.lists(_stmt(depth=depth + 1), min_size=1, max_size=3))
+    indented = "\n".join("    " + line for stmt in body for line in stmt.splitlines())
+    if kind == "if":
+        has_else = draw(st.booleans())
+        text = f"if {source} > 0:\n{indented}"
+        if has_else:
+            else_body = draw(st.lists(_stmt(depth=depth + 1), min_size=1, max_size=2))
+            else_ind = "\n".join(
+                "    " + line for stmt in else_body for line in stmt.splitlines()
+            )
+            text += f"\nelse:\n{else_ind}"
+        return text
+    return f"while {source} > {target}:\n{indented}"
+
+
+@st.composite
+def _body(draw):
+    prelude = [f"{name} = 0" for name in VARS]
+    stmts = draw(st.lists(_stmt(), min_size=1, max_size=5))
+    return "\n".join(prelude + stmts)
+
+
+def _analyze(body_text):
+    code = "def processing(self):\n" + "\n".join(
+        "    " + line for line in body_text.splitlines()
+    )
+    func = ast.parse(code).body[0]
+    cfg = build_cfg(func, set(), set())
+    return cfg, reaching_definitions(cfg)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_body())
+def test_cfg_structural_invariants(body_text):
+    cfg, _ = _analyze(body_text)
+    # Edges are symmetric between succ and pred.
+    for nid, succs in cfg.succ.items():
+        for s in succs:
+            assert nid in cfg.pred[s]
+    # ENTRY has no predecessors, EXIT no successors.
+    assert cfg.pred[ENTRY] == set()
+    assert cfg.succ[EXIT] == set()
+    # EXIT is reachable from ENTRY.
+    closure = transitive_closure(cfg)
+    assert EXIT in closure[ENTRY]
+
+
+@settings(max_examples=60, deadline=None)
+@given(_body())
+def test_reaching_invariants(body_text):
+    cfg, result = _analyze(body_text)
+    closure = transitive_closure(cfg)
+    node_defs = {
+        (ref, node.nid)
+        for node in cfg.nodes
+        for ref, _ in node.defuse.defs
+    }
+    for pair in result.pairs:
+        # Every pair's def site really defines the variable...
+        assert (pair.var, pair.def_node) in node_defs
+        # ...and the use node is reachable from the def node.
+        assert pair.use_node in closure[pair.def_node] or pair.use_node == pair.def_node
+    # Exit defs are a subset of all defs.
+    all_def_keys = {(d.var, d.node) for d in result.all_defs}
+    for d in result.exit_defs:
+        assert (d.var, d.node) in all_def_keys
+
+
+@settings(max_examples=60, deadline=None)
+@given(_body())
+def test_dupath_classification_is_total(body_text):
+    """Strong/Firm classification never errors and is deterministic."""
+    cfg, result = _analyze(body_text)
+    closure = transitive_closure(cfg)
+    verdicts = {}
+    for pair in result.pairs:
+        firm = has_non_du_path(pair, result.def_nodes.get(pair.var, set()), closure)
+        verdicts[pair] = firm
+    # Re-running yields the same verdicts (pure function of the CFG).
+    for pair in result.pairs:
+        assert verdicts[pair] == has_non_du_path(
+            pair, result.def_nodes.get(pair.var, set()), closure
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_body())
+def test_single_def_straightline_vars_are_strong(body_text):
+    """A variable defined exactly once can never be Firm."""
+    cfg, result = _analyze(body_text)
+    closure = transitive_closure(cfg)
+    for pair in result.pairs:
+        def_nodes = result.def_nodes.get(pair.var, set())
+        if len(def_nodes) == 1 and pair.def_node not in closure[pair.def_node]:
+            assert not has_non_du_path(pair, def_nodes, closure)

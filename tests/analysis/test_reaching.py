@@ -1,0 +1,107 @@
+"""Unit tests for reaching definitions and node-level pairing."""
+
+import ast
+
+from repro.analysis.astutils import RefKind, VarRef
+from repro.analysis.cfg import ENTRY, EXIT, build_cfg
+from repro.analysis.reaching import reaching_definitions
+
+
+def _analyze(body, in_ports=(), out_ports=(), entry_defs=None):
+    code = "def processing(self):\n" + "\n".join(
+        "    " + line for line in body.strip().splitlines()
+    )
+    func = ast.parse(code).body[0]
+    cfg = build_cfg(func, set(in_ports), set(out_ports))
+    return cfg, reaching_definitions(cfg, entry_defs or {})
+
+
+def _pair_lines(result, var):
+    return {
+        (p.def_line, p.use_line)
+        for p in result.pairs
+        if p.var.name == var
+    }
+
+
+class TestStraightLine:
+    def test_simple_pair(self):
+        _, r = _analyze("x = 1\ny = x")
+        assert _pair_lines(r, "x") == {(2, 3)}
+
+    def test_kill_between(self):
+        _, r = _analyze("x = 1\nx = 2\ny = x")
+        assert _pair_lines(r, "x") == {(3, 4)}
+
+    def test_self_reference_pairs_with_previous_def(self):
+        _, r = _analyze("x = 1\nx = x + 1")
+        assert _pair_lines(r, "x") == {(2, 3)}
+
+
+class TestBranching:
+    def test_both_branch_defs_reach_join(self):
+        _, r = _analyze("if c:\n    x = 1\nelse:\n    x = 2\ny = x")
+        assert _pair_lines(r, "x") == {(3, 6), (5, 6)}
+
+    def test_def_before_if_survives_one_arm(self):
+        _, r = _analyze("x = 1\nif c:\n    x = 2\ny = x")
+        assert _pair_lines(r, "x") == {(2, 5), (4, 5)}
+
+    def test_loop_def_reaches_condition(self):
+        _, r = _analyze("x = 0\nwhile x:\n    x = x - 1")
+        # Both the initial def and the loop-body def reach the test and
+        # the body use.
+        assert (2, 3) in _pair_lines(r, "x")
+        assert (4, 3) in _pair_lines(r, "x")
+        assert (4, 4) in _pair_lines(r, "x")
+
+
+class TestExitDefs:
+    def test_defs_reaching_exit(self):
+        _, r = _analyze("x = 1\nif c:\n    x = 2")
+        exit_lines = {d.line for d in r.exit_defs if d.var.name == "x"}
+        assert exit_lines == {2, 4}
+
+    def test_killed_def_does_not_reach_exit(self):
+        _, r = _analyze("x = 1\nx = 2")
+        exit_lines = {d.line for d in r.exit_defs if d.var.name == "x"}
+        assert exit_lines == {3}
+
+    def test_port_def_reaching_exit(self):
+        _, r = _analyze("self.op.write(1)", out_ports={"op"})
+        assert any(
+            d.var.kind is RefKind.OUT_PORT and d.var.name == "op"
+            for d in r.exit_defs
+        )
+
+
+class TestEntryDefs:
+    def test_entry_def_pairs_with_first_use(self):
+        ref = VarRef(RefKind.IN_PORT, "ip")
+        _, r = _analyze("x = self.ip.read()", in_ports={"ip"}, entry_defs={ref: 1})
+        pairs = [p for p in r.pairs if p.var == ref]
+        assert len(pairs) == 1
+        assert pairs[0].def_node == ENTRY
+        assert pairs[0].def_line == 1
+
+    def test_entry_def_for_member_marker(self):
+        ref = VarRef(RefKind.MEMBER, "m_s")
+        _, r = _analyze(
+            "y = self.m_s\nself.m_s = 1", entry_defs={ref: -1}
+        )
+        # The use at line 2 sees the entry def; after the redefinition
+        # there is no further use.
+        marker_pairs = [p for p in r.pairs if p.var == ref and p.def_node == ENTRY]
+        assert [(p.def_line, p.use_line) for p in marker_pairs] == [(-1, 2)]
+
+
+class TestDefNodes:
+    def test_def_nodes_collects_all_sites(self):
+        cfg, r = _analyze("x = 1\nif c:\n    x = 2")
+        ref = VarRef(RefKind.LOCAL, "x")
+        assert len(r.def_nodes[ref]) == 2
+
+    def test_all_defs_excludes_duplicates(self):
+        _, r = _analyze("x = 1\ny = 2")
+        names = [d.var.name for d in r.all_defs]
+        assert sorted(names) == ["x", "y"]

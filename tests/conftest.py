@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.tdf import Cluster, ms
+
+# Make the shared test helpers importable from every test subdirectory.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from helpers import Accumulator, Doubler, Passthrough  # noqa: E402,F401
+
+
+@pytest.fixture
+def passthrough_cluster():
+    """source -> passthrough -> sink, 1 ms timestep."""
+    from repro.tdf.library import CollectorSink, ConstantSource
+
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(ConstantSource("src", 1.5, timestep=ms(1)))
+            self.dut = self.add(Passthrough("dut"))
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.dut.ip)
+            self.connect(self.dut.op, self.sink.ip)
+
+    return Top("top")

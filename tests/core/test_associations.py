@@ -1,0 +1,69 @@
+"""Unit tests for the association data model."""
+
+from repro.core.associations import (
+    AssocClass,
+    Association,
+    Definition,
+    ExercisedPair,
+    SourceLocation,
+    VarScope,
+)
+
+
+def _assoc(var="x", dm="m1", dl=10, um="m2", ul=20, klass=AssocClass.STRONG):
+    return Association(
+        var=var,
+        definition=SourceLocation(model=dm, line=dl),
+        use=SourceLocation(model=um, line=ul),
+        klass=klass,
+        scope=VarScope.PORT,
+    )
+
+
+class TestSourceLocation:
+    def test_equality_ignores_file(self):
+        a = SourceLocation(model="m", line=5, file="/a.py")
+        b = SourceLocation(model="m", line=5, file="/b.py")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_paper_str_format(self):
+        assert str(SourceLocation(model="TS", line=13)) == "13, TS"
+
+
+class TestAssociation:
+    def test_key_matches_exercised_pair_key(self):
+        assoc = _assoc()
+        pair = ExercisedPair("x", "m1", 10, "m2", 20, "tc1")
+        assert assoc.key == pair.key
+
+    def test_paper_tuple_format(self):
+        assert str(_assoc("op_intr", "TS", 13, "ctrl", 43)) == (
+            "(op_intr, 13, TS, 43, ctrl)"
+        )
+
+    def test_model_accessors(self):
+        assoc = _assoc()
+        assert assoc.def_model == "m1"
+        assert assoc.use_model == "m2"
+
+    def test_hashable_and_distinct(self):
+        assert len({_assoc(), _assoc(ul=21), _assoc()}) == 2
+
+
+class TestDefinition:
+    def test_key(self):
+        d = Definition("x", SourceLocation(model="m", line=3), VarScope.LOCAL)
+        assert d.key == ("x", "m", 3)
+
+    def test_str(self):
+        d = Definition("x", SourceLocation(model="m", line=3), VarScope.LOCAL)
+        assert "x" in str(d) and "3, m" in str(d)
+
+
+class TestEnums:
+    def test_class_values_match_paper_names(self):
+        assert [k.value for k in AssocClass] == ["Strong", "Firm", "PFirm", "PWeak"]
+
+    def test_scope_values(self):
+        assert {s.value for s in VarScope} == {"local", "member", "port"}

@@ -1,0 +1,124 @@
+"""Unit tests for the six adequacy criteria."""
+
+import pytest
+
+from repro.analysis.cluster_analysis import StaticAnalysisResult
+from repro.core.associations import (
+    AssocClass,
+    Association,
+    Definition,
+    SourceLocation,
+    VarScope,
+)
+from repro.core.coverage import CoverageResult
+from repro.core.criteria import (
+    Criterion,
+    detailed_status,
+    evaluate_all,
+    satisfied,
+)
+from repro.instrument.matching import MatchResult
+from repro.instrument.runner import DynamicResult
+
+
+def _assoc(var, dl, klass):
+    return Association(
+        var=var,
+        definition=SourceLocation(model="m", line=dl),
+        use=SourceLocation(model="m", line=dl + 1),
+        klass=klass,
+        scope=VarScope.LOCAL,
+    )
+
+
+def _coverage(assocs, covered_keys):
+    static = StaticAnalysisResult(cluster="top")
+    static.associations = assocs
+    static.definitions = [
+        Definition(a.var, a.definition, a.scope) for a in assocs
+    ]
+    dynamic = DynamicResult()
+    match = MatchResult(testcase="t")
+    match.pairs = set(covered_keys)
+    dynamic.per_testcase["t"] = match
+    return CoverageResult(static, dynamic)
+
+
+class TestClassCriteria:
+    def test_all_strong_requires_every_strong(self):
+        a1 = _assoc("a", 1, AssocClass.STRONG)
+        a2 = _assoc("b", 3, AssocClass.STRONG)
+        cov = _coverage([a1, a2], {a1.key})
+        assert not satisfied(Criterion.ALL_STRONG, cov)
+        cov2 = _coverage([a1, a2], {a1.key, a2.key})
+        assert satisfied(Criterion.ALL_STRONG, cov2)
+
+    def test_empty_class_trivially_satisfied(self):
+        a1 = _assoc("a", 1, AssocClass.STRONG)
+        cov = _coverage([a1], {a1.key})
+        assert satisfied(Criterion.ALL_PFIRM, cov)
+        assert satisfied(Criterion.ALL_PWEAK, cov)
+
+    def test_criteria_are_independent(self):
+        strong = _assoc("a", 1, AssocClass.STRONG)
+        pweak = _assoc("d", 7, AssocClass.PWEAK)
+        cov = _coverage([strong, pweak], {pweak.key})
+        assert satisfied(Criterion.ALL_PWEAK, cov)
+        assert not satisfied(Criterion.ALL_STRONG, cov)
+
+
+class TestAllDefs:
+    def test_one_association_per_def_suffices(self):
+        # Two associations share the def at line 1.
+        a1 = Association(
+            "x", SourceLocation(model="m", line=1),
+            SourceLocation(model="m", line=5), AssocClass.STRONG, VarScope.LOCAL,
+        )
+        a2 = Association(
+            "x", SourceLocation(model="m", line=1),
+            SourceLocation(model="m", line=9), AssocClass.FIRM, VarScope.LOCAL,
+        )
+        cov = _coverage([a1, a2], {a1.key})
+        assert satisfied(Criterion.ALL_DEFS, cov)
+        assert not satisfied(Criterion.ALL_FIRM, cov)
+
+    def test_uncovered_def_fails(self):
+        a1 = _assoc("a", 1, AssocClass.STRONG)
+        a2 = _assoc("b", 3, AssocClass.STRONG)
+        cov = _coverage([a1, a2], {a1.key})
+        assert not satisfied(Criterion.ALL_DEFS, cov)
+
+
+class TestAllDataflow:
+    def test_conjunction_of_everything(self):
+        assocs = [
+            _assoc("a", 1, AssocClass.STRONG),
+            _assoc("b", 3, AssocClass.FIRM),
+            _assoc("c", 5, AssocClass.PFIRM),
+            _assoc("d", 7, AssocClass.PWEAK),
+        ]
+        cov_all = _coverage(assocs, {a.key for a in assocs})
+        assert satisfied(Criterion.ALL_DATAFLOW, cov_all)
+        cov_partial = _coverage(assocs, {assocs[0].key})
+        assert not satisfied(Criterion.ALL_DATAFLOW, cov_partial)
+
+
+class TestEvaluateAll:
+    def test_returns_every_criterion(self):
+        cov = _coverage([_assoc("a", 1, AssocClass.STRONG)], set())
+        results = evaluate_all(cov)
+        assert set(results) == set(Criterion)
+
+    def test_detailed_status_counts(self):
+        a1 = _assoc("a", 1, AssocClass.STRONG)
+        a2 = _assoc("b", 3, AssocClass.STRONG)
+        cov = _coverage([a1, a2], {a1.key})
+        rows = {s.criterion: s for s in detailed_status(cov)}
+        assert rows[Criterion.ALL_STRONG].covered == 1
+        assert rows[Criterion.ALL_STRONG].total == 2
+        assert rows[Criterion.ALL_DEFS].total == 2
+
+    def test_unknown_criterion_rejected(self):
+        cov = _coverage([], set())
+        with pytest.raises(ValueError):
+            satisfied("not-a-criterion", cov)

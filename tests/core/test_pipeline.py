@@ -1,0 +1,90 @@
+"""Tests for the end-to-end pipeline on a small cluster."""
+
+import pytest
+
+from repro.core import AssocClass, Criterion, evaluate_all, run_dft
+from repro.tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
+from repro.tdf.library import CollectorSink, DelayTdf, StimulusSource
+from repro.testing import TestCase, TestSuite
+
+
+class Thresholder(TdfModule):
+    """Writes 1 above the threshold, 0 below (two exclusive branches)."""
+
+    def __init__(self, name="thresh"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+
+    def processing(self):
+        level = 0.0
+        if self.ip.read() > 1.0:
+            level = 1.0
+        self.op.write(level)
+
+
+def _factory():
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+            self.dut = self.add(Thresholder())
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.dut.ip)
+            self.connect(self.dut.op, self.sink.ip)
+
+    return Top("top")
+
+
+def _tc(name, value):
+    return TestCase(
+        name, ms(3), lambda c: c.module("src").set_waveform(lambda t: value)
+    )
+
+
+class TestPipeline:
+    def test_stages_and_timings(self):
+        result = run_dft(_factory, TestSuite("s", [_tc("lo", 0.0)]))
+        assert set(result.timings) == {"static", "dynamic", "coverage"}
+        assert all(t >= 0 for t in result.timings.values())
+
+    def test_coverage_grows_with_testcases(self):
+        low_only = run_dft(_factory, TestSuite("s", [_tc("lo", 0.0)]))
+        both = run_dft(_factory, TestSuite("s", [_tc("lo", 0.0), _tc("hi", 5.0)]))
+        assert both.coverage.exercised_total > low_only.coverage.exercised_total
+
+    def test_branch_coverage_semantics(self):
+        """The Firm pair (level=0 -> write) needs the low branch; the
+        Strong pair (level=1 -> write) needs the high branch."""
+        low = run_dft(_factory, TestSuite("s", [_tc("lo", 0.0)]))
+        firm = [a for a in low.static.associations if a.klass is AssocClass.FIRM]
+        assert len(firm) == 1
+        assert low.coverage.is_covered(firm[0])
+        strong_local = [
+            a for a in low.static.associations
+            if a.klass is AssocClass.STRONG and a.var == "level"
+        ]
+        assert len(strong_local) == 1
+        assert not low.coverage.is_covered(strong_local[0])
+
+        high = run_dft(_factory, TestSuite("s", [_tc("hi", 5.0)]))
+        strong_local_hi = next(
+            a for a in high.static.associations
+            if a.klass is AssocClass.STRONG and a.var == "level"
+        )
+        assert high.coverage.is_covered(strong_local_hi)
+
+    def test_all_dataflow_with_complete_suite(self):
+        result = run_dft(
+            _factory, TestSuite("s", [_tc("lo", 0.0), _tc("hi", 5.0)])
+        )
+        verdicts = evaluate_all(result.coverage)
+        assert verdicts[Criterion.ALL_DATAFLOW]
+
+    def test_deterministic_across_runs(self):
+        suite = TestSuite("s", [_tc("lo", 0.0), _tc("hi", 5.0)])
+        r1 = run_dft(_factory, suite)
+        r2 = run_dft(_factory, suite)
+        assert {a.key for a in r1.static.associations} == {
+            a.key for a in r2.static.associations
+        }
+        assert r1.dynamic.exercised_keys() == r2.dynamic.exercised_keys()

@@ -1,0 +1,86 @@
+"""Tests for the iterative-refinement campaign."""
+
+import pytest
+
+from repro.core import AssocClass, IterativeCampaign
+from repro.tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
+from repro.tdf.library import CollectorSink, StimulusSource
+from repro.testing import TestCase
+
+
+class ThreeWay(TdfModule):
+    """Three exclusive branches selected by the input level."""
+
+    def __init__(self, name="threeway"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+
+    def processing(self):
+        v = self.ip.read()
+        out = 0.0
+        if v > 2.0:
+            out = 2.0
+        elif v > 1.0:
+            out = 1.0
+        self.op.write(out)
+
+
+def _factory():
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+            self.dut = self.add(ThreeWay())
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.dut.ip)
+            self.connect(self.dut.op, self.sink.ip)
+
+    return Top("top")
+
+
+def _tc(name, value):
+    return TestCase(
+        name, ms(2), lambda c: c.module("src").set_waveform(lambda t: value)
+    )
+
+
+class TestCampaign:
+    def _campaign(self):
+        campaign = IterativeCampaign(_factory, [_tc("lo", 0.0)], name="w")
+        campaign.add_iteration([_tc("mid", 1.5)])
+        campaign.add_iteration([_tc("hi", 3.0)])
+        return campaign
+
+    def test_iteration_count_and_suites(self):
+        campaign = self._campaign()
+        assert campaign.iteration_count == 3
+        assert campaign.suite_for(0).names() == ["lo"]
+        assert campaign.suite_for(2).names() == ["lo", "mid", "hi"]
+
+    def test_suite_for_out_of_range(self):
+        with pytest.raises(IndexError):
+            self._campaign().suite_for(5)
+
+    def test_monotone_coverage_growth(self):
+        records = self._campaign().run()
+        counts = [r.exercised_total for r in records]
+        assert counts == sorted(counts)
+        assert counts[0] < counts[-1]
+
+    def test_static_universe_constant(self):
+        records = self._campaign().run()
+        totals = {r.static_total for r in records}
+        assert len(totals) == 1
+
+    def test_record_fields(self):
+        records = self._campaign().run()
+        assert [r.index for r in records] == [0, 1, 2]
+        assert [r.tests for r in records] == [1, 2, 3]
+        for record in records:
+            assert set(record.class_percent) == set(AssocClass)
+            assert 0.0 <= record.overall_percent <= 100.0
+
+    def test_empty_iteration_rejected(self):
+        campaign = IterativeCampaign(_factory, [_tc("lo", 0.0)])
+        with pytest.raises(ValueError):
+            campaign.add_iteration([])

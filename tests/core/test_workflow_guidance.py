@@ -1,0 +1,80 @@
+"""Tests for report-guided refinement on a real (small) system.
+
+Ties the workflow layer to the guidance semantics: the ranked missed
+report of iteration N names the associations the next batch should
+target, and covering them is visible in iteration N+1's record.
+"""
+
+import pytest
+
+from repro.core import AssocClass, IterativeCampaign
+from repro.tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
+from repro.tdf.library import CollectorSink, StimulusSource
+from repro.testing import TestCase
+
+
+class Classifier(TdfModule):
+    """Maps the input level to one of four bands."""
+
+    def __init__(self, name="classifier"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+
+    def processing(self):
+        level = self.ip.read()
+        band = 0
+        if level > 3.0:
+            band = 3
+        elif level > 2.0:
+            band = 2
+        elif level > 1.0:
+            band = 1
+        self.op.write(band)
+
+
+def _factory():
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+            self.dut = self.add(Classifier())
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.dut.ip)
+            self.connect(self.dut.op, self.sink.ip)
+
+    return Top("top")
+
+
+def _tc(name, value):
+    return TestCase(name, ms(2), lambda c: c.module("src").set_waveform(lambda t: value))
+
+
+class TestGuidedRefinement:
+    def test_missed_report_names_next_targets(self):
+        campaign = IterativeCampaign(_factory, [_tc("band0", 0.5)])
+        campaign.add_iteration([_tc("band2", 2.5)])
+        campaign.add_iteration([_tc("band3", 3.5), _tc("band1", 1.5)])
+        records = campaign.run()
+
+        # Iteration 0 misses the band=1..3 defs.
+        missed_0 = {a.definition.line for a in records[0].coverage.missed()
+                    if a.var == "band"}
+        assert len(missed_0) == 3
+
+        # Iteration 1 covers the band=2 def the added test targets.
+        missed_1 = {a.definition.line for a in records[1].coverage.missed()
+                    if a.var == "band"}
+        assert len(missed_1) == 2
+        assert missed_1 < missed_0
+
+        # Final iteration covers every band def.
+        assert not [a for a in records[2].coverage.missed() if a.var == "band"]
+
+    def test_band0_def_is_firm_rest_strong(self):
+        campaign = IterativeCampaign(_factory, [_tc("band0", 0.5)])
+        records = campaign.run()
+        bands = [a for a in records[0].coverage.associations if a.var == "band"]
+        klasses = sorted(a.klass.value for a in bands)
+        # band=0 initialisation may be overwritten on three paths -> Firm;
+        # the three branch defs are Strong.
+        assert klasses == ["Firm", "Strong", "Strong", "Strong"]

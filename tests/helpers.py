@@ -1,0 +1,47 @@
+"""Tiny reference models shared across the test suite."""
+
+from __future__ import annotations
+
+from repro.tdf import TdfIn, TdfModule, TdfOut
+
+
+class Passthrough(TdfModule):
+    """Copies input to output (the simplest analysable model)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+
+    def processing(self) -> None:
+        value = self.ip.read()
+        self.op.write(value)
+
+
+class Doubler(TdfModule):
+    """Multiplies the input by two."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+
+    def processing(self) -> None:
+        self.op.write(self.ip.read() * 2)
+
+
+class Accumulator(TdfModule):
+    """Keeps a running sum in a member variable."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_total = 0.0
+
+    def initialize(self) -> None:
+        self.m_total = 0.0
+
+    def processing(self) -> None:
+        self.m_total = self.m_total + self.ip.read()
+        self.op.write(self.m_total)

@@ -1,0 +1,183 @@
+"""Unit tests for the AST instrumenter."""
+
+import pytest
+
+from repro.instrument.instrumenter import instrument_processing, restore_processing
+from repro.instrument.probes import ProbeRuntime
+from repro.tdf import Cluster, Simulator, TdfIn, TdfModule, TdfOut, ms
+from repro.tdf.library import CollectorSink, ConstantSource
+
+
+class Sample(TdfModule):
+    def __init__(self, name="sample"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_total = 0.0
+
+    def processing(self):
+        value = self.ip.read()
+        if value > 0:
+            self.m_total = self.m_total + value
+        self.op.write(self.m_total)
+
+
+def _run(module_cls=Sample, periods=3, src_value=2.0):
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(ConstantSource("src", src_value, timestep=ms(1)))
+            self.dut = self.add(module_cls())
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.dut.ip)
+            self.connect(self.dut.op, self.sink.ip)
+
+    top = Top("top")
+    probe = ProbeRuntime("top")
+    instrument_processing(top.dut, probe)
+    Simulator(top).run_periods(periods)
+    return top, probe
+
+
+class TestBehaviourPreservation:
+    def test_instrumented_output_identical(self):
+        top, _ = _run()
+        assert top.sink.values() == [2.0, 4.0, 6.0]
+
+    def test_only_instance_affected(self):
+        top, _ = _run()
+        other = Sample("other")
+        # The class method must be untouched.
+        assert other._processing_fn is None
+
+    def test_restore_processing(self):
+        top, probe = _run()
+        restore_processing(top.dut, None)
+        assert top.dut._processing_fn is None
+
+
+class TestEventCompleteness:
+    def test_local_def_and_use_events(self):
+        _, probe = _run()
+        defs = [(e.var, e.line) for e in probe.var_events if e.is_def]
+        uses = [(e.var, e.line) for e in probe.var_events if not e.is_def]
+        assert any(v == "value" for v, _ in defs)
+        assert any(v == "value" for v, _ in uses)
+
+    def test_member_events(self):
+        _, probe = _run()
+        member_defs = [e for e in probe.var_events if e.is_def and e.var == "m_total"]
+        member_uses = [e for e in probe.var_events if not e.is_def and e.var == "m_total"]
+        assert len(member_defs) == 3     # one per activation (value > 0)
+        # Used in the sum and in the write argument.
+        assert len(member_uses) == 6
+
+    def test_port_events_carry_token_indices(self):
+        _, probe = _run()
+        assert [e.token_index for e in probe.port_reads] == [0, 1, 2]
+        assert [e.token_index for e in probe.port_writes] == [0, 1, 2]
+
+    def test_branch_not_taken_no_events(self):
+        _, probe = _run(src_value=-1.0)
+        assert not any(e.is_def and e.var == "m_total" for e in probe.var_events)
+
+    def test_lines_are_absolute(self):
+        import inspect
+
+        _, probe = _run()
+        src_line = inspect.getsourcelines(Sample.processing)[1]
+        for event in probe.var_events:
+            assert event.line > src_line
+
+
+class TestConstructCoverage:
+    def test_augassign_instrumented(self):
+        class Aug(TdfModule):
+            def __init__(self, name="aug"):
+                super().__init__(name)
+                self.ip = TdfIn()
+                self.op = TdfOut()
+
+            def processing(self):
+                x = self.ip.read()
+                x += 1
+                self.op.write(x)
+
+        top, probe = _run(Aug, periods=1)
+        assert top.sink.values() == [3.0]
+        x_events = [(e.is_def, e.line) for e in probe.var_events if e.var == "x"]
+        # def (assign), use+def (augassign), use (write arg).
+        assert len(x_events) == 4
+
+    def test_for_loop_instrumented(self):
+        class Loop(TdfModule):
+            def __init__(self, name="loop"):
+                super().__init__(name)
+                self.ip = TdfIn()
+                self.op = TdfOut()
+
+            def processing(self):
+                total = 0.0
+                items = [self.ip.read(), 1.0]
+                for item in items:
+                    total = total + item
+                self.op.write(total)
+
+        top, probe = _run(Loop, periods=1)
+        assert top.sink.values() == [3.0]
+        item_defs = [e for e in probe.var_events if e.is_def and e.var == "item"]
+        assert len(item_defs) == 2  # one per iteration
+
+    def test_while_condition_uses_fire_per_iteration(self):
+        class Wh(TdfModule):
+            def __init__(self, name="wh"):
+                super().__init__(name)
+                self.ip = TdfIn()
+                self.op = TdfOut()
+
+            def processing(self):
+                n = int(self.ip.read())
+                while n > 0:
+                    n = n - 1
+                self.op.write(n)
+
+        top, probe = _run(Wh, periods=1, src_value=3.0)
+        cond_uses = [
+            e for e in probe.var_events
+            if not e.is_def and e.var == "n"
+        ]
+        # 4 condition evaluations + 3 decrement uses + 1 write use.
+        assert len(cond_uses) == 8
+
+    def test_multirate_port_offsets(self):
+        class Multi(TdfModule):
+            def __init__(self, name="multi"):
+                super().__init__(name)
+                self.ip = TdfIn()
+                self.op = TdfOut()
+
+            def set_attributes(self):
+                self.ip.set_rate(2)
+
+            def processing(self):
+                a = self.ip.read(0)
+                b = self.ip.read(1)
+                self.op.write(a + b)
+
+        top, probe = _run(Multi, periods=1)
+        assert top.sink.values() == [4.0]
+        assert [e.token_index for e in probe.port_reads] == [0, 1]
+
+    def test_ternary_expression(self):
+        class Tern(TdfModule):
+            def __init__(self, name="tern"):
+                super().__init__(name)
+                self.ip = TdfIn()
+                self.op = TdfOut()
+
+            def processing(self):
+                v = self.ip.read()
+                out = v if v > 0 else 0.0
+                self.op.write(out)
+
+        top, probe = _run(Tern, periods=1)
+        assert top.sink.values() == [2.0]

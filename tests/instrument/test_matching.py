@@ -1,0 +1,161 @@
+"""Unit tests for dynamic event matching."""
+
+import warnings
+
+import pytest
+
+from repro.instrument.matching import match_events
+from repro.instrument.probes import (
+    PortReadEvent,
+    PortWriteEvent,
+    ProbeRuntime,
+    UseWithoutDefWarning,
+    VarEvent,
+    WriterKind,
+)
+
+
+def _probe():
+    return ProbeRuntime("top")
+
+
+def _match(probe, starts=None, initial=None, warn=False):
+    return match_events(probe, "tc", starts or {}, initial or {}, warn=warn)
+
+
+class TestVarMatching:
+    def test_use_pairs_with_most_recent_def(self):
+        p = _probe()
+        p.var_events += [
+            VarEvent(True, "x", "m", 10, 1),
+            VarEvent(False, "x", "m", 11, 2),
+            VarEvent(True, "x", "m", 12, 3),
+            VarEvent(False, "x", "m", 13, 4),
+        ]
+        result = _match(p)
+        assert result.pairs == {
+            ("x", "m", 10, "m", 11),
+            ("x", "m", 12, "m", 13),
+        }
+
+    def test_use_without_prior_def_skipped(self):
+        p = _probe()
+        p.var_events.append(VarEvent(False, "x", "m", 11, 1))
+        assert _match(p).pairs == set()
+
+    def test_cross_model_isolation(self):
+        p = _probe()
+        p.var_events += [
+            VarEvent(True, "x", "a", 10, 1),
+            VarEvent(False, "x", "b", 11, 2),
+        ]
+        assert _match(p).pairs == set()
+
+    def test_member_pairs_across_activations(self):
+        p = _probe()
+        # def in activation 1, use in activation 2 (later seq).
+        p.var_events += [
+            VarEvent(True, "m_s", "m", 20, 1),
+            VarEvent(False, "m_s", "m", 15, 9),
+        ]
+        assert _match(p).pairs == {("m_s", "m", 20, "m", 15)}
+
+
+class TestPortMatching:
+    def _write(self, p, idx, line=30, kind=WriterKind.MODEL, signal="s", var="op"):
+        p.port_writes.append(PortWriteEvent(signal, idx, var, "w", line, kind, idx))
+
+    def _read(self, p, idx, line=40, signal="s", undriven=False):
+        p.port_reads.append(
+            PortReadEvent(signal, idx, "ip", "r", "r", line, undriven, 100 + idx)
+        )
+
+    def test_exact_token_join(self):
+        p = _probe()
+        self._write(p, 0)
+        self._read(p, 0)
+        assert _match(p).pairs == {("op", "w", 30, "r", 40)}
+
+    def test_floor_join_for_sample_and_hold(self):
+        p = _probe()
+        self._write(p, 0)
+        self._read(p, 3)  # repeated (unwritten) samples
+        assert _match(p).pairs == {("op", "w", 30, "r", 40)}
+
+    def test_no_write_before_token_skipped(self):
+        p = _probe()
+        self._write(p, 5)
+        self._read(p, 2)
+        assert _match(p).pairs == set()
+
+    def test_negative_index_is_initial_value(self):
+        p = _probe()
+        self._write(p, 0)
+        self._read(p, -1)
+        assert _match(p).pairs == set()
+
+    def test_last_write_per_token_wins(self):
+        p = _probe()
+        p.port_writes.append(PortWriteEvent("s", 0, "op", "w", 30, WriterKind.MODEL, 1))
+        p.port_writes.append(PortWriteEvent("s", 0, "op", "w", 33, WriterKind.MODEL, 2))
+        self._read(p, 0)
+        assert _match(p).pairs == {("op", "w", 33, "r", 40)}
+
+    def test_testbench_write_pairs_with_placeholder(self):
+        p = _probe()
+        self._write(p, 0, kind=WriterKind.TESTBENCH)
+        self._read(p, 0)
+        result = match_events(p, "tc", {"r": 7}, {})
+        assert result.pairs == {("ip", "r", 7, "r", 40)}
+
+    def test_testbench_without_start_line_skipped(self):
+        p = _probe()
+        self._write(p, 0, kind=WriterKind.TESTBENCH)
+        self._read(p, 0)
+        assert _match(p).pairs == set()
+
+    def test_redef_write_uses_netlist_anchor(self):
+        p = _probe()
+        p.port_writes.append(
+            PortWriteEvent("s", 0, "op_src", "top", 99, WriterKind.REDEF, 1)
+        )
+        self._read(p, 0)
+        assert _match(p).pairs == {("op_src", "top", 99, "r", 40)}
+
+
+class TestUseWithoutDef:
+    def test_undriven_read_reported_once(self):
+        p = _probe()
+        for i in range(3):
+            p.port_reads.append(
+                PortReadEvent("s", i, "ip", "r", "r", 40, True, i)
+            )
+        result = _match(p)
+        assert result.use_without_def == ["r.ip"]
+        assert result.pairs == set()
+
+    def test_warning_raised_when_enabled(self):
+        p = _probe()
+        p.port_reads.append(PortReadEvent("s", 0, "ip", "r", "r", 40, True, 1))
+        with pytest.warns(UseWithoutDefWarning, match="undefined"):
+            _match(p, warn=True)
+
+    def test_no_warning_when_disabled(self):
+        p = _probe()
+        p.port_reads.append(PortReadEvent("s", 0, "ip", "r", "r", 40, True, 1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _match(p, warn=False)
+
+
+class TestExercisedRecords:
+    def test_exercised_pairs_carry_testcase(self):
+        p = _probe()
+        p.var_events += [
+            VarEvent(True, "x", "m", 10, 1),
+            VarEvent(False, "x", "m", 11, 2),
+        ]
+        records = _match(p).exercised()
+        assert len(records) == 1
+        assert records[0].testcase == "tc"
+        assert records[0].key == ("x", "m", 10, "m", 11)

@@ -1,0 +1,100 @@
+"""Unit tests for the probe runtime."""
+
+from repro.instrument.probes import ProbeRuntime, WriterKind
+from repro.tdf import Cluster, Simulator, TdfIn, TdfModule, TdfOut, ms
+from repro.tdf.library import CollectorSink, ConstantSource
+
+
+class _Mod:
+    """Minimal module stand-in for probe calls."""
+
+    name = "m"
+    OPAQUE_USES = False
+
+
+class TestVarApi:
+    def test_u_returns_value_unchanged(self):
+        probe = ProbeRuntime("top")
+        sentinel = object()
+        assert probe.u(_Mod(), "x", 10, sentinel) is sentinel
+
+    def test_sequence_numbers_monotonic(self):
+        probe = ProbeRuntime("top")
+        probe.d(_Mod(), "x", 1)
+        probe.u(_Mod(), "x", 2, 0)
+        probe.d(_Mod(), "y", 3)
+        seqs = [e.seq for e in probe.var_events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 3
+
+    def test_clear_resets_everything(self):
+        probe = ProbeRuntime("top")
+        probe.d(_Mod(), "x", 1)
+        probe.clear()
+        assert probe.var_events == []
+        probe.d(_Mod(), "x", 1)
+        assert probe.var_events[0].seq == 1
+
+
+class TestPortApi:
+    def _top(self):
+        from helpers import Passthrough
+
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(ConstantSource("src", 2.0, timestep=ms(1)))
+                self.dut = self.add(Passthrough("dut"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.dut.ip)
+                self.connect(self.dut.op, self.sink.ip)
+
+        return Top("top")
+
+    def test_pr_and_pw_perform_the_access(self):
+        top = self._top()
+        probe = ProbeRuntime("top")
+
+        def processing():
+            value = probe.pr(top.dut, top.dut.ip, 101)
+            probe.pw(top.dut, top.dut.op, 102, value * 3)
+
+        top.dut.register_processing(processing)
+        Simulator(top).run(ms(2))
+        assert top.sink.values() == [6.0, 6.0]
+        assert [e.anchor_line for e in probe.port_reads] == [101, 101]
+        assert [e.line for e in probe.port_writes] == [102, 102]
+        assert all(e.kind is WriterKind.MODEL for e in probe.port_writes)
+
+    def test_opaque_module_reads_anchor_at_bind_site(self):
+        top = self._top()
+        probe = ProbeRuntime("top")
+        type(top.dut).OPAQUE_USES = True
+        try:
+            def processing():
+                probe.pw(top.dut, top.dut.op, 102, probe.pr(top.dut, top.dut.ip, 101))
+
+            top.dut.register_processing(processing)
+            Simulator(top).run(ms(1))
+            event = probe.port_reads[0]
+            assert event.anchor_model == "top"
+            assert event.anchor_line == top.dut.ip.bind_site.lineno
+        finally:
+            type(top.dut).OPAQUE_USES = False
+
+
+class TestLogDump:
+    def test_log_contains_all_event_kinds(self):
+        probe = ProbeRuntime("top")
+        probe.d(_Mod(), "x", 1)
+        probe.u(_Mod(), "x", 2, 0)
+        text = probe.log_text()
+        assert "DEF" in text and "USE" in text
+        assert "m:1" in text and "m:2" in text
+
+    def test_log_ordered_by_sequence(self):
+        probe = ProbeRuntime("top")
+        probe.d(_Mod(), "a", 1)
+        probe.d(_Mod(), "b", 2)
+        lines = probe.log_text().splitlines()
+        assert lines[0].split("\t")[2] == "a"
+        assert lines[1].split("\t")[2] == "b"

@@ -1,0 +1,89 @@
+"""Integration: coverage persistence/merging across real pipeline runs."""
+
+import json
+
+import pytest
+
+from repro.core import CoverageDatabase, coverage_to_dict, run_dft
+from repro.systems.sensor import SenseTop, paper_testcases
+from repro.testing import TestSuite
+
+
+@pytest.fixture(scope="module")
+def runs():
+    tcs = paper_testcases()
+    full = run_dft(lambda: SenseTop(), TestSuite("full", tcs))
+    part1 = run_dft(lambda: SenseTop(), TestSuite("p1", tcs[:1]))
+    part2 = run_dft(lambda: SenseTop(), TestSuite("p2", tcs[1:]))
+    return full, part1, part2
+
+
+class TestMergeSemantics:
+    def test_merged_partial_runs_equal_full_run(self, runs):
+        full, part1, part2 = runs
+        db = CoverageDatabase.from_coverage(part1.coverage)
+        db.merge(CoverageDatabase.from_coverage(part2.coverage))
+        merged_covered, total = db.coverage_against(full.static)
+        assert (merged_covered, total) == (
+            full.coverage.exercised_total,
+            full.coverage.static_total,
+        )
+
+    def test_parameter_change_keeps_fingerprint(self, runs):
+        """The fingerprint is structural: widening the ADC changes a
+        constructor parameter, not the association universe, so merging
+        stays legal (the same source lines are being covered)."""
+        full, _, _ = runs
+        fixed = run_dft(
+            lambda: SenseTop(adc_bits=10), TestSuite("f", paper_testcases()[:1])
+        )
+        db = CoverageDatabase.from_coverage(full.coverage)
+        db.merge(CoverageDatabase.from_coverage(fixed.coverage))
+
+    def test_structural_change_rejected(self, runs):
+        full, _, _ = runs
+        from repro.systems.buck_boost import BuckBoostTop
+        from repro.testing import TestCase
+        from repro.tdf import ms
+
+        other = run_dft(
+            lambda: BuckBoostTop(),
+            TestSuite("bb", [TestCase("t", ms(2), lambda c: None)]),
+        )
+        db = CoverageDatabase.from_coverage(full.coverage)
+        with pytest.raises(ValueError):
+            db.merge(CoverageDatabase.from_coverage(other.coverage))
+
+    def test_save_load_roundtrip(self, runs, tmp_path):
+        full, _, _ = runs
+        db = CoverageDatabase.from_coverage(full.coverage)
+        path = tmp_path / "sensor.covdb.json"
+        db.save(str(path))
+        loaded = CoverageDatabase.load(str(path))
+        assert loaded.coverage_against(full.static) == db.coverage_against(full.static)
+        assert loaded.testcases == ["TC1", "TC2", "TC3"]
+
+
+class TestExportOnRealRun:
+    def test_export_is_json_and_consistent(self, runs):
+        full, _, _ = runs
+        data = coverage_to_dict(full.coverage)
+        json.dumps(data)
+        assert data["totals"]["static"] == full.coverage.static_total
+        assert data["totals"]["exercised"] == full.coverage.exercised_total
+        # Every association row carries the exercising testcases.
+        covered_rows = [a for a in data["associations"] if a["covered_by"]]
+        assert len(covered_rows) == full.coverage.exercised_total
+
+
+class TestCliIntegration:
+    def test_cli_json_and_db(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db_path = tmp_path / "out.covdb.json"
+        assert main(["run", "sensor", "--json", "--save-db", str(db_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cluster"] == "sense_top"
+        assert db_path.exists()
+        db = CoverageDatabase.load(str(db_path))
+        assert db.cluster == "sense_top"

@@ -1,0 +1,120 @@
+"""Unit tests for the RV32I assembler."""
+
+import pytest
+
+from repro.rv32 import AssemblerError, assemble, decode, parse_register
+
+
+def _decode_all(source):
+    return [decode(w) for w in assemble(source)]
+
+
+class TestRegisters:
+    def test_numeric_and_abi_names(self):
+        assert parse_register("x0") == 0
+        assert parse_register("zero") == 0
+        assert parse_register("ra") == 1
+        assert parse_register("a0") == 10
+        assert parse_register("t6") == 31
+        assert parse_register("fp") == parse_register("s0") == 8
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            parse_register("x32")
+        with pytest.raises(AssemblerError):
+            parse_register("q7")
+
+
+class TestBasics:
+    def test_simple_instructions(self):
+        insts = _decode_all("addi a0, zero, 42\nadd a1, a0, a0\nebreak")
+        assert [i.mnemonic for i in insts] == ["addi", "add", "ebreak"]
+        assert insts[0].imm == 42
+        assert insts[1].rd == 11
+
+    def test_comments_and_blanks_ignored(self):
+        insts = _decode_all(
+            "# leading comment\n\naddi a0, zero, 1  # trailing\n; semicolon\n"
+        )
+        assert len(insts) == 1
+
+    def test_memory_operand_syntax(self):
+        insts = _decode_all("lw a0, 0x400(zero)\nsw a0, -4(sp)")
+        assert insts[0].mnemonic == "lw"
+        assert insts[0].imm == 0x400
+        assert insts[1].mnemonic == "sw"
+        assert insts[1].imm == -4
+
+    def test_shifts(self):
+        insts = _decode_all("slli a0, a0, 3\nsrai a1, a1, 31")
+        assert insts[0].mnemonic == "slli" and insts[0].imm == 3
+        assert insts[1].mnemonic == "srai" and insts[1].imm == 31
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        insts = _decode_all("loop:\naddi a0, a0, 1\nbne a0, a1, loop")
+        assert insts[1].mnemonic == "bne"
+        assert insts[1].imm == -4
+
+    def test_forward_jump(self):
+        insts = _decode_all("j done\naddi a0, a0, 1\ndone:\nebreak")
+        assert insts[0].mnemonic == "jal"
+        assert insts[0].imm == 8
+
+    def test_label_on_same_line(self):
+        insts = _decode_all("start: addi a0, zero, 1\nj start")
+        assert insts[1].imm == -4
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown"):
+            assemble("beq a0, a1, nowhere")
+
+
+class TestPseudoInstructions:
+    def test_nop_mv_ret(self):
+        insts = _decode_all("nop\nmv a1, a0\nret")
+        assert insts[0].mnemonic == "addi" and insts[0].rd == 0
+        assert insts[1].mnemonic == "addi" and insts[1].rs1 == 10
+        assert insts[2].mnemonic == "jalr" and insts[2].rs1 == 1
+
+    def test_li_small(self):
+        insts = _decode_all("li a0, -7")
+        assert len(insts) == 1
+        assert insts[0].imm == -7
+
+    def test_li_large_expands_to_lui_addi(self):
+        insts = _decode_all("li a0, 0x12345")
+        assert [i.mnemonic for i in insts] == ["lui", "addi"]
+        # Execute mentally: (lui << 12) + addi == 0x12345.
+        value = (insts[0].imm << 12) + insts[1].imm
+        assert value == 0x12345
+
+    def test_beqz_bnez(self):
+        insts = _decode_all("l:\nbeqz a0, l\nbnez a1, l")
+        assert insts[0].mnemonic == "beq" and insts[0].rs2 == 0
+        assert insts[1].mnemonic == "bne" and insts[1].imm == -4
+
+    def test_li_expansion_keeps_label_addresses(self):
+        # li (2 words) before a label: branch offset must account for it.
+        insts = _decode_all("li a0, 0x12345\ntarget:\nj target")
+        assert insts[2].mnemonic == "jal"
+        assert insts[2].imm == 0
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate a0, a1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="imm\\(rs1\\)"):
+            assemble("lw a0, a1")
+
+    def test_error_reports_instruction(self):
+        with pytest.raises(AssemblerError, match="at instruction 1"):
+            assemble("nop\naddi a0, zero, 99999")

@@ -1,0 +1,142 @@
+"""Unit tests for the RV32I interpreter core."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rv32 import Memory, MemoryAccessError, Rv32Core, assemble
+
+
+def _run(source, max_steps=10_000):
+    memory = Memory()
+    memory.load_program(assemble(source))
+    core = Rv32Core(memory)
+    core.run(max_steps)
+    return core, memory
+
+
+class TestMemory:
+    def test_default_zero(self):
+        assert Memory().load_word(0x100) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = Memory()
+        mem.store_word(8, 0xDEADBEEF)
+        assert mem.load_word(8) == 0xDEADBEEF
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(MemoryAccessError, match="misaligned"):
+            Memory().load_word(2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MemoryAccessError, match="out of range"):
+            Memory(size=16).store_word(16, 0)
+
+    def test_mmio_hooks(self):
+        mem = Memory()
+        written = []
+        mem.map_load(0x400, lambda: 77)
+        mem.map_store(0x404, written.append)
+        assert mem.load_word(0x400) == 77
+        mem.store_word(0x404, 5)
+        assert written == [5]
+
+
+class TestArithmetic:
+    def test_addi_and_x0(self):
+        core, _ = _run("addi x0, x0, 5\naddi a0, x0, 7\nebreak")
+        assert core.read_reg(0) == 0
+        assert core.read_reg(10) == 7
+
+    def test_sub_negative_wraps(self):
+        core, _ = _run("li a0, 3\nli a1, 5\nsub a2, a0, a1\nebreak")
+        assert core.read_reg(12) == 0xFFFFFFFE  # -2 two's complement
+
+    def test_logic_ops(self):
+        core, _ = _run(
+            "li a0, 0xF0\nli a1, 0x0F\nor a2, a0, a1\nand a3, a0, a1\n"
+            "xor a4, a0, a1\nebreak"
+        )
+        assert core.read_reg(12) == 0xFF
+        assert core.read_reg(13) == 0x00
+        assert core.read_reg(14) == 0xFF
+
+    def test_shifts_signed_unsigned(self):
+        core, _ = _run(
+            "li a0, -8\nsrai a1, a0, 1\nsrli a2, a0, 1\nslli a3, a0, 1\nebreak"
+        )
+        assert core.read_reg(11) == 0xFFFFFFFC          # -4
+        assert core.read_reg(12) == 0x7FFFFFFC          # logical
+        assert core.read_reg(13) == 0xFFFFFFF0          # -16
+
+    def test_slt_signed_vs_unsigned(self):
+        core, _ = _run(
+            "li a0, -1\nli a1, 1\nslt a2, a0, a1\nsltu a3, a0, a1\nebreak"
+        )
+        assert core.read_reg(12) == 1   # -1 < 1 signed
+        assert core.read_reg(13) == 0   # 0xFFFFFFFF > 1 unsigned
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_add_matches_python(self, a, b):
+        core, _ = _run(f"li a0, {a}\nli a1, {b}\nadd a2, a0, a1\nebreak")
+        assert core.read_reg(12) == (a + b) & 0xFFFFFFFF
+
+
+class TestControlFlow:
+    def test_loop_countdown(self):
+        core, _ = _run(
+            "li a0, 0\nli a1, 5\nloop:\naddi a0, a0, 2\naddi a1, a1, -1\n"
+            "bnez a1, loop\nebreak"
+        )
+        assert core.read_reg(10) == 10
+
+    def test_jal_links_return_address(self):
+        core, _ = _run("jal ra, target\nebreak\ntarget:\nli a0, 1\nebreak")
+        assert core.read_reg(10) == 1
+        assert core.read_reg(1) == 4
+
+    def test_call_and_ret(self):
+        core, _ = _run(
+            "jal ra, func\nsw a0, 0x100(zero)\nebreak\n"
+            "func:\nli a0, 99\nret"
+        )
+        _, mem = core, core.memory
+        assert mem.load_word(0x100) == 99
+
+    def test_branch_signed_comparison(self):
+        core, _ = _run(
+            "li a0, -5\nli a1, 3\nblt a0, a1, taken\nli a2, 0\nebreak\n"
+            "taken:\nli a2, 1\nebreak"
+        )
+        assert core.read_reg(12) == 1
+
+    def test_halt_on_ebreak(self):
+        core, _ = _run("ebreak\naddi a0, a0, 1")
+        assert core.halted
+        assert core.read_reg(10) == 0
+
+    def test_max_steps_bounds_runaway(self):
+        core, _ = _run("loop:\nj loop", max_steps=50)
+        assert not core.halted
+        assert core.instret == 50
+
+
+class TestLoadsStores:
+    def test_data_flow_through_memory(self):
+        core, mem = _run(
+            "li a0, 1234\nsw a0, 0x200(zero)\nlw a1, 0x200(zero)\n"
+            "add a2, a1, a1\nsw a2, 0x204(zero)\nebreak"
+        )
+        assert mem.load_word(0x204) == 2468
+
+    def test_mmio_visible_to_firmware(self):
+        memory = Memory()
+        memory.load_program(assemble(
+            "lw a0, 0x400(zero)\naddi a0, a0, 1\nsw a0, 0x404(zero)\nebreak"
+        ))
+        outbox = []
+        memory.map_load(0x400, lambda: 41)
+        memory.map_store(0x404, outbox.append)
+        core = Rv32Core(memory)
+        core.run()
+        assert outbox == [42]

@@ -1,0 +1,110 @@
+"""Unit + property tests for RV32I encode/decode."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rv32.isa import (
+    ALU_IMM_F3,
+    ALU_REG_CODES,
+    BRANCH_F3,
+    EBREAK_WORD,
+    IllegalInstruction,
+    OP_ALU_IMM,
+    OP_ALU_REG,
+    OP_BRANCH,
+    OP_JAL,
+    OP_JALR,
+    OP_LOAD,
+    OP_LUI,
+    OP_STORE,
+    decode,
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+    sign_extend,
+)
+
+regs = st.integers(0, 31)
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7FF, 12) == 2047
+
+    def test_negative(self):
+        assert sign_extend(0xFFF, 12) == -1
+        assert sign_extend(0x800, 12) == -2048
+
+    @given(st.integers(-2048, 2047))
+    def test_roundtrip_12bit(self, value):
+        assert sign_extend(value & 0xFFF, 12) == value
+
+
+class TestRoundTrips:
+    @given(regs, regs, st.integers(-2048, 2047))
+    def test_addi(self, rd, rs1, imm):
+        inst = decode(encode_i(OP_ALU_IMM, ALU_IMM_F3["addi"], rd, rs1, imm))
+        assert (inst.mnemonic, inst.rd, inst.rs1, inst.imm) == ("addi", rd, rs1, imm)
+
+    @given(regs, regs, regs)
+    def test_all_alu_reg_ops(self, rd, rs1, rs2):
+        for name, (f3, f7) in ALU_REG_CODES.items():
+            inst = decode(encode_r(OP_ALU_REG, f3, f7, rd, rs1, rs2))
+            assert (inst.mnemonic, inst.rd, inst.rs1, inst.rs2) == (name, rd, rs1, rs2)
+
+    @given(regs, regs, st.integers(-2048, 2046))
+    def test_branches(self, rs1, rs2, raw):
+        imm = raw * 2  # branch targets are even
+        for name, f3 in BRANCH_F3.items():
+            inst = decode(encode_b(OP_BRANCH, f3, rs1, rs2, imm))
+            assert (inst.mnemonic, inst.rs1, inst.rs2, inst.imm) == (name, rs1, rs2, imm)
+
+    @given(regs, st.integers(0, 0xFFFFF))
+    def test_lui(self, rd, imm):
+        inst = decode(encode_u(OP_LUI, rd, imm))
+        assert (inst.mnemonic, inst.rd, inst.imm) == ("lui", rd, imm)
+
+    @given(regs, st.integers(-(1 << 19), (1 << 19) - 1))
+    def test_jal(self, rd, raw):
+        imm = raw * 2
+        inst = decode(encode_j(OP_JAL, rd, imm))
+        assert (inst.mnemonic, inst.rd, inst.imm) == ("jal", rd, imm)
+
+    @given(regs, regs, st.integers(-2048, 2047))
+    def test_lw_sw(self, r1, r2, imm):
+        lw = decode(encode_i(OP_LOAD, 0b010, r1, r2, imm))
+        assert (lw.mnemonic, lw.rd, lw.rs1, lw.imm) == ("lw", r1, r2, imm)
+        sw = decode(encode_s(OP_STORE, 0b010, r2, r1, imm))
+        assert (sw.mnemonic, sw.rs1, sw.rs2, sw.imm) == ("sw", r2, r1, imm)
+
+    @given(regs, regs, st.integers(-2048, 2047))
+    def test_jalr(self, rd, rs1, imm):
+        inst = decode(encode_i(OP_JALR, 0, rd, rs1, imm))
+        assert (inst.mnemonic, inst.rd, inst.rs1, inst.imm) == ("jalr", rd, rs1, imm)
+
+
+class TestValidation:
+    def test_out_of_range_immediates_rejected(self):
+        with pytest.raises(ValueError):
+            encode_i(OP_ALU_IMM, 0, 1, 1, 5000)
+        with pytest.raises(ValueError):
+            encode_b(OP_BRANCH, 0, 1, 1, 3)  # odd target
+        with pytest.raises(ValueError):
+            encode_u(OP_LUI, 1, 1 << 20)
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(ValueError):
+            encode_i(OP_ALU_IMM, 0, 32, 0, 0)
+
+    def test_illegal_word_raises(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0xFFFFFFFF)
+        with pytest.raises(IllegalInstruction):
+            decode(0)
+
+    def test_ebreak(self):
+        assert decode(EBREAK_WORD).mnemonic == "ebreak"

@@ -1,0 +1,100 @@
+"""Tests for the buck-boost converter VP (paper §VI-B)."""
+
+import pytest
+
+from repro.analysis import analyze_cluster
+from repro.core import AssocClass
+from repro.systems.buck_boost import BuckBoostTop
+from repro.tdf import Simulator, ms
+
+
+def _run(target=None, vin=None, load=None, duration=ms(40)):
+    top = BuckBoostTop()
+    if target is not None:
+        top.apply_target(target)
+    if vin is not None:
+        top.apply_vin(vin)
+    if load is not None:
+        top.apply_load(load)
+    Simulator(top).run(duration)
+    return top
+
+
+class TestRegulation:
+    def test_buck_reaches_target(self):
+        top = _run(lambda t: 1.8)
+        assert top.power.m_vout == pytest.approx(1.8, abs=0.05)
+        assert top.mode_ctrl.m_mode == 0
+
+    def test_boost_reaches_target(self):
+        top = _run(lambda t: 5.0)
+        assert top.power.m_vout == pytest.approx(5.0, abs=0.1)
+        assert top.mode_ctrl.m_mode == 1
+
+    def test_settles_fast_and_stable(self):
+        """The paper's test goal: how fast the target is reached and how
+        stable it stays."""
+        top = BuckBoostTop()
+        top.apply_target(lambda t: 2.5)
+        sim = Simulator(top)
+        sim.run(ms(10))
+        settled = top.power.m_vout
+        assert settled == pytest.approx(2.5, abs=0.1)
+        sim.run(ms(10))
+        assert abs(top.power.m_vout - settled) < 0.05
+
+    def test_mode_hysteresis_prevents_chatter(self):
+        top = _run(lambda t: 3.6)  # target == vin
+        assert top.mode_ctrl.m_mode in (0, 1)
+
+    def test_negative_target_clamped(self):
+        top = _run(lambda t: -2.0)
+        assert top.power.m_vout >= 0.0
+
+
+class TestProtection:
+    def test_current_limit_engages(self):
+        top = _run(lambda t: 12.0)
+        assert top.limiter.m_trips > 0
+
+    def test_ovp_latches_on_overshoot(self):
+        top = _run(lambda t: 6.0 if t < 0.002 else 1.2, duration=ms(20))
+        assert top.ovp.m_latched or top.ovp.m_count >= 0
+        # After the hard downward retarget the output must come down.
+        assert top.power.m_vout < 3.0
+
+    def test_pfm_on_light_load(self):
+        top = _run(lambda t: 1.8, load=lambda t: 5000.0, duration=ms(60))
+        assert top.sw_ctrl.m_pfm_cycles > 0
+
+    def test_soft_start_limits_slope(self):
+        top = BuckBoostTop()
+        top.apply_target(lambda t: 5.0)
+        Simulator(top).run(ms(1))
+        # After 20 samples the soft-started reference is still below the
+        # programmed 5 V (slew 0.05/sample).
+        assert top.soft_start.m_current < 5.0
+
+
+class TestStaticShape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return analyze_cluster(BuckBoostTop())
+
+    def test_pfirm_pairs_exist(self, result):
+        """Table II: the buck-boost converter has PFirm pairs (vout
+        direct + delayed into the switching controller)."""
+        pfirm = result.by_class(AssocClass.PFIRM)
+        assert len(pfirm) == 2
+        assert {a.var for a in pfirm} == {"op_vout"}
+
+    def test_pweak_pairs_exist(self, result):
+        pweak = result.by_class(AssocClass.PWEAK)
+        assert {a.var for a in pweak} == {"op_il"}
+        assert len(pweak) == 2  # limiter + thermal monitor
+
+    def test_use_without_def_candidate(self, result):
+        assert result.undriven_input_ports == ["limiter.ip_trim"]
+
+    def test_association_universe_size(self, result):
+        assert len(result.associations) > 100

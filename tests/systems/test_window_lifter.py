@@ -1,0 +1,120 @@
+"""Tests for the car window lifter VP (paper §VI-A)."""
+
+import pytest
+
+from repro.analysis import analyze_cluster
+from repro.core import AssocClass
+from repro.systems.window_lifter import (
+    BTN_BOTH,
+    BTN_DOWN,
+    BTN_NONE,
+    BTN_UP,
+    WindowLifterTop,
+)
+from repro.tdf import Simulator, sec
+
+
+def _run(buttons, obstacle=None, duration=sec(3)):
+    top = WindowLifterTop()
+    top.apply_buttons(buttons)
+    if obstacle is not None:
+        top.apply_obstacle(obstacle)
+    sim = Simulator(top)
+    sim.run(duration)
+    return top, sim
+
+
+class TestMovement:
+    def test_closes_fully_without_obstacle(self):
+        top, _ = _run(lambda t: BTN_UP if t < 2.5 else BTN_NONE)
+        # The MCU stops when the quantised position ADC reads fully
+        # closed, so the mechanical position lands just below 100.
+        assert top.mech.m_position > 99.5
+        assert not top.pinch_led.ever_on()
+
+    def test_opens_after_closing(self):
+        top, _ = _run(
+            lambda t: BTN_UP if t < 1.3 else (BTN_DOWN if t < 2.8 else BTN_NONE)
+        )
+        assert top.mech.m_position < 5.0
+
+    def test_both_buttons_no_movement(self):
+        top, _ = _run(lambda t: BTN_BOTH, duration=sec(1))
+        assert top.mech.m_position == 0.0
+
+    def test_down_at_bottom_no_movement(self):
+        top, _ = _run(lambda t: BTN_DOWN, duration=sec(1))
+        assert top.mech.m_position == 0.0
+
+
+class TestAntiPinch:
+    def test_obstacle_in_coarse_zone_triggers_reverse(self):
+        top, _ = _run(lambda t: BTN_UP, lambda t: 50.0, duration=sec(2))
+        assert top.pinch_led.ever_on()
+        assert top.mech.m_position < 55.0
+        assert top.detector.m_trips > 0
+
+    def test_no_false_trip_at_end_stop(self):
+        top, _ = _run(lambda t: BTN_UP if t < 2.5 else BTN_NONE)
+        assert not top.pinch_led.ever_on()
+
+    def test_obstacle_while_opening_does_not_trip(self):
+        top, _ = _run(
+            lambda t: BTN_UP if t < 1.0 else (BTN_DOWN if t < 2.0 else BTN_NONE),
+            lambda t: 30.0 if t >= 1.0 else 0.0,
+        )
+        # Opening away from the obstacle: no pinch.
+        assert not top.pinch_led.ever_on()
+
+
+class TestDynamicTdfBug:
+    def test_fine_zone_obstacle_not_detected(self):
+        """The seeded dynamic-TDF bug: in the fine-timestep zone the
+        per-sample current jump stays below the threshold, the detector
+        never fires, and the window crushes the obstacle."""
+        top, sim = _run(lambda t: BTN_UP, lambda t: 90.0, duration=sec(3))
+        assert sim.reelaborations >= 1          # timestep actually changed
+        assert top.detector.m_trips == 0        # comparison never fired
+        assert not top.pinch_led.ever_on()      # anti-pinch missed
+        assert top.mech.m_position > 95.0       # window crushed through
+
+    def test_timestep_refined_near_top(self):
+        top, sim = _run(lambda t: BTN_UP if t < 2.5 else BTN_NONE)
+        assert sim.reelaborations >= 2  # fine on entry, coarse on exit
+
+
+class TestBattery:
+    def test_wearout_trips_low_battery(self):
+        top, _ = _run(
+            lambda t: BTN_UP if (t % 1.6) < 0.8 else BTN_DOWN, duration=sec(10)
+        )
+        assert top.batt_mon.m_drawn > top.batt_mon.m_budget * top.batt_mon.m_warn
+        assert top.mcu.m_stop_position >= 0.0
+
+
+class TestStaticShape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return analyze_cluster(WindowLifterTop())
+
+    def test_no_pfirm_associations(self, result):
+        """Table II: the window lifter has no PFirm pairs."""
+        assert result.counts()[AssocClass.PFIRM] == 0
+
+    def test_pweak_paths(self, result):
+        pweak = result.by_class(AssocClass.PWEAK)
+        by_var = {}
+        for a in pweak:
+            by_var.setdefault(a.var, []).append(a)
+        # current -> {filter, battery monitor}; drive -> motor;
+        # position -> {pos ADC, MCU history}.
+        assert set(by_var) == {"op_current", "op_drive", "op_position"}
+        assert len(by_var["op_current"]) == 2
+        assert len(by_var["op_position"]) == 2
+
+    def test_use_without_def_candidate_reported(self, result):
+        assert result.undriven_input_ports == ["mcu.ip_diag"]
+
+    def test_association_universe_size(self, result):
+        # Regression guard for the Table-II "Static #" column.
+        assert len(result.associations) > 120

@@ -1,0 +1,93 @@
+"""Unit tests for arithmetic/threshold library models."""
+
+import pytest
+
+from repro.tdf import Cluster, Simulator, ms
+from repro.tdf.library import (
+    AdderTdf,
+    CollectorSink,
+    ComparatorTdf,
+    MultiplierTdf,
+    OffsetTdf,
+    SaturatorTdf,
+    SchmittTriggerTdf,
+    StimulusSource,
+    SubtractorTdf,
+)
+
+
+def _run_two_input(element, wave_a, wave_b, periods=4):
+    class Top(Cluster):
+        def architecture(self):
+            self.a = self.add(StimulusSource("a", wave_a, ms(1)))
+            self.b = self.add(StimulusSource("b", wave_b))
+            self.e = self.add(element)
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.a.op, self.e.ip_a)
+            self.connect(self.b.op, self.e.ip_b)
+            self.connect(self.e.op, self.sink.ip)
+
+    top = Top("top")
+    Simulator(top).run(ms(periods))
+    return top.sink.values()
+
+
+def _run_siso(element, wave, periods=4):
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(StimulusSource("src", wave, ms(1)))
+            self.e = self.add(element)
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.e.ip)
+            self.connect(self.e.op, self.sink.ip)
+
+    top = Top("top")
+    Simulator(top).run(ms(periods))
+    return top.sink.values()
+
+
+class TestTwoInput:
+    def test_adder(self):
+        assert _run_two_input(AdderTdf("e"), lambda t: 2.0, lambda t: 3.0) == [5.0] * 4
+
+    def test_subtractor(self):
+        assert _run_two_input(SubtractorTdf("e"), lambda t: 2.0, lambda t: 3.0) == [-1.0] * 4
+
+    def test_multiplier(self):
+        assert _run_two_input(MultiplierTdf("e"), lambda t: 2.0, lambda t: 3.0) == [6.0] * 4
+
+
+class TestSiso:
+    def test_offset(self):
+        assert _run_siso(OffsetTdf("e", 10.0), lambda t: 1.0) == [11.0] * 4
+
+    def test_saturator_clamps_both_sides(self):
+        values = iter([-5.0, 0.5, 5.0, 1.0])
+        wave = lambda t: next(values)
+        assert _run_siso(SaturatorTdf("e", -1.0, 1.0), wave) == [-1.0, 0.5, 1.0, 1.0]
+
+    def test_saturator_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            SaturatorTdf("e", 2.0, 1.0)
+
+    def test_comparator(self):
+        values = iter([0.5, 1.5, 1.0, 2.0])
+        wave = lambda t: next(values)
+        assert _run_siso(ComparatorTdf("e", 1.0), wave) == [False, True, False, True]
+
+    def test_schmitt_hysteresis(self):
+        values = iter([0.0, 2.5, 1.5, 0.5, 1.5, 2.5])
+        wave = lambda t: next(values)
+        out = _run_siso(SchmittTriggerTdf("e", 1.0, 2.0), wave, periods=6)
+        assert out == [False, True, True, False, False, True]
+
+    def test_schmitt_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            SchmittTriggerTdf("e", 2.0, 1.0)
+
+    def test_none_are_redefining(self):
+        for element in [
+            AdderTdf("a"), OffsetTdf("o", 1.0), SaturatorTdf("s", 0, 1),
+            ComparatorTdf("c", 1.0), SchmittTriggerTdf("st", 0, 1),
+        ]:
+            assert not element.REDEFINING

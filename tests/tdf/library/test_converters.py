@@ -1,0 +1,83 @@
+"""Unit tests for the ADC/DAC, including the paper's saturation bug."""
+
+import pytest
+
+from repro.tdf import Cluster, Simulator, ms
+from repro.tdf.library import AdcTdf, CollectorSink, DacTdf, StimulusSource
+
+
+def _run_adc(values, bits=9, lsb=1.0):
+    samples = list(values)
+
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(
+                StimulusSource("src", lambda t: samples[min(int(t * 1000), len(samples) - 1)], ms(1))
+            )
+            self.adc = self.add(AdcTdf("adc", bits=bits, lsb=lsb))
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.adc.adc_i)
+            self.connect(self.adc.adc_o, self.sink.ip)
+
+    top = Top("top")
+    Simulator(top).run(ms(len(samples)))
+    return top.sink.values()
+
+
+class TestAdc:
+    def test_passes_in_range_values(self):
+        assert _run_adc([100.0, 250.0, 511.0]) == [100.0, 250.0, 511.0]
+
+    def test_9bit_saturates_at_512(self):
+        # The paper's interface bug: anything above 512 mV is clamped.
+        assert _run_adc([600.0, 1000.0, 512.0]) == [512.0, 512.0, 512.0]
+
+    def test_wider_adc_fixes_the_bug(self):
+        assert _run_adc([650.0], bits=10) == [650.0]
+
+    def test_negative_clamped_to_zero(self):
+        assert _run_adc([-5.0]) == [0.0]
+
+    def test_quantisation_to_lsb(self):
+        assert _run_adc([100.4, 100.6], lsb=1.0) == [100.0, 101.0]
+        assert _run_adc([103.0], lsb=4.0) == [104.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdcTdf("a", bits=0)
+        with pytest.raises(ValueError):
+            AdcTdf("a", lsb=0.0)
+
+
+class TestDac:
+    def test_code_to_voltage(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 100, ms(1)))
+                self.dac = self.add(DacTdf("dac", bits=9, lsb=0.01))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.dac.dac_i)
+                self.connect(self.dac.dac_o, self.sink.ip)
+
+        top = Top("top")
+        Simulator(top).run(ms(1))
+        assert top.sink.values() == [1.0]
+
+    def test_code_clamped_to_range(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 9999, ms(1)))
+                self.dac = self.add(DacTdf("dac", bits=4, lsb=1.0))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.dac.dac_i)
+                self.connect(self.dac.dac_o, self.sink.ip)
+
+        top = Top("top")
+        Simulator(top).run(ms(1))
+        assert top.sink.values() == [15.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DacTdf("d", bits=0)
+        with pytest.raises(ValueError):
+            DacTdf("d", lsb=-1.0)

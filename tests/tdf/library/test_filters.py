@@ -1,0 +1,88 @@
+"""Unit tests for filter/calculus library models."""
+
+import math
+
+import pytest
+
+from repro.tdf import Cluster, Simulator, ms
+from repro.tdf.library import (
+    CollectorSink,
+    DifferentiatorTdf,
+    FirFilterTdf,
+    IirLowPassTdf,
+    IntegratorTdf,
+    MovingAverageTdf,
+    StimulusSource,
+)
+
+
+def _run(element, wave, periods=5):
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(StimulusSource("src", wave, ms(1)))
+            self.e = self.add(element)
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.e.ip)
+            self.connect(self.e.op, self.sink.ip)
+
+    top = Top("top")
+    Simulator(top).run(ms(periods))
+    return top.sink.values()
+
+
+class TestFir:
+    def test_impulse_response_equals_coefficients(self):
+        values = iter([1.0, 0.0, 0.0, 0.0])
+        out = _run(FirFilterTdf("f", [0.5, 0.3, 0.2]), lambda t: next(values), 4)
+        assert out == pytest.approx([0.5, 0.3, 0.2, 0.0])
+
+    def test_requires_coefficients(self):
+        with pytest.raises(ValueError):
+            FirFilterTdf("f", [])
+
+
+class TestMovingAverage:
+    def test_warms_up_then_averages(self):
+        values = iter([4.0, 8.0, 12.0, 12.0])
+        out = _run(MovingAverageTdf("f", 2), lambda t: next(values), 4)
+        assert out == [4.0, 6.0, 10.0, 12.0]
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MovingAverageTdf("f", 0)
+
+
+class TestIir:
+    def test_step_response_converges(self):
+        out = _run(IirLowPassTdf("f", 0.5), lambda t: 1.0, 8)
+        assert out[0] == 0.5
+        assert out[-1] > 0.99
+        assert out == sorted(out)
+
+    def test_alpha_range_checked(self):
+        with pytest.raises(ValueError):
+            IirLowPassTdf("f", 1.0)
+        with pytest.raises(ValueError):
+            IirLowPassTdf("f", -0.1)
+
+
+class TestIntegrator:
+    def test_constant_input_ramps(self):
+        out = _run(IntegratorTdf("i"), lambda t: 1000.0, 4)
+        # dt = 1 ms -> each sample adds 1.0.
+        assert out == pytest.approx([1.0, 2.0, 3.0, 4.0])
+
+    def test_initial_value(self):
+        out = _run(IntegratorTdf("i", initial=10.0), lambda t: 0.0, 2)
+        assert out == [10.0, 10.0]
+
+
+class TestDifferentiator:
+    def test_slope_of_ramp(self):
+        out = _run(DifferentiatorTdf("d"), lambda t: t, 4)
+        # d/dt of t is 1; the first sample differentiates from 0.
+        assert out[1:] == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_constant_input_zero_slope(self):
+        out = _run(DifferentiatorTdf("d"), lambda t: 5.0, 3)
+        assert out[1:] == pytest.approx([0.0, 0.0])

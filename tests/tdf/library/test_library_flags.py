@@ -1,0 +1,48 @@
+"""Cross-cutting checks of the library components' analysis flags.
+
+The classification semantics hinge on these flags (DESIGN.md): only the
+SISO gain/delay/buffer redefine; every library component anchors its
+input uses at the netlist; testbench modules stay out of the analysis.
+A regression here would silently change every system's class mix.
+"""
+
+import pytest
+
+from repro.tdf import library
+
+
+REDEFINING = {"GainTdf", "DelayTdf", "BufferTdf"}
+TESTBENCH = {
+    "StimulusSource", "ConstantSource", "SineSource", "StepSource",
+    "RampSource", "CollectorSink", "LedSink", "NullSink",
+}
+
+
+def _component_classes():
+    from repro.tdf.module import TdfModule
+
+    for name in library.__all__:
+        obj = getattr(library, name)
+        if isinstance(obj, type) and issubclass(obj, TdfModule):
+            yield name, obj
+
+
+class TestFlags:
+    def test_only_siso_elements_redefine(self):
+        for name, cls in _component_classes():
+            assert cls.REDEFINING == (name in REDEFINING), name
+
+    def test_every_component_is_opaque_for_uses(self):
+        for name, cls in _component_classes():
+            assert cls.OPAQUE_USES, name
+
+    def test_testbench_components_flagged(self):
+        for name, cls in _component_classes():
+            assert cls.TESTBENCH == (name in TESTBENCH), name
+
+    def test_redefining_elements_are_siso(self):
+        for name, cls in _component_classes():
+            if name in REDEFINING:
+                instance = cls(name.lower()) if name != "GainTdf" else cls("g", 1.0)
+                assert len(instance.in_ports()) == 1, name
+                assert len(instance.out_ports()) == 1, name

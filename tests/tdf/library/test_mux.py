@@ -1,0 +1,65 @@
+"""Unit tests for the analog mux/demux library models."""
+
+from repro.tdf import Cluster, Simulator, ms
+from repro.tdf.library import (
+    AnalogDemuxTdf,
+    AnalogMuxTdf,
+    CollectorSink,
+    ConstantSource,
+    StimulusSource,
+)
+
+
+def _mux_top(select_wave):
+    class Top(Cluster):
+        def architecture(self):
+            self.sel = self.add(StimulusSource("sel", select_wave, ms(1)))
+            self.s0 = self.add(ConstantSource("s0", 10.0))
+            self.s1 = self.add(ConstantSource("s1", 11.0))
+            self.s2 = self.add(ConstantSource("s2", 12.0))
+            self.s3 = self.add(ConstantSource("s3", 13.0))
+            self.mux = self.add(AnalogMuxTdf("mux"))
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.sel.op, self.mux.ip_select)
+            self.connect(self.s0.op, self.mux.ip_port_0)
+            self.connect(self.s1.op, self.mux.ip_port_1)
+            self.connect(self.s2.op, self.mux.ip_port_2)
+            self.connect(self.s3.op, self.mux.ip_port_3)
+            self.connect(self.mux.op_mux_out, self.sink.ip)
+
+    return Top("top")
+
+
+class TestMux:
+    def test_selects_each_input(self):
+        values = iter([0, 1, 2, 3])
+        top = _mux_top(lambda t: next(values))
+        Simulator(top).run(ms(4))
+        assert top.sink.values() == [10.0, 11.0, 12.0, 13.0]
+
+    def test_invalid_select_outputs_zero(self):
+        top = _mux_top(lambda t: 7)
+        Simulator(top).run(ms(2))
+        assert top.sink.values() == [0.0, 0.0]
+
+
+class TestDemux:
+    def test_routes_to_selected_output(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(ConstantSource("src", 9.0, timestep=ms(1)))
+                self.sel = self.add(StimulusSource("sel", lambda t: 1))
+                self.demux = self.add(AnalogDemuxTdf("demux"))
+                self.sinks = [self.add(CollectorSink(f"s{i}")) for i in range(4)]
+                self.connect(self.src.op, self.demux.ip)
+                self.connect(self.sel.op, self.demux.ip_select)
+                self.connect(self.demux.op_port_0, self.sinks[0].ip)
+                self.connect(self.demux.op_port_1, self.sinks[1].ip)
+                self.connect(self.demux.op_port_2, self.sinks[2].ip)
+                self.connect(self.demux.op_port_3, self.sinks[3].ip)
+
+        top = Top("top")
+        Simulator(top).run(ms(2))
+        assert top.sinks[1].values() == [9.0, 9.0]
+        for i in (0, 2, 3):
+            assert top.sinks[i].values() == [0.0, 0.0]

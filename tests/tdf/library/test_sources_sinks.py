@@ -1,0 +1,102 @@
+"""Unit tests for source and sink library models."""
+
+import math
+
+import pytest
+
+from repro.tdf import Cluster, Simulator, ms
+from repro.tdf.library import (
+    CollectorSink,
+    ConstantSource,
+    LedSink,
+    NullSink,
+    RampSource,
+    SineSource,
+    StepSource,
+    StimulusSource,
+)
+
+
+def _run(source, periods=4, sink_cls=CollectorSink):
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(source)
+            self.sink = self.add(sink_cls("sink"))
+            self.connect(self.src.op, self.sink.ip)
+
+    top = Top("top")
+    Simulator(top).run(ms(periods))
+    return top
+
+
+class TestSources:
+    def test_constant(self):
+        top = _run(ConstantSource("s", 3.3, timestep=ms(1)))
+        assert top.sink.values() == [3.3] * 4
+
+    def test_stimulus_waveform_sampled_at_port_times(self):
+        top = _run(StimulusSource("s", lambda t: t * 1000.0, ms(1)))
+        assert top.sink.values() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_set_waveform_swaps(self):
+        src = StimulusSource("s", lambda t: 0.0, ms(1))
+        top = _run(src, periods=0)
+        src.set_waveform(lambda t: 9.0)
+        Simulator(top).run(ms(2))
+        assert top.sink.values() == [9.0, 9.0]
+
+    def test_step(self):
+        top = _run(StepSource("s", 0.0, 1.0, step_time=0.002, timestep=ms(1)))
+        assert top.sink.values() == [0.0, 0.0, 1.0, 1.0]
+
+    def test_ramp_and_hold(self):
+        top = _run(RampSource("s", 0.0, 3.0, duration=0.003, timestep=ms(1)))
+        assert top.sink.values() == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_ramp_duration_validated(self):
+        with pytest.raises(ValueError):
+            RampSource("s", 0.0, 1.0, duration=0.0)
+
+    def test_sine(self):
+        top = _run(SineSource("s", amplitude=2.0, frequency_hz=250.0, timestep=ms(1)))
+        assert top.sink.values() == pytest.approx([0.0, 2.0, 0.0, -2.0], abs=1e-9)
+
+    def test_sources_are_testbench(self):
+        assert ConstantSource("s", 0.0).TESTBENCH
+
+
+class TestSinks:
+    def test_collector_records_times(self):
+        top = _run(ConstantSource("s", 1.0, timestep=ms(2)), periods=4)
+        assert top.sink.times() == pytest.approx([0.0, 0.002])
+
+    def test_collector_max_samples(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(ConstantSource("s", 1.0, timestep=ms(1)))
+                self.sink = self.add(CollectorSink("sink", max_samples=2))
+                self.connect(self.src.op, self.sink.ip)
+
+        top = Top("top")
+        Simulator(top).run(ms(5))
+        assert len(top.sink.values()) == 2
+
+    def test_led_latches_and_records_transitions(self):
+        values = iter([0, 1, 1, 0])
+        top = _run(StimulusSource("s", lambda t: next(values), ms(1)), sink_cls=LedSink)
+        assert not top.sink.is_on
+        assert top.sink.ever_on()
+        assert [(round(t, 3), s) for t, s in top.sink.m_transitions] == [
+            (0.001, True),
+            (0.003, False),
+        ]
+
+    def test_led_clear(self):
+        values = iter([1, 1])
+        top = _run(StimulusSource("s", lambda t: next(values), ms(1)), periods=2, sink_cls=LedSink)
+        top.sink.clear()
+        assert not top.sink.ever_on()
+
+    def test_null_sink_consumes(self):
+        top = _run(ConstantSource("s", 1.0, timestep=ms(1)), sink_cls=NullSink)
+        assert top.sink.activation_count == 4

@@ -1,0 +1,139 @@
+"""Unit tests for cluster construction and netlist queries."""
+
+import pytest
+
+from repro.tdf import (
+    BindingError,
+    Cluster,
+    ElaborationError,
+    Simulator,
+    TdfIn,
+    TdfModule,
+    TdfOut,
+    ms,
+)
+from repro.tdf.library import CollectorSink, ConstantSource
+
+from helpers import Passthrough
+
+
+class TestModuleRegistry:
+    def test_duplicate_names_rejected(self):
+        top = Cluster("top")
+        top.add(Passthrough("a"))
+        with pytest.raises(ElaborationError, match="already contains"):
+            top.add(Passthrough("a"))
+
+    def test_add_returns_module(self):
+        top = Cluster("top")
+        m = Passthrough("a")
+        assert top.add(m) is m
+        assert m.cluster is top
+
+    def test_module_lookup(self):
+        top = Cluster("top")
+        m = top.add(Passthrough("a"))
+        assert top.module("a") is m
+        with pytest.raises(ElaborationError, match="no module"):
+            top.module("zzz")
+
+    def test_modules_in_registration_order(self):
+        top = Cluster("top")
+        for name in ["c", "a", "b"]:
+            top.add(Passthrough(name))
+        assert [m.name for m in top.modules] == ["c", "a", "b"]
+
+
+class TestSignals:
+    def test_signal_created_once(self):
+        top = Cluster("top")
+        assert top.signal("s") is top.signal("s")
+
+    def test_anonymous_signal_names_unique(self):
+        top = Cluster("top")
+        assert top.signal().name != top.signal().name
+
+    def test_connect_builds_topology(self):
+        top = Cluster("top")
+        a, b = top.add(Passthrough("a")), top.add(Passthrough("b"))
+        sig = top.connect(a.op, b.ip)
+        assert sig.driver is a.op
+        assert sig.readers == [b.ip]
+        assert top.driver_of(b.ip) is a.op
+        assert top.readers_of(a.op) == [b.ip]
+
+    def test_connect_reuses_existing_signal(self):
+        top = Cluster("top")
+        a = top.add(Passthrough("a"))
+        b, c = top.add(Passthrough("b")), top.add(Passthrough("c"))
+        sig1 = top.connect(a.op, b.ip)
+        sig2 = top.connect(a.op, c.ip)
+        assert sig1 is sig2
+        assert sig1.readers == [b.ip, c.ip]
+
+    def test_connect_type_checks(self):
+        top = Cluster("top")
+        a, b = top.add(Passthrough("a")), top.add(Passthrough("b"))
+        with pytest.raises(BindingError, match="source must be an output"):
+            top.connect(a.ip, b.ip)
+        with pytest.raises(BindingError, match="sinks must be input"):
+            top.connect(a.op, b.op)
+
+
+class TestBindingChecks:
+    def test_unbound_port_detected(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.a = self.add(Passthrough("a"))
+
+        with pytest.raises(BindingError, match="not bound"):
+            Top("top").check_bindings()
+
+    def test_undriven_inputs_reported_not_fatal(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.a = self.add(Passthrough("a"))
+                self.a.ip.bind(self.signal("floating"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.a.op, self.sink.ip)
+
+        top = Top("top")
+        top.check_bindings()  # must not raise
+        assert [p.full_name() for p in top.undriven_inputs()] == ["a.ip"]
+
+    def test_architecture_hook_runs_in_constructor(self):
+        built = []
+
+        class Top(Cluster):
+            def architecture(self):
+                built.append(True)
+
+        Top("top")
+        assert built == [True]
+
+    def test_bindings_iterator(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(ConstantSource("src", 0.0, timestep=ms(1)))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.sink.ip, name="wire")
+
+        top = Top("top")
+        rows = list(top.bindings())
+        assert len(rows) == 1
+        sig, driver, readers = rows[0]
+        assert sig.name == "wire"
+        assert driver is top.src.op
+        assert readers == [top.sink.ip]
+
+
+class TestReset:
+    def test_reset_signals_restarts_streams(self, passthrough_cluster):
+        top = passthrough_cluster
+        sim = Simulator(top)
+        sim.run(ms(3))
+        assert len(top.sink.values()) == 3
+        top.sink.clear()
+        sim2 = Simulator(top)
+        sim2.run(ms(2))
+        assert len(top.sink.values()) == 2

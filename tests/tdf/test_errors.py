@@ -1,0 +1,31 @@
+"""Sanity tests for the kernel's exception taxonomy."""
+
+import pytest
+
+from repro.tdf import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_tdf_error(self):
+        for name in [
+            "ElaborationError", "BindingError", "RateConsistencyError",
+            "TimestepError", "SchedulingDeadlockError", "SimulationError",
+            "PortAccessError", "DynamicTdfError",
+        ]:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.TdfError), name
+
+    def test_elaboration_family(self):
+        for cls in [
+            errors.BindingError, errors.RateConsistencyError,
+            errors.TimestepError, errors.SchedulingDeadlockError,
+        ]:
+            assert issubclass(cls, errors.ElaborationError)
+
+    def test_simulation_family(self):
+        assert issubclass(errors.PortAccessError, errors.SimulationError)
+        assert issubclass(errors.DynamicTdfError, errors.SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.TdfError):
+            raise errors.SchedulingDeadlockError("loop")

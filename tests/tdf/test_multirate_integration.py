@@ -1,0 +1,155 @@
+"""Integration tests for multirate clusters (decimators/interpolators)."""
+
+import pytest
+
+from repro.tdf import Cluster, Simulator, TdfIn, TdfModule, TdfOut, ms, us
+
+
+class Interpolator(TdfModule):
+    """1 in -> 3 out per activation (zero-order hold upsampling)."""
+
+    def __init__(self, name="interp"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+
+    def set_attributes(self):
+        self.op.set_rate(3)
+
+    def processing(self):
+        value = self.ip.read()
+        self.op.write(value, 0)
+        self.op.write(value, 1)
+        self.op.write(value, 2)
+
+
+class Decimator(TdfModule):
+    """3 in -> 1 out per activation (average downsampling)."""
+
+    def __init__(self, name="decim"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+
+    def set_attributes(self):
+        self.ip.set_rate(3)
+
+    def processing(self):
+        avg = (self.ip.read(0) + self.ip.read(1) + self.ip.read(2)) / 3.0
+        self.op.write(avg)
+
+
+class CountingSource(TdfModule):
+    def __init__(self, name="src"):
+        super().__init__(name)
+        self.op = TdfOut()
+        self.m_n = 0
+
+    def set_attributes(self):
+        self.set_timestep(ms(3))
+
+    def initialize(self):
+        self.m_n = 0
+
+    def processing(self):
+        self.op.write(float(self.m_n))
+        self.m_n += 1
+
+
+class Collector(TdfModule):
+    def __init__(self, name="coll"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.m_seen = []
+
+    def initialize(self):
+        self.m_seen = []
+
+    def processing(self):
+        self.m_seen.append((self.local_time(), self.ip.read()))
+
+
+class TestUpDownChain:
+    def _top(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(CountingSource())
+                self.up = self.add(Interpolator())
+                self.down = self.add(Decimator())
+                self.coll = self.add(Collector())
+                self.connect(self.src.op, self.up.ip)
+                self.connect(self.up.op, self.down.ip)
+                self.connect(self.down.op, self.coll.ip)
+
+        return Top("top")
+
+    def test_roundtrip_preserves_samples(self):
+        top = self._top()
+        Simulator(top).run(ms(9))
+        assert [v for _, v in top.coll.m_seen] == [0.0, 1.0, 2.0]
+
+    def test_schedule_balances(self):
+        top = self._top()
+        sim = Simulator(top)
+        sim.initialize()
+        q = sim.schedule.repetitions
+        assert q["src"] == q["interp"] == q["decim"] == q["coll"]
+
+    def test_interpolated_port_timestep(self):
+        top = self._top()
+        Simulator(top).initialize()
+        # src at 3 ms -> interpolator output emits 3 samples per 3 ms.
+        assert top.up.op.timestep == ms(1)
+        assert top.up.timestep == ms(3)
+
+    def test_collector_times_follow_module_period(self):
+        top = self._top()
+        Simulator(top).run(ms(9))
+        assert [t for t, _ in top.coll.m_seen] == [ms(0), ms(3), ms(6)]
+
+
+class TestFanRates:
+    def test_interpolated_stream_content(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(CountingSource())
+                self.up = self.add(Interpolator())
+                self.coll = self.add(Collector())
+                self.connect(self.src.op, self.up.ip)
+                self.connect(self.up.op, self.coll.ip)
+
+        top = Top("top")
+        Simulator(top).run(ms(6))
+        values = [v for _, v in top.coll.m_seen]
+        assert values == [0.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+        times = [t for t, _ in top.coll.m_seen]
+        assert times == [ms(0), ms(1), ms(2), ms(3), ms(4), ms(5)]
+
+    def test_rate_change_via_dynamic_tdf(self):
+        class Switcher(Interpolator):
+            def processing(self):
+                value = self.ip.read()
+                for i in range(self.op.rate):
+                    self.op.write(value, i)
+
+            def change_attributes(self):
+                # After two activations, interpolate by 2 instead of 3.
+                if self.activation_count == 2 and self.op.rate == 3:
+                    self.request_rate("op", 2)
+
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(CountingSource())
+                self.up = self.add(Switcher("up"))
+                self.coll = self.add(Collector())
+                self.connect(self.src.op, self.up.ip)
+                self.connect(self.up.op, self.coll.ip)
+
+        top = Top("top")
+        sim = Simulator(top)
+        sim.run(ms(12))
+        assert sim.reelaborations == 1
+        values = [v for _, v in top.coll.m_seen]
+        # Two activations at rate 3, then rate 2.
+        assert values[:6] == [0.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+        assert values[6:8] == [2.0, 2.0]

@@ -1,0 +1,281 @@
+"""Unit tests for SDF elaboration: balance, timesteps, PASS, deadlock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tdf import (
+    Cluster,
+    RateConsistencyError,
+    SchedulingDeadlockError,
+    Simulator,
+    TdfIn,
+    TdfModule,
+    TdfOut,
+    TimestepError,
+    elaborate,
+    ms,
+    us,
+)
+from repro.tdf.library import CollectorSink, ConstantSource
+
+from helpers import Passthrough
+
+
+class _Producer(TdfModule):
+    def __init__(self, name, rate=1, timestep=None):
+        super().__init__(name)
+        self.op = TdfOut()
+        self._rate = rate
+        self._ts = timestep
+
+    def set_attributes(self):
+        self.op.set_rate(self._rate)
+        if self._ts is not None:
+            self.set_timestep(self._ts)
+
+    def processing(self):
+        for i in range(self.op.rate):
+            self.op.write(float(i), i)
+
+
+class _Consumer(TdfModule):
+    def __init__(self, name, rate=1):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self._rate = rate
+
+    def set_attributes(self):
+        self.ip.set_rate(self._rate)
+
+    def processing(self):
+        for i in range(self.ip.rate):
+            self.ip.read(i)
+
+
+def _link(producer, consumer):
+    class Top(Cluster):
+        def architecture(self):
+            self.p = self.add(producer)
+            self.c = self.add(consumer)
+            self.connect(self.p.op, self.c.ip)
+
+    return Top("top")
+
+
+class TestRepetitionVector:
+    def test_single_rate(self):
+        top = _link(_Producer("p", 1, ms(1)), _Consumer("c", 1))
+        schedule = elaborate(top)
+        assert schedule.repetitions == {"p": 1, "c": 1}
+
+    def test_multirate_2_to_3(self):
+        top = _link(_Producer("p", 2, ms(1)), _Consumer("c", 3))
+        schedule = elaborate(top)
+        # 2*q_p == 3*q_c  ->  q_p=3, q_c=2.
+        assert schedule.repetitions == {"p": 3, "c": 2}
+        assert len(schedule.firings) == 5
+
+    def test_inconsistent_rates_rejected(self):
+        class Fork(Cluster):
+            def architecture(self):
+                self.p = self.add(_Producer("p", 2, ms(1)))
+                self.a = self.add(_Consumer("a", 2))
+                self.b = self.add(_Consumer("b", 3))
+                sig = self.connect(self.p.op, self.a.ip)
+                self.b.ip.bind(sig)
+                # Close an inconsistent loop: a and b re-join.
+                self.q = self.add(_Producer("q", 1))
+                self.r = self.add(_Consumer("r", 1))
+                self.connect(self.q.op, self.r.ip)
+                # a:2 and b:3 reading the same signal forces q_a*2 == q_b*3
+                # against q_a == q_b via a shared producer below.
+                self.x = self.add(_TwoOut("x"))
+                self.ya = self.add(_Consumer("ya", 1))
+                self.yb = self.add(_Consumer("yb", 1))
+
+        # Simpler direct construction of inconsistency:
+        class Bad(Cluster):
+            def architecture(self):
+                self.p = self.add(_Producer("p", 2, ms(1)))
+                self.c = self.add(_Consumer("c", 3))
+                self.back = self.add(_Producer("back", 1))
+                sig = self.connect(self.p.op, self.c.ip)
+
+        # p(2) -> c(3) alone is consistent (3:2); add a second edge with
+        # different ratio to break it.
+        class Inconsistent(Cluster):
+            def architecture(self):
+                self.a = self.add(_ProducerConsumer("a", out_rate=2, in_rate=1))
+                self.b = self.add(_ProducerConsumer("b", out_rate=1, in_rate=1))
+                self.connect(self.a.op, self.b.ip)   # q_b = 2 q_a
+                self.connect(self.b.op, self.a.ip)   # q_a = q_b  -> contradiction
+
+        with pytest.raises(RateConsistencyError):
+            elaborate(Inconsistent("bad"))
+
+
+class _ProducerConsumer(TdfModule):
+    def __init__(self, name, out_rate=1, in_rate=1):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self._out_rate = out_rate
+        self._in_rate = in_rate
+
+    def set_attributes(self):
+        self.op.set_rate(self._out_rate)
+        self.ip.set_rate(self._in_rate)
+        self.set_timestep(ms(1))
+
+    def processing(self):
+        pass
+
+
+class _TwoOut(TdfModule):
+    def __init__(self, name):
+        super().__init__(name)
+        self.op_a = TdfOut()
+        self.op_b = TdfOut()
+
+    def processing(self):
+        pass
+
+
+class TestTimestepPropagation:
+    def test_derived_through_signal(self):
+        top = _link(_Producer("p", 1, ms(2)), _Consumer("c", 1))
+        elaborate(top)
+        assert top.c.timestep == ms(2)
+        assert top.c.ip.timestep == ms(2)
+
+    def test_multirate_port_timesteps(self):
+        top = _link(_Producer("p", 2, ms(2)), _Consumer("c", 1))
+        schedule = elaborate(top)
+        # p fires every 2 ms emitting 2 samples -> sample period 1 ms;
+        # c consumes 1 per firing -> c fires every 1 ms.
+        assert top.p.op.timestep == ms(1)
+        assert top.c.timestep == ms(1)
+        assert schedule.repetitions == {"p": 1, "c": 2}
+
+    def test_missing_timestep_rejected(self):
+        top = _link(_Producer("p", 1, None), _Consumer("c", 1))
+        with pytest.raises(TimestepError, match="no timestep"):
+            elaborate(top)
+
+    def test_conflicting_timesteps_rejected(self):
+        class Both(Cluster):
+            def architecture(self):
+                self.p = self.add(_Producer("p", 1, ms(1)))
+                self.c = self.add(_AnchoredConsumer("c", ms(2)))
+                self.connect(self.p.op, self.c.ip)
+
+        with pytest.raises(TimestepError):
+            elaborate(Both("top"))
+
+    def test_contradictory_requests_within_module(self):
+        class Split(TdfModule):
+            def __init__(self, name):
+                super().__init__(name)
+                self.ip = TdfIn()
+
+            def set_attributes(self):
+                self.set_timestep(ms(1))
+                self.ip.set_timestep(ms(2))  # implies module ts 2 ms
+
+            def processing(self):
+                pass
+
+        class Top(Cluster):
+            def architecture(self):
+                self.p = self.add(_Producer("p", 1))
+                self.s = self.add(Split("s"))
+                self.connect(self.p.op, self.s.ip)
+
+        with pytest.raises(TimestepError, match="contradictory"):
+            elaborate(Top("top"))
+
+    def test_cluster_period_is_lcm(self):
+        top = _link(_Producer("p", 3, ms(3)), _Consumer("c", 2))
+        schedule = elaborate(top)
+        # p: 3 samples / 3 ms -> sample period 1 ms; c consumes 2 -> 2 ms.
+        # Balance: q_p=2, q_c=3, period 6 ms.
+        assert schedule.period == ms(6)
+
+
+class TestPass:
+    def test_pipeline_order_respects_data(self, passthrough_cluster):
+        schedule = elaborate(passthrough_cluster)
+        order = [m.name for m, _ in schedule.firings]
+        assert order.index("src") < order.index("dut") < order.index("sink")
+
+    def test_feedback_without_delay_deadlocks(self):
+        class Loop(Cluster):
+            def architecture(self):
+                self.a = self.add(_ProducerConsumer("a"))
+                self.b = self.add(_ProducerConsumer("b", in_rate=1))
+                self.connect(self.a.op, self.b.ip)
+                self.connect(self.b.op, self.a.ip)
+
+        with pytest.raises(SchedulingDeadlockError, match="deadlock"):
+            elaborate(Loop("loop"))
+
+    def test_feedback_with_delay_schedules(self):
+        class Loop(Cluster):
+            def architecture(self):
+                self.a = self.add(_DelayedLoopModule("a"))
+                self.b = self.add(_ProducerConsumer("b"))
+                self.connect(self.a.op, self.b.ip)
+                self.connect(self.b.op, self.a.ip)
+
+        schedule = elaborate(Loop("loop"))
+        assert len(schedule.firings) == 2
+
+    def test_each_module_fires_repetition_times(self):
+        top = _link(_Producer("p", 2, ms(1)), _Consumer("c", 3))
+        schedule = elaborate(top)
+        fired = {}
+        for module, k in schedule.firings:
+            fired[module.name] = fired.get(module.name, 0) + 1
+        assert fired == schedule.repetitions
+
+
+class _AnchoredConsumer(TdfModule):
+    def __init__(self, name, ts):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self._ts = ts
+
+    def set_attributes(self):
+        self.set_timestep(self._ts)
+
+    def processing(self):
+        pass
+
+
+class _DelayedLoopModule(TdfModule):
+    def __init__(self, name):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+
+    def set_attributes(self):
+        self.set_timestep(ms(1))
+        self.ip.set_delay(1)
+
+    def processing(self):
+        pass
+
+
+class TestPropertyBalance:
+    @given(st.integers(1, 6), st.integers(1, 6))
+    def test_balance_equation_holds(self, rp, rc):
+        # 720 us divides evenly by every rate in [1, 6] (in femtoseconds),
+        # so no fractional-timestep rejection interferes with the property.
+        top = _link(_Producer("p", rp, us(720)), _Consumer("c", rc))
+        schedule = elaborate(top)
+        q = schedule.repetitions
+        assert q["p"] * rp == q["c"] * rc
+        from math import gcd
+
+        assert gcd(q["p"], q["c"]) == 1

@@ -1,0 +1,133 @@
+"""Unit tests for the exact time representation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tdf.time import ScaTime, fs, gcd_time, lcm_time, ms, ns, ps, sec, us
+
+
+class TestConstruction:
+    def test_unit_constructors(self):
+        assert fs(1).femtoseconds == 1
+        assert ps(1).femtoseconds == 10**3
+        assert ns(1).femtoseconds == 10**6
+        assert us(1).femtoseconds == 10**9
+        assert ms(1).femtoseconds == 10**12
+        assert sec(1).femtoseconds == 10**15
+
+    def test_float_values_round_to_femtoseconds(self):
+        assert ms(1.5).femtoseconds == 1_500_000_000_000
+        assert us(0.5).femtoseconds == 500_000_000
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError, match="unknown time unit"):
+            ScaTime(1, "minutes")
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ScaTime(float("inf"), "ms")
+        with pytest.raises(ValueError, match="finite"):
+            ScaTime(float("nan"), "s")
+
+    def test_zero(self):
+        assert ScaTime.zero().femtoseconds == 0
+        assert not ScaTime.zero()
+        assert ms(1)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert ms(1) + us(500) == us(1500)
+        assert ms(2) - ms(1) == ms(1)
+
+    def test_scalar_multiply(self):
+        assert ms(1) * 3 == ms(3)
+        assert 2 * us(10) == us(20)
+        assert ms(1) * 0.5 == us(500)
+
+    def test_divide_by_time_gives_ratio(self):
+        assert ms(1) / us(1) == 1000.0
+
+    def test_divide_by_scalar_gives_time(self):
+        assert ms(1) / 4 == us(250)
+
+    def test_floordiv_and_mod(self):
+        assert ms(1) // us(300) == 3
+        assert ms(1) % us(300) == us(100)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            ms(1) / ScaTime.zero()
+        with pytest.raises(ZeroDivisionError):
+            ms(1) / 0
+        with pytest.raises(ZeroDivisionError):
+            ms(1) // ScaTime.zero()
+
+    def test_negation_abs(self):
+        assert -ms(1) == ScaTime.from_femtoseconds(-(10**12))
+        assert abs(-ms(1)) == ms(1)
+
+
+class TestComparison:
+    def test_ordering(self):
+        assert us(1) < ms(1) < sec(1)
+        assert ms(1) >= ms(1)
+
+    def test_equality_across_units(self):
+        assert ms(1) == us(1000) == ns(10**6)
+
+    def test_hashable(self):
+        assert len({ms(1), us(1000), us(999)}) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert ms(1) != 10**12
+
+
+class TestFormatting:
+    def test_exact_unit_display(self):
+        assert str(ms(1)) == "1 ms"
+        assert str(us(1500)) == "1.5 ms"
+        assert str(ScaTime.zero()) == "0 s"
+
+    def test_repr_roundtrip_info(self):
+        assert "1 ms" in repr(ms(1))
+
+    def test_to_unit(self):
+        assert ms(1).to("us") == 1000.0
+        assert ms(1).to_seconds() == 1e-3
+        with pytest.raises(ValueError):
+            ms(1).to("lightyears")
+
+
+class TestGcdLcm:
+    def test_gcd(self):
+        assert gcd_time(ms(1), us(300)) == us(100)
+
+    def test_lcm(self):
+        assert lcm_time(us(300), us(200)) == us(600)
+
+
+class TestProperties:
+    @given(st.integers(-10**18, 10**18), st.integers(-10**18, 10**18))
+    def test_addition_commutes(self, a, b):
+        ta, tb = ScaTime.from_femtoseconds(a), ScaTime.from_femtoseconds(b)
+        assert ta + tb == tb + ta
+
+    @given(st.integers(-10**18, 10**18), st.integers(-10**18, 10**18))
+    def test_add_sub_inverse(self, a, b):
+        ta, tb = ScaTime.from_femtoseconds(a), ScaTime.from_femtoseconds(b)
+        assert (ta + tb) - tb == ta
+
+    @given(st.integers(0, 10**18), st.integers(1, 10**9))
+    def test_floordiv_mod_identity(self, a, b):
+        ta, tb = ScaTime.from_femtoseconds(a), ScaTime.from_femtoseconds(b)
+        assert tb * (ta // tb) + (ta % tb) == ta
+
+    @given(st.integers(-10**15, 10**15))
+    def test_ordering_total(self, a):
+        ta = ScaTime.from_femtoseconds(a)
+        assert ta <= ta
+        assert not ta < ta

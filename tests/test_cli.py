@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_systems(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sensor" in out
+        assert "window_lifter" in out
+        assert "buck_boost" in out
+        assert "3 testcases" in out
+
+
+class TestStatic:
+    def test_sensor_static_report(self, capsys):
+        assert main(["static", "sensor"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster: sense_top" in out
+        assert "PFirm=2" in out
+        assert "PWeak=1" in out
+        assert "[Strong" in out
+
+    def test_buck_boost_reports_undriven_port(self, capsys):
+        assert main(["static", "buck_boost"]) == 0
+        out = capsys.readouterr().out
+        assert "limiter.ip_trim" in out
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["static", "nonexistent"])
+
+
+class TestRun:
+    def test_sensor_run_summary(self, capsys):
+        assert main(["run", "sensor"]) == 0
+        out = capsys.readouterr().out
+        assert "Static associations" in out
+        assert "Per-class coverage" in out
+        assert "all-PWeak" in out
+
+    def test_run_with_matrix(self, capsys):
+        assert main(["run", "sensor", "--matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "TC1" in out and "TC2" in out and "TC3" in out
+        assert "data flow pair exercised" in out
+
+
+class TestArgParsing:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_campaign_restricted_to_case_studies(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "sensor"])

@@ -1,0 +1,31 @@
+"""Smoke tests for the package-level public API."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.instrument
+        import repro.rv32
+        import repro.tdf
+        import repro.tdf.library
+        import repro.testing
+
+        for module in [
+            repro.analysis, repro.core, repro.instrument, repro.rv32,
+            repro.tdf, repro.tdf.library, repro.testing,
+        ]:
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_headline_workflow_importable_from_root(self):
+        from repro import TestSuite, run_dft  # noqa: F401

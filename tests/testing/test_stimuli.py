@@ -1,0 +1,137 @@
+"""Unit tests for stimulus waveforms."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.testing import (
+    Clip,
+    Constant,
+    Offset,
+    Pulse,
+    Pwl,
+    RampUpDown,
+    SeededNoise,
+    Sine,
+    Step,
+    Sum,
+)
+
+
+class TestBasicShapes:
+    def test_constant(self):
+        s = Constant(2.5)
+        assert s(0.0) == 2.5
+        assert s(99.0) == 2.5
+
+    def test_step(self):
+        s = Step(0.0, 1.0, at=1.0)
+        assert s(0.999) == 0.0
+        assert s(1.0) == 1.0
+
+    def test_ramp_up_down_tc2_shape(self):
+        # The paper's TC2: 0 V -> 0.65 V -> 0 V.
+        s = RampUpDown(0.0, 0.65, t_up=0.01, t_hold_end=0.02, t_end=0.03)
+        assert s(0.0) == 0.0
+        assert s(0.005) == pytest.approx(0.325)
+        assert s(0.015) == 0.65
+        assert s(0.025) == pytest.approx(0.325)
+        assert s(0.05) == 0.0
+
+    def test_ramp_up_down_validation(self):
+        with pytest.raises(ValueError):
+            RampUpDown(0, 1, t_up=0.2, t_hold_end=0.1, t_end=0.3)
+
+    def test_sine(self):
+        s = Sine(amplitude=1.0, frequency_hz=1.0)
+        assert s(0.25) == pytest.approx(1.0)
+        assert s(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_pulse(self):
+        s = Pulse(0.0, 5.0, period=1.0, width=0.25, delay=0.5)
+        assert s(0.4) == 0.0          # before delay
+        assert s(0.6) == 5.0          # inside first pulse
+        assert s(0.8) == 0.0
+        assert s(1.6) == 5.0          # second period
+
+    def test_pulse_validation(self):
+        with pytest.raises(ValueError):
+            Pulse(0, 1, period=0.0, width=0.1)
+        with pytest.raises(ValueError):
+            Pulse(0, 1, period=1.0, width=2.0)
+
+
+class TestPwl:
+    def test_interpolates(self):
+        s = Pwl([(0.0, 0.0), (1.0, 10.0)])
+        assert s(0.5) == pytest.approx(5.0)
+
+    def test_holds_ends(self):
+        s = Pwl([(1.0, 2.0), (2.0, 4.0)])
+        assert s(0.0) == 2.0
+        assert s(9.0) == 4.0
+
+    def test_requires_sorted_points(self):
+        with pytest.raises(ValueError):
+            Pwl([(1.0, 0.0), (0.5, 1.0)])
+
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            Pwl([])
+
+
+class TestCombinators:
+    def test_offset(self):
+        s = Offset(Constant(1.0), 2.0)
+        assert s(0.0) == 3.0
+
+    def test_sum(self):
+        s = Sum([Constant(1.0), Constant(2.0)])
+        assert s(0.0) == 3.0
+
+    def test_sum_requires_parts(self):
+        with pytest.raises(ValueError):
+            Sum([])
+
+    def test_clip(self):
+        s = Clip(Constant(10.0), -1.0, 1.0)
+        assert s(0.0) == 1.0
+
+    def test_clip_validation(self):
+        with pytest.raises(ValueError):
+            Clip(Constant(0.0), 1.0, -1.0)
+
+
+class TestSeededNoise:
+    def test_deterministic_per_seed_and_time(self):
+        a = SeededNoise(0.0, 1.0, seed=42)
+        b = SeededNoise(0.0, 1.0, seed=42)
+        assert a(0.123) == b(0.123)
+
+    def test_different_seeds_differ(self):
+        a = SeededNoise(0.0, 1.0, seed=1)
+        b = SeededNoise(0.0, 1.0, seed=2)
+        assert a(0.5) != b(0.5)
+
+    def test_quantum_validated(self):
+        with pytest.raises(ValueError):
+            SeededNoise(0, 1, seed=0, quantum=0.0)
+
+    @given(st.floats(0.0, 100.0))
+    def test_bounds_respected(self, t):
+        s = SeededNoise(-2.0, 3.0, seed=7)
+        assert -2.0 <= s(t) <= 3.0
+
+    def test_order_independent(self):
+        s = SeededNoise(0.0, 1.0, seed=9)
+        forward = [s(t / 100) for t in range(10)]
+        backward = [s(t / 100) for t in reversed(range(10))]
+        assert forward == list(reversed(backward))
+
+
+class TestNames:
+    def test_default_names_informative(self):
+        assert "const" in Constant(1.0).name
+        assert "TC2" == RampUpDown(0, 1, 0.1, 0.2, 0.3, name="TC2").name

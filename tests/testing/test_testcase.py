@@ -1,0 +1,58 @@
+"""Unit tests for testcases and suites."""
+
+import pytest
+
+from repro.tdf import Cluster, ms
+from repro.tdf.library import StimulusSource
+from repro.testing import TestCase, TestSuite, waveform_testcase
+
+
+def _cluster():
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+
+    return Top("top")
+
+
+class TestTestCase:
+    def test_apply_runs_setup(self):
+        seen = []
+        tc = TestCase("t", ms(1), lambda c: seen.append(c.name))
+        tc.apply(_cluster())
+        assert seen == ["top"]
+
+    def test_waveform_testcase_installs_waveforms(self):
+        tc = waveform_testcase("t", ms(1), {"src": lambda t: 7.0})
+        top = _cluster()
+        tc.apply(top)
+        assert top.src.m_waveform(0.0) == 7.0
+
+    def test_repr(self):
+        assert "t" in repr(TestCase("t", ms(1), lambda c: None))
+
+
+class TestTestSuite:
+    def _tc(self, name):
+        return TestCase(name, ms(1), lambda c: None)
+
+    def test_ordered_and_iterable(self):
+        suite = TestSuite("s", [self._tc("a"), self._tc("b")])
+        assert suite.names() == ["a", "b"]
+        assert [tc.name for tc in suite] == ["a", "b"]
+        assert len(suite) == 2
+
+    def test_duplicate_names_rejected(self):
+        suite = TestSuite("s", [self._tc("a")])
+        with pytest.raises(ValueError, match="already has testcase"):
+            suite.add(self._tc("a"))
+
+    def test_extend(self):
+        suite = TestSuite("s")
+        suite.extend([self._tc("a"), self._tc("b")])
+        assert len(suite) == 2
+
+    def test_testcases_returns_copy(self):
+        suite = TestSuite("s", [self._tc("a")])
+        suite.testcases.append(self._tc("b"))
+        assert len(suite) == 1

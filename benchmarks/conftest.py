@@ -9,8 +9,11 @@ DESIGN.md's experiment index).  Results are printed (visible with
 from __future__ import annotations
 
 import os
+import re
 
 import pytest
+
+from repro.obs import format_tree, telemetry_session, write_jsonl
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
@@ -20,6 +23,26 @@ def results_dir():
     """Directory collecting the regenerated tables."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(autouse=True)
+def bench_telemetry(request):
+    """Record telemetry around every benchmark and persist the breakdown.
+
+    Each test leaves ``results/telemetry/<test>.jsonl`` (the structured
+    event log) and ``.txt`` (the span-tree summary) behind, giving perf
+    PRs a per-stage before/after baseline for free.
+    """
+    with telemetry_session() as tel:
+        yield tel
+    if not tel.spans and not tel.metrics.records():
+        return
+    out_dir = os.path.join(RESULTS_DIR, "telemetry")
+    os.makedirs(out_dir, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    write_jsonl(tel, os.path.join(out_dir, stem + ".jsonl"))
+    with open(os.path.join(out_dir, stem + ".txt"), "w") as fh:
+        fh.write(format_tree(tel) + "\n")
 
 
 def write_result(results_dir: str, name: str, text: str) -> str:

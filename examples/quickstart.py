@@ -9,10 +9,16 @@ paper on the smallest possible example.
 Run with::
 
     python examples/quickstart.py
+
+Pass ``--telemetry run.jsonl`` and/or ``--trace-events run.trace.json``
+to record the run's telemetry (see README § Observability).
 """
+
+import argparse
 
 from repro import TestCase, TestSuite, run_dft
 from repro.core import format_matrix, format_summary
+from repro.obs import telemetry_session, write_chrome_trace, write_jsonl
 from repro.tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
 from repro.tdf.library import CollectorSink, GainTdf, StimulusSource
 
@@ -51,6 +57,13 @@ class QuickTop(Cluster):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--telemetry", metavar="PATH",
+                        help="save a telemetry JSON-lines event log to PATH")
+    parser.add_argument("--trace-events", metavar="PATH",
+                        help="save a Chrome/Perfetto trace-event file to PATH")
+    args = parser.parse_args()
+
     suite = TestSuite(
         "quickstart",
         [
@@ -61,7 +74,15 @@ def main() -> None:
         ],
     )
 
-    result = run_dft(lambda: QuickTop("quick_top"), suite)
+    if args.telemetry or args.trace_events:
+        with telemetry_session() as tel:
+            result = run_dft(lambda: QuickTop("quick_top"), suite)
+        if args.telemetry:
+            write_jsonl(tel, args.telemetry)
+        if args.trace_events:
+            write_chrome_trace(tel, args.trace_events)
+    else:
+        result = run_dft(lambda: QuickTop("quick_top"), suite)
 
     print("=" * 72)
     print("Table-I style exercise matrix")

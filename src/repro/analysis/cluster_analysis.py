@@ -19,9 +19,11 @@ Combines the per-model analyses with the netlist binding information:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..obs import get_telemetry
 from ..core.associations import (
     AssocClass,
     Association,
@@ -93,18 +95,31 @@ def _use_anchors(
     ]
 
 
-def analyze_cluster(cluster: Cluster) -> StaticAnalysisResult:
+def analyze_cluster(cluster: Cluster, telemetry=None) -> StaticAnalysisResult:
     """Run the complete static data-flow analysis over ``cluster``.
 
     Module ``set_attributes()`` must not be required: the analysis is
     purely structural (bindings + source), so it can run before any
-    simulation.
+    simulation.  Per-model CFG/def-use extraction time and the final
+    association counts by class are recorded into ``telemetry`` (the
+    globally active session when not given).
     """
+    tel = telemetry if telemetry is not None else get_telemetry()
     result = StaticAnalysisResult(cluster=cluster.name)
     models: Dict[str, ModelAnalysis] = {}
     for module in cluster.modules:
         if _is_analyzable(module):
-            analysis = analyze_model(module)
+            if tel.enabled:
+                t0 = time.perf_counter()
+                analysis = analyze_model(module)
+                tel.metrics.histogram(
+                    "analysis.model_seconds", cluster=cluster.name
+                ).observe(time.perf_counter() - t0)
+                tel.metrics.counter(
+                    "analysis.models_analyzed", cluster=cluster.name
+                ).inc()
+            else:
+                analysis = analyze_model(module)
             models[module.name] = analysis
             result.model_start_lines[module.name] = analysis.source.def_line
     result.models = models
@@ -159,6 +174,15 @@ def analyze_cluster(cluster: Cluster) -> StaticAnalysisResult:
 
     for port in cluster.undriven_inputs():
         result.undriven_input_ports.append(port.full_name())
+
+    if tel.enabled:
+        for klass, count in result.counts().items():
+            tel.metrics.counter(
+                "analysis.associations", cluster=cluster.name, klass=klass.value
+            ).inc(count)
+        tel.metrics.counter(
+            "analysis.definitions", cluster=cluster.name
+        ).inc(len(result.definitions))
     return result
 
 

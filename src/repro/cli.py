@@ -13,13 +13,21 @@ Subcommands:
 ``campaign <system>``
     Run the iterative refinement campaign and print the Table-II rows
     (window lifter and buck-boost only).
+``telemetry-report <file>``
+    Pretty-print a telemetry JSONL file saved with ``--telemetry``.
+
+``static``, ``run`` and ``campaign`` accept ``--telemetry PATH`` (save
+a JSON-lines event log) and ``--trace-events PATH`` (save a Chrome /
+Perfetto trace-event file); either flag enables telemetry recording
+for the command.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from .core import (
     format_iteration_table,
@@ -27,6 +35,7 @@ from .core import (
     format_summary,
     run_dft,
 )
+from .tdf.errors import TdfError
 from .testing import TestCase, TestSuite
 
 
@@ -103,12 +112,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    telemetry_opts = argparse.ArgumentParser(add_help=False)
+    telemetry_opts.add_argument(
+        "--telemetry", metavar="PATH",
+        help="record telemetry and save a JSON-lines event log to PATH",
+    )
+    telemetry_opts.add_argument(
+        "--trace-events", metavar="PATH",
+        help="record telemetry and save Chrome/Perfetto trace events to PATH",
+    )
+
     sub.add_parser("list", help="list bundled systems")
 
-    p_static = sub.add_parser("static", help="static analysis only")
+    p_static = sub.add_parser(
+        "static", help="static analysis only", parents=[telemetry_opts]
+    )
     p_static.add_argument("system", choices=sorted(SYSTEMS))
 
-    p_run = sub.add_parser("run", help="full DFT pipeline")
+    p_run = sub.add_parser(
+        "run", help="full DFT pipeline", parents=[telemetry_opts]
+    )
     p_run.add_argument("system", choices=sorted(SYSTEMS))
     p_run.add_argument("--matrix", action="store_true", help="print the Table-I matrix")
     p_run.add_argument(
@@ -123,15 +146,69 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a mergeable coverage database (JSON) to PATH",
     )
 
-    p_campaign = sub.add_parser("campaign", help="iterative refinement (Table II)")
+    p_campaign = sub.add_parser(
+        "campaign", help="iterative refinement (Table II)",
+        parents=[telemetry_opts],
+    )
     p_campaign.add_argument("system", choices=["window_lifter", "buck_boost"])
+
+    p_report = sub.add_parser(
+        "telemetry-report",
+        help="pretty-print a telemetry JSONL file saved with --telemetry",
+    )
+    p_report.add_argument("file", help="path to the saved .jsonl event log")
+    p_report.add_argument(
+        "--no-metrics", action="store_true", help="show only the span tree"
+    )
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+@contextmanager
+def _maybe_telemetry(args) -> Iterator[None]:
+    """Record and export telemetry when either output flag was given."""
+    telemetry_path = getattr(args, "telemetry", None)
+    trace_path = getattr(args, "trace_events", None)
+    if not telemetry_path and not trace_path:
+        yield
+        return
+    from .obs import telemetry_session, write_chrome_trace, write_jsonl
 
+    with telemetry_session() as tel:
+        yield
+    if telemetry_path:
+        write_jsonl(tel, telemetry_path)
+        print(f"telemetry event log written to {telemetry_path}", file=sys.stderr)
+    if trace_path:
+        write_chrome_trace(tel, trace_path)
+        print(
+            f"trace events written to {trace_path} "
+            f"(load in chrome://tracing or https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Failures to import or build the target system exit with status 1
+    and a one-line error instead of a traceback.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        with _maybe_telemetry(args):
+            return _dispatch(args)
+    except ImportError as exc:
+        print(f"repro-dft: error: cannot import target system: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        return 0
+    except (TdfError, ValueError, OSError) as exc:
+        print(f"repro-dft: error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         for name in sorted(SYSTEMS):
             suite = SYSTEMS[name]["suite"]()
@@ -140,8 +217,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "static":
         from .analysis import analyze_cluster
+        from .obs import get_telemetry
 
-        result = analyze_cluster(SYSTEMS[args.system]["factory"]())
+        with get_telemetry().span("static", system=args.system):
+            result = analyze_cluster(SYSTEMS[args.system]["factory"]())
         print(f"cluster: {result.cluster}")
         counts = result.counts()
         total = len(result.associations)
@@ -180,6 +259,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "campaign":
         records = _campaign(args.system).run()
         print(format_iteration_table(records))
+        return 0
+
+    if args.command == "telemetry-report":
+        from .obs import format_tree, read_jsonl
+
+        print(format_tree(read_jsonl(args.file), metrics=not args.no_metrics))
         return 0
 
     return 2  # pragma: no cover - argparse enforces commands

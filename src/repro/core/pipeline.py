@@ -2,21 +2,29 @@
 
 ``static analysis -> dynamic analysis -> coverage analysis``, fully
 automatic: give it a cluster factory and a testsuite, get back the
-classified coverage result plus per-stage timings.
+classified coverage result plus a telemetry span per stage.
+
+Every run records stage spans (``pipeline`` > ``static`` / ``dynamic``
+/ ``coverage``) into the active :mod:`repro.obs` telemetry — or into a
+private session when telemetry is disabled, so the backward-compatible
+:attr:`PipelineResult.timings` view always has data without activating
+the kernel-level hooks.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
+from ..obs import Telemetry, get_telemetry
 from ..testing.testcase import TestSuite
 from .coverage import CoverageResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports avoid a cycle
     from ..analysis.cluster_analysis import StaticAnalysisResult
     from ..instrument.runner import ClusterFactory, DynamicAnalyzer, DynamicResult
+    from ..obs import Span
 
 
 @dataclass
@@ -26,38 +34,78 @@ class PipelineResult:
     static: "StaticAnalysisResult"
     dynamic: "DynamicResult"
     coverage: CoverageResult
-    #: Wall-clock seconds per stage: 'static', 'dynamic', 'coverage'.
-    timings: Dict[str, float] = field(default_factory=dict)
+    #: Stage spans keyed by stage name: 'static', 'dynamic', 'coverage'.
+    spans: Dict[str, "Span"] = field(default_factory=dict)
+    #: The telemetry session the run recorded into (the globally active
+    #: one, or a private per-run session when telemetry was disabled).
+    telemetry: Optional[Telemetry] = None
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Wall-clock seconds per stage, derived from the stage spans.
+
+        Kept as the historical ``PipelineResult.timings`` dict interface
+        (``{'static': ..., 'dynamic': ..., 'coverage': ...}``).
+        """
+        return {name: span.wall for name, span in self.spans.items()}
 
 
 def run_dft(
     cluster_factory: "ClusterFactory",
     suite: TestSuite,
     warn: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> PipelineResult:
     """Run the complete data-flow-testing pipeline.
 
     ``cluster_factory`` must build a *fresh* cluster on each call —
     dynamic analysis executes every testcase on its own instance so that
-    member state cannot leak between testcases.  ``warn=True`` turns
+    member state cannot leak between testcases (see
+    :data:`repro.instrument.runner.ClusterFactory`); the pipeline itself
+    calls it once more for the static stage, and telemetry accounts for
+    every build (``pipeline.cluster_builds`` /
+    ``pipeline.cluster_build_seconds``).  ``warn=True`` turns
     use-without-def findings into Python warnings in addition to the
-    report entries.
+    report entries.  ``telemetry`` overrides the globally active
+    session for this run.
     """
     from ..analysis.cluster_analysis import analyze_cluster
     from ..instrument.runner import DynamicAnalyzer
 
-    t0 = time.perf_counter()
-    static = analyze_cluster(cluster_factory())
-    t1 = time.perf_counter()
-    dynamic = DynamicAnalyzer(cluster_factory, static, warn=warn).run_suite(suite)
-    t2 = time.perf_counter()
-    coverage = CoverageResult(static, dynamic)
-    # Touch the aggregate numbers so the 'coverage' timing is honest.
-    coverage.class_coverage()
-    t3 = time.perf_counter()
+    tel = telemetry if telemetry is not None else get_telemetry()
+    if not tel.enabled:
+        # Private session: stage spans only, for the ``timings`` view.
+        # Kernel-level hooks key off the *global* telemetry and stay off.
+        tel = Telemetry()
+
+    def counted_factory():
+        t0 = time.perf_counter()
+        cluster = cluster_factory()
+        tel.metrics.counter("pipeline.cluster_builds").inc()
+        tel.metrics.histogram("pipeline.cluster_build_seconds").observe(
+            time.perf_counter() - t0
+        )
+        return cluster
+
+    with tel.span("pipeline", system=suite.name, testcases=len(suite)):
+        with tel.span("static") as span_static:
+            static = analyze_cluster(counted_factory(), telemetry=tel)
+        with tel.span("dynamic") as span_dynamic:
+            dynamic = DynamicAnalyzer(
+                counted_factory, static, warn=warn, telemetry=tel
+            ).run_suite(suite)
+        with tel.span("coverage") as span_coverage:
+            coverage = CoverageResult(static, dynamic)
+            # Touch the aggregate numbers so the 'coverage' timing is honest.
+            coverage.class_coverage()
     return PipelineResult(
         static=static,
         dynamic=dynamic,
         coverage=coverage,
-        timings={"static": t1 - t0, "dynamic": t2 - t1, "coverage": t3 - t2},
+        spans={
+            "static": span_static,
+            "dynamic": span_dynamic,
+            "coverage": span_coverage,
+        },
+        telemetry=tel,
     )

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..analysis.cluster_analysis import StaticAnalysisResult
 from ..analysis.netlist import origin_of
+from ..obs import get_telemetry
 from ..tdf.cluster import Cluster
 from ..tdf.module import TdfModule
 from ..tdf.ports import TdfOut
@@ -24,6 +25,15 @@ from .instrumenter import instrument_processing
 from .matching import MatchResult, match_events
 from .probes import ProbeRuntime, WriterKind
 
+#: A nullary callable producing a **fresh** cluster instance per call.
+#:
+#: The fresh-instance contract is load-bearing: the dynamic analysis
+#: runs every testcase on its own cluster so module member state,
+#: signal buffers and instrumentation hooks can never leak between
+#: testcases, and the pipeline builds one more instance for the static
+#: stage.  Returning a cached/shared cluster breaks testcase isolation
+#: and double-instruments ``processing()``.  Telemetry records how many
+#: builds one pipeline run pays (``pipeline.cluster_builds``).
 ClusterFactory = Callable[[], Cluster]
 
 
@@ -58,34 +68,64 @@ class DynamicAnalyzer:
         cluster_factory: ClusterFactory,
         static: StaticAnalysisResult,
         warn: bool = False,
+        telemetry=None,
     ) -> None:
         self.cluster_factory = cluster_factory
         self.static = static
         self.warn = warn
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
 
     # -- single testcase ------------------------------------------------------
 
     def run_testcase(self, testcase: TestCase) -> MatchResult:
-        """Run one testcase and return its exercised pairs."""
-        cluster = self.cluster_factory()
-        probe = ProbeRuntime(cluster.name)
-        self._instrument(cluster, probe)
-        self._install_hooks(cluster, probe)
-        testcase.apply(cluster)
-        simulator = Simulator(cluster)
-        simulator.run(testcase.duration)
-        simulator.finish()
-        initial_tokens = {
-            sig.name: (sig.driver.delay if sig.driver is not None else 0)
-            for sig in cluster.signals
-        }
-        return match_events(
-            probe,
-            testcase.name,
-            self.static.model_start_lines,
-            initial_tokens,
-            warn=self.warn,
-        )
+        """Run one testcase and return its exercised pairs.
+
+        Each testcase gets a ``dynamic.testcase[<name>]`` telemetry span
+        with ``dynamic.simulate`` / ``dynamic.match`` children; probe
+        event counts and the number of exercised pairs are attached as
+        span attributes and ``instrument.*`` counters.
+        """
+        tel = self.telemetry
+        with tel.span(
+            f"dynamic.testcase[{testcase.name}]", testcase=testcase.name
+        ) as tc_span:
+            cluster = self.cluster_factory()
+            probe = ProbeRuntime(cluster.name)
+            self._instrument(cluster, probe)
+            self._install_hooks(cluster, probe)
+            testcase.apply(cluster)
+            simulator = Simulator(cluster)
+            with tel.span("dynamic.simulate", testcase=testcase.name):
+                simulator.run(testcase.duration)
+                simulator.finish()
+            initial_tokens = {
+                sig.name: (sig.driver.delay if sig.driver is not None else 0)
+                for sig in cluster.signals
+            }
+            with tel.span("dynamic.match", testcase=testcase.name):
+                match = match_events(
+                    probe,
+                    testcase.name,
+                    self.static.model_start_lines,
+                    initial_tokens,
+                    warn=self.warn,
+                )
+            if tel.enabled:
+                events = {
+                    "var_events": len(probe.var_events),
+                    "port_writes": len(probe.port_writes),
+                    "port_reads": len(probe.port_reads),
+                }
+                for kind, count in events.items():
+                    tc_span.set_attribute(kind, count)
+                    tel.metrics.counter(
+                        f"instrument.{kind}", cluster=cluster.name
+                    ).inc(count)
+                tc_span.set_attribute("exercised_pairs", len(match.pairs))
+                tel.metrics.counter(
+                    "instrument.testcases", cluster=cluster.name
+                ).inc()
+            return match
 
     def run_suite(self, suite: TestSuite) -> DynamicResult:
         """Run every testcase of ``suite`` in order."""

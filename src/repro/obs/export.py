@@ -1,0 +1,191 @@
+"""Telemetry exporters: JSON-lines, span-tree summary, Chrome trace.
+
+Three consumers of a recorded :class:`~repro.obs.telemetry.Telemetry`:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — a structured event log,
+  one JSON object per line (``meta`` header, then spans, then metrics).
+  Round-trips: ``read_jsonl`` returns the same structure
+  :meth:`Telemetry.to_run` produces, so the reporting helpers below
+  work on live sessions and saved files alike.
+* :func:`format_tree` — a human-readable span tree with wall/CPU time
+  plus a metrics table (the ``repro telemetry-report`` output).
+* :func:`write_chrome_trace` — Chrome trace-event JSON loadable in
+  ``chrome://tracing`` and https://ui.perfetto.dev (open the file via
+  *Open trace file*): spans become complete (``"ph": "X"``) events,
+  counters become counter (``"ph": "C"``) samples at the end of the
+  run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Union
+
+PathOrIO = Union[str, IO[str]]
+
+
+def _open_for(target: PathOrIO, mode: str):
+    if isinstance(target, str):
+        return open(target, mode), True
+    return target, False
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines event log
+# ---------------------------------------------------------------------------
+
+
+def write_jsonl(telemetry: Any, target: PathOrIO) -> None:
+    """Write the session as JSON-lines: meta, spans, metrics (one per line)."""
+    run = telemetry.to_run() if hasattr(telemetry, "to_run") else telemetry
+    stream, owned = _open_for(target, "w")
+    try:
+        stream.write(json.dumps(run["meta"]) + "\n")
+        for record in run["spans"]:
+            stream.write(json.dumps(record) + "\n")
+        for record in run["metrics"]:
+            stream.write(json.dumps(record) + "\n")
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_jsonl(target: PathOrIO) -> Dict[str, Any]:
+    """Load a saved JSONL session back into the ``to_run()`` structure."""
+    stream, owned = _open_for(target, "r")
+    try:
+        run: Dict[str, Any] = {"meta": {}, "spans": [], "metrics": []}
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "meta":
+                run["meta"] = record
+            elif kind == "span":
+                run["spans"].append(record)
+            elif kind == "metric":
+                run["metrics"].append(record)
+            else:
+                raise ValueError(f"unknown telemetry record type: {kind!r}")
+        return run
+    finally:
+        if owned:
+            stream.close()
+
+
+# ---------------------------------------------------------------------------
+# Human-readable summary
+# ---------------------------------------------------------------------------
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def format_tree(run: Any, metrics: bool = True) -> str:
+    """Render a session (live ``Telemetry`` or loaded run dict) as text."""
+    if hasattr(run, "to_run"):
+        run = run.to_run()
+    lines: List[str] = []
+
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    for span in run["spans"]:
+        children.setdefault(span["parent"], []).append(span)
+
+    def emit(span: Dict[str, Any], depth: int) -> None:
+        attrs = span.get("attrs") or {}
+        attr_text = ""
+        if attrs:
+            attr_text = "  " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        lines.append(
+            f"{'  ' * depth}{span['name']:<{max(40 - 2 * depth, 8)}s} "
+            f"wall={span['dur_us'] / 1e3:10.3f} ms  "
+            f"cpu={span['cpu_us'] / 1e3:10.3f} ms{attr_text}"
+        )
+        for child in children.get(span["id"], []):
+            emit(child, depth + 1)
+
+    if run["spans"]:
+        lines.append("spans:")
+        for root in children.get(None, []):
+            emit(root, 1)
+    else:
+        lines.append("spans: (none recorded)")
+
+    if metrics and run["metrics"]:
+        lines.append("metrics:")
+        for record in sorted(
+            run["metrics"], key=lambda r: (r["kind"], r["name"], sorted(r["labels"].items()))
+        ):
+            label = f"{record['name']}{_format_labels(record['labels'])}"
+            if record["kind"] == "histogram":
+                s = record["summary"]
+                if s["count"]:
+                    detail = (
+                        f"count={s['count']} sum={s['sum']:.6f} mean={s['mean']:.6f} "
+                        f"p50={s['p50']:.6f} p99={s['p99']:.6f} max={s['max']:.6f}"
+                    )
+                else:
+                    detail = "count=0"
+                lines.append(f"  histogram {label:<58s} {detail}")
+            else:
+                lines.append(f"  {record['kind']:<9s} {label:<58s} {record['value']}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON (chrome://tracing, Perfetto)
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace_events(run: Any) -> List[Dict[str, Any]]:
+    """The session as a list of Chrome trace-event dicts."""
+    if hasattr(run, "to_run"):
+        run = run.to_run()
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M", "pid": 1, "tid": 1, "name": "process_name",
+            "args": {"name": "repro-dft"},
+        }
+    ]
+    end_ts = 0.0
+    for span in run["spans"]:
+        events.append({
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "name": span["name"],
+            "cat": "repro",
+            "ts": span["ts_us"],
+            "dur": span["dur_us"],
+            "args": span.get("attrs") or {},
+        })
+        end_ts = max(end_ts, span["ts_us"] + span["dur_us"])
+    for record in run["metrics"]:
+        if record["kind"] != "counter":
+            continue
+        name = f"{record['name']}{_format_labels(record['labels'])}"
+        events.append({
+            "ph": "C", "pid": 1, "tid": 1, "name": name, "cat": "repro",
+            "ts": end_ts, "args": {"value": record["value"]},
+        })
+    return events
+
+
+def write_chrome_trace(telemetry: Any, target: PathOrIO) -> None:
+    """Write the session as a Chrome/Perfetto trace-event JSON file."""
+    payload = {
+        "traceEvents": chrome_trace_events(telemetry),
+        "displayTimeUnit": "ms",
+    }
+    stream, owned = _open_for(target, "w")
+    try:
+        json.dump(payload, stream)
+    finally:
+        if owned:
+            stream.close()

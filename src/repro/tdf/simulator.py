@@ -12,8 +12,10 @@ behaviour the paper's window-lifter experiment exercises.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional
 
+from ..obs import get_telemetry
 from .cluster import Cluster
 from .errors import SimulationError
 from .module import TdfModule
@@ -95,6 +97,11 @@ class Simulator:
 
         Whole periods are executed; simulation stops at the first period
         boundary at or after ``start + duration``.
+
+        With telemetry enabled (:mod:`repro.obs`), the run is wrapped in
+        a ``tdf.simulate`` span and per-period wall time, per-module
+        activation counts and per-signal read/write traffic are
+        recorded; when disabled the hot loop is untouched.
         """
         if not isinstance(duration, ScaTime) or duration.femtoseconds < 0:
             raise SimulationError(
@@ -102,6 +109,15 @@ class Simulator:
             )
         if not self._initialized:
             self.initialize()
+        tel = get_telemetry()
+        if tel.enabled:
+            with tel.span(
+                "tdf.simulate",
+                cluster=self.cluster.name,
+                duration_fs=duration.femtoseconds,
+            ):
+                self._run_instrumented(duration, tel)
+            return
         stop = self.now + duration
         while self.now < stop:
             before = self.now
@@ -110,6 +126,60 @@ class Simulator:
                 raise SimulationError(
                     f"cluster {self.cluster.name!r} has a zero-length period; "
                     f"check timestep assignments"
+                )
+
+    def _run_instrumented(self, duration: ScaTime, tel) -> None:
+        """The :meth:`run` loop with telemetry accounting around it.
+
+        Counters are recorded as before/after deltas so repeated ``run``
+        calls on one simulator accumulate correctly, and are flushed even
+        when a period raises.
+        """
+        name = self.cluster.name
+        metrics = tel.metrics
+        base_activations = {m: m.activation_count for m in self.cluster.modules}
+        base_writes = {s: s.write_count for s in self.cluster.signals}
+        base_reads = {s: s.tokens_consumed() for s in self.cluster.signals}
+        periods_before = self.periods_run
+        reelaborations_before = self.reelaborations
+        period_hist = metrics.histogram("tdf.period_seconds", cluster=name)
+        try:
+            stop = self.now + duration
+            while self.now < stop:
+                before = self.now
+                t0 = time.perf_counter()
+                self.run_period()
+                period_hist.observe(time.perf_counter() - t0)
+                if self.now == before:
+                    raise SimulationError(
+                        f"cluster {name!r} has a zero-length period; "
+                        f"check timestep assignments"
+                    )
+        finally:
+            for module in self.cluster.modules:
+                delta = module.activation_count - base_activations[module]
+                if delta:
+                    metrics.counter(
+                        "tdf.activations", cluster=name, module=module.name
+                    ).inc(delta)
+            for signal in self.cluster.signals:
+                writes = signal.write_count - base_writes[signal]
+                reads = signal.tokens_consumed() - base_reads[signal]
+                if writes:
+                    metrics.counter(
+                        "tdf.signal_writes", cluster=name, signal=signal.name
+                    ).inc(writes)
+                if reads:
+                    metrics.counter(
+                        "tdf.signal_reads", cluster=name, signal=signal.name
+                    ).inc(reads)
+            metrics.counter("tdf.periods", cluster=name).inc(
+                self.periods_run - periods_before
+            )
+            reelaborated = self.reelaborations - reelaborations_before
+            if reelaborated:
+                metrics.counter("tdf.reelaborations", cluster=name).inc(
+                    reelaborated
                 )
 
     def run_periods(self, count: int) -> None:

@@ -7,9 +7,11 @@ give tests a way to assert on waveforms.
 
 from __future__ import annotations
 
+import csv
 import io
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
 
+from .errors import TdfError
 from .signal import Signal
 from .time import ScaTime
 
@@ -24,7 +26,21 @@ class Tracer:
         self._order: List[str] = []
 
     def trace(self, signal: Signal, name: Optional[str] = None) -> None:
-        """Start recording ``signal`` (under ``name`` if given)."""
+        """Start recording ``signal`` (under ``name`` if given).
+
+        **Contract:** call before the first sample is produced on the
+        signal (i.e. before simulation starts, like ``sca_trace`` in
+        SystemC-AMS).  A tracer attached later would silently miss every
+        earlier sample, so this raises :class:`~repro.tdf.errors.TdfError`
+        instead of producing a truncated waveform.
+        """
+        if signal.write_count > 0:
+            raise TdfError(
+                f"cannot start tracing signal {signal.name!r}: it already "
+                f"carries {signal.write_count} sample(s); attach the Tracer "
+                f"before the simulation starts (the trace would silently "
+                f"miss the earlier samples otherwise)"
+            )
         key = name or signal.name
         if key in self._traces:
             raise ValueError(f"already tracing a signal under name {key!r}")
@@ -69,6 +85,45 @@ class Tracer:
         missing samples repeat the previous value (sample-and-hold),
         matching the tabular trace format of SystemC-AMS.
         """
+        for t, held in self._held_rows(time_unit):
+            if t is None:
+                stream.write(
+                    "time_" + time_unit + "\t" + "\t".join(self._order) + "\n"
+                )
+            else:
+                stream.write(
+                    f"{t:g}\t"
+                    + "\t".join(str(held[name]) for name in self._order)
+                    + "\n"
+                )
+
+    def to_tabular(self, time_unit: str = "us") -> str:
+        """Return the tabular dump as a string."""
+        buf = io.StringIO()
+        self.write_tabular(buf, time_unit)
+        return buf.getvalue()
+
+    def write_csv(self, stream: TextIO, time_unit: str = "us") -> None:
+        """Write all traces as CSV (same sample-and-hold table as
+        :meth:`write_tabular`, RFC-4180 quoting via :mod:`csv`)."""
+        writer = csv.writer(stream, lineterminator="\n")
+        for t, held in self._held_rows(time_unit):
+            if t is None:
+                writer.writerow(["time_" + time_unit] + list(self._order))
+            else:
+                writer.writerow(
+                    [f"{t:g}"] + [str(held[name]) for name in self._order]
+                )
+
+    def to_csv(self, time_unit: str = "us") -> str:
+        """Return the CSV dump as a string."""
+        buf = io.StringIO()
+        self.write_csv(buf, time_unit)
+        return buf.getvalue()
+
+    def _held_rows(self, time_unit: str):
+        """Yield the sample-and-hold table: a ``(None, names)`` header
+        row, then one ``(time, {name: value})`` row per distinct time."""
         times = sorted(
             {
                 t.femtoseconds
@@ -77,7 +132,7 @@ class Tracer:
                 if t is not None
             }
         )
-        stream.write("time_" + time_unit + "\t" + "\t".join(self._order) + "\n")
+        yield None, None
         held: Dict[str, Any] = {name: "" for name in self._order}
         cursors = {name: 0 for name in self._order}
         for t_fs in times:
@@ -88,13 +143,4 @@ class Tracer:
                     held[name] = rows[i][1]
                     i += 1
                 cursors[name] = i
-            t = ScaTime.from_femtoseconds(t_fs).to(time_unit)
-            stream.write(
-                f"{t:g}\t" + "\t".join(str(held[name]) for name in self._order) + "\n"
-            )
-
-    def to_tabular(self, time_unit: str = "us") -> str:
-        """Return the tabular dump as a string."""
-        buf = io.StringIO()
-        self.write_tabular(buf, time_unit)
-        return buf.getvalue()
+            yield ScaTime.from_femtoseconds(t_fs).to(time_unit), held

@@ -1,0 +1,185 @@
+"""Unit tests for the telemetry core: spans, metrics, no-op mode."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        tel = Telemetry()
+        with tel.span("outer") as outer:
+            with tel.span("inner") as inner:
+                with tel.span("leaf") as leaf:
+                    pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+
+    def test_siblings_share_parent(self):
+        tel = Telemetry()
+        with tel.span("root") as root:
+            with tel.span("a") as a:
+                pass
+            with tel.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_timing_monotonicity(self):
+        tel = Telemetry()
+        with tel.span("outer") as outer:
+            with tel.span("inner") as inner:
+                sum(range(1000))
+        assert inner.closed and outer.closed
+        assert 0 <= inner.wall <= outer.wall
+        assert inner.start_wall >= outer.start_wall
+        assert inner.end_wall <= outer.end_wall
+        assert outer.cpu >= 0
+
+    def test_current_span_tracks_stack(self):
+        tel = Telemetry()
+        assert tel.current_span() is None
+        with tel.span("outer") as outer:
+            assert tel.current_span() is outer
+            with tel.span("inner") as inner:
+                assert tel.current_span() is inner
+            assert tel.current_span() is outer
+        assert tel.current_span() is None
+
+    def test_attributes_and_error_marking(self):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tel.span("work", kind="unit") as span:
+                span.set_attribute("extra", 1)
+                raise RuntimeError("boom")
+        assert span.attributes == {"kind": "unit", "extra": 1, "error": "RuntimeError"}
+        assert span.closed
+
+    def test_end_is_idempotent(self):
+        tel = Telemetry()
+        span = tel.span("once")
+        span.end()
+        first_end = span.end_wall
+        span.end()
+        assert span.end_wall == first_end
+
+    def test_find_spans_and_names(self):
+        tel = Telemetry()
+        with tel.span("stage"):
+            with tel.span("step"):
+                pass
+            with tel.span("step"):
+                pass
+        assert len(tel.find_spans("step")) == 2
+        assert tel.span_names() == ["stage", "step"]
+
+
+class TestMetrics:
+    def test_counter_math(self):
+        tel = Telemetry()
+        counter = tel.metrics.counter("events")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert tel.metrics.counter("events") is counter
+
+    def test_counter_rejects_decrease(self):
+        counter = Telemetry().metrics.counter("events")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labels_separate_series(self):
+        tel = Telemetry()
+        tel.metrics.counter("hits", module="a").inc(1)
+        tel.metrics.counter("hits", module="b").inc(2)
+        assert tel.metrics.counter("hits", module="a").value == 1
+        assert tel.metrics.counter("hits", module="b").value == 2
+        assert len(tel.metrics.counters()) == 2
+
+    def test_gauge_keeps_last_value(self):
+        gauge = Telemetry().metrics.gauge("depth")
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_histogram_summary(self):
+        hist = Telemetry().metrics.histogram("latency")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(v)
+        s = hist.summary()
+        assert s["count"] == 4
+        assert s["sum"] == pytest.approx(10.0)
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["min"] <= s["p50"] <= s["p90"] <= s["p99"] <= s["max"]
+
+    def test_empty_histogram_summary(self):
+        hist = Telemetry().metrics.histogram("latency")
+        assert hist.summary() == {"count": 0, "sum": 0.0}
+        with pytest.raises(ValueError, match="no observations"):
+            hist.percentile(50)
+
+    def test_records_cover_all_kinds(self):
+        tel = Telemetry()
+        tel.metrics.counter("c", k="v").inc(5)
+        tel.metrics.gauge("g").set(1.5)
+        tel.metrics.histogram("h").observe(0.25)
+        kinds = {r["kind"] for r in tel.metrics.records()}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+
+class TestNullMode:
+    def test_disabled_by_default(self):
+        assert get_telemetry() is NULL_TELEMETRY
+        assert not get_telemetry().enabled
+
+    def test_noop_objects_are_shared_singletons(self):
+        null = NullTelemetry()
+        assert null.span("a") is null.span("b")
+        assert null.metrics.counter("x") is null.metrics.counter("y", k="v")
+        assert null.metrics.histogram("x") is null.metrics.histogram("y")
+        assert null.metrics.gauge("x") is null.metrics.gauge("y")
+
+    def test_noop_operations_record_nothing(self):
+        null = NULL_TELEMETRY
+        with null.span("work", attr=1) as span:
+            span.set_attribute("k", "v")
+        null.metrics.counter("c").inc(10)
+        null.metrics.histogram("h").observe(1.0)
+        null.metrics.gauge("g").set(2.0)
+        assert null.spans == []
+        assert null.metrics.records() == []
+        assert null.to_run()["spans"] == []
+
+    def test_session_activates_and_restores(self):
+        before = get_telemetry()
+        with telemetry_session() as tel:
+            assert get_telemetry() is tel
+            assert tel.enabled
+            with telemetry_session() as nested:
+                assert get_telemetry() is nested
+            assert get_telemetry() is tel
+        assert get_telemetry() is before
+
+    def test_session_restores_on_error(self):
+        before = get_telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry_session():
+                raise RuntimeError("boom")
+        assert get_telemetry() is before
+
+    def test_set_telemetry_none_means_null(self):
+        previous = set_telemetry(None)
+        try:
+            assert get_telemetry() is NULL_TELEMETRY
+        finally:
+            set_telemetry(previous)

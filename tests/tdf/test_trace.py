@@ -3,6 +3,7 @@
 import pytest
 
 from repro.tdf import Simulator, Tracer, ms
+from repro.tdf.errors import TdfError
 
 
 class TestTracer:
@@ -63,3 +64,31 @@ class TestTracer:
         tracer.trace(passthrough_cluster.signals[1], "z")
         tracer.trace(passthrough_cluster.signals[0], "a")
         assert tracer.names() == ["z", "a"]
+
+    def test_trace_after_simulation_start_raises(self, passthrough_cluster):
+        top = passthrough_cluster
+        Simulator(top).run(ms(1))
+        tracer = Tracer()
+        with pytest.raises(TdfError, match="before the simulation starts"):
+            tracer.trace(top.signals[0], "late")
+
+    def test_csv_dump(self, passthrough_cluster):
+        top = passthrough_cluster
+        tracer = Tracer()
+        tracer.trace(top.signals[0], "a")
+        tracer.trace(top.signals[1], "b")
+        Simulator(top).run(ms(2))
+        text = tracer.to_csv("ms")
+        lines = text.strip().splitlines()
+        assert lines[0] == "time_ms,a,b"
+        assert len(lines) == 3  # header + 2 sample times
+        assert lines[1].startswith("0,")
+
+    def test_csv_matches_tabular_table(self, passthrough_cluster):
+        top = passthrough_cluster
+        tracer = Tracer()
+        tracer.trace(top.signals[0], "a")
+        Simulator(top).run(ms(3))
+        tabular = [l.split("\t") for l in tracer.to_tabular("us").strip().splitlines()]
+        csv_rows = [l.split(",") for l in tracer.to_csv("us").strip().splitlines()]
+        assert tabular == csv_rows

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import SYSTEMS, main
 
 
 class TestList:
@@ -57,3 +59,86 @@ class TestArgParsing:
     def test_campaign_restricted_to_case_studies(self):
         with pytest.raises(SystemExit):
             main(["campaign", "sensor"])
+
+
+class TestTelemetryFlags:
+    def test_run_writes_jsonl_and_trace_events(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        trace = tmp_path / "run.trace.json"
+        assert main([
+            "run", "sensor", "--telemetry", str(jsonl),
+            "--trace-events", str(trace),
+        ]) == 0
+        lines = [l for l in jsonl.read_text().splitlines() if l.strip()]
+        assert len(lines) > 1
+        records = [json.loads(l) for l in lines]
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"pipeline", "static", "dynamic", "coverage"} <= names
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+    def test_static_accepts_telemetry_flag(self, tmp_path, capsys):
+        jsonl = tmp_path / "static.jsonl"
+        assert main(["static", "sensor", "--telemetry", str(jsonl)]) == 0
+        records = [json.loads(l) for l in jsonl.read_text().splitlines()]
+        assert any(
+            r["type"] == "metric" and r["name"] == "analysis.associations"
+            for r in records
+        )
+
+    def test_run_without_flags_records_nothing_globally(self, capsys):
+        from repro.obs import NULL_TELEMETRY, get_telemetry
+
+        assert main(["run", "sensor"]) == 0
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_telemetry_report_pretty_prints(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        assert main(["run", "sensor", "--telemetry", str(jsonl)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry-report", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out
+        assert "pipeline" in out
+        assert "metrics:" in out
+        assert "tdf.activations" in out
+
+    def test_telemetry_report_missing_file_is_readable_error(self, capsys):
+        assert main(["telemetry-report", "/nonexistent/run.jsonl"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-dft: error:")
+
+    def test_telemetry_report_wrong_format_is_readable_error(self, tmp_path, capsys):
+        bogus = tmp_path / "not-telemetry.json"
+        bogus.write_text('{"traceEvents": []}\n')
+        assert main(["telemetry-report", str(bogus)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-dft: error:")
+        assert "unknown telemetry record type" in err
+
+
+class TestImportFailures:
+    def test_broken_factory_import_exits_nonzero(self, capsys, monkeypatch):
+        def broken_factory():
+            raise ImportError("No module named 'systemc_ams'")
+
+        monkeypatch.setitem(
+            SYSTEMS, "sensor", {**SYSTEMS["sensor"], "factory": broken_factory}
+        )
+        assert main(["run", "sensor"]) == 1
+        err = capsys.readouterr().err
+        assert "repro-dft: error: cannot import target system" in err
+        assert "systemc_ams" in err
+        assert "Traceback" not in err
+
+    def test_broken_suite_import_exits_nonzero(self, capsys, monkeypatch):
+        def broken_suite():
+            raise ModuleNotFoundError("No module named 'matplotlib'")
+
+        monkeypatch.setitem(
+            SYSTEMS, "sensor", {**SYSTEMS["sensor"], "suite": broken_suite}
+        )
+        assert main(["static", "sensor"]) == 0  # static doesn't need the suite
+        assert main(["run", "sensor"]) == 1
+        assert "cannot import" in capsys.readouterr().err

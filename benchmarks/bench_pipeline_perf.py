@@ -1,0 +1,88 @@
+"""Performance baseline: caches, parallel executor, schedule cache.
+
+Unlike the table/figure benches (which regenerate paper artefacts),
+this file pins the *performance* behaviour introduced by the perf PR:
+
+* campaign acceleration from per-testcase dynamic-result memoization
+  (cumulative iteration suites re-run shared testcases),
+* serial vs process-parallel dynamic stage, which must stay
+  byte-identical regardless of worker count,
+* memoized static analysis (fingerprint hit on the second run),
+* the kernel schedule cache for dynamic-TDF re-elaboration.
+
+Each section delegates to :mod:`repro.bench` (the same code behind
+``python -m repro bench``) and persists its JSON next to the other
+regenerated tables so perf regressions show up as artefact diffs.
+"""
+
+import json
+
+import pytest
+
+from repro import bench
+
+from conftest import write_result
+
+
+def _persist(results_dir, name, payload):
+    write_result(
+        results_dir, name, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def test_perf_campaign_result_cache(results_dir):
+    """Cold campaign vs result-cached campaign on the buck-boost VP.
+
+    The four cumulative iterations execute 69 testcases cold but only
+    24 distinct ones — the cache must skip every repeat while leaving
+    the iteration records untouched.
+    """
+    payload = bench.bench_campaign("buck_boost", workers=1)
+    _persist(results_dir, "perf_campaign_result_cache.json", payload)
+    assert payload["records_identical"]
+    assert payload["testcase_executions_cached"] < payload[
+        "testcase_executions_cold"
+    ]
+    assert payload["speedup"] >= 1.5
+
+
+def test_perf_parallel_equivalence(results_dir):
+    """Serial and 2-worker parallel dynamic stages produce the same report."""
+    payload = bench.bench_parallel("sensor", workers=2)
+    _persist(results_dir, "perf_parallel_sensor.json", payload)
+    assert payload["identical"]
+
+
+def test_perf_static_cache(results_dir):
+    """Second static analysis of the window lifter is a fingerprint hit."""
+    payload = bench.bench_static_cache("window_lifter")
+    _persist(results_dir, "perf_static_cache.json", payload)
+    assert payload["identical"]
+    assert payload["hits"] == 1
+    assert payload["speedup"] > 1.0
+
+
+def test_perf_schedule_cache(results_dir):
+    """Dynamic-TDF run on the window lifter reuses cached schedules."""
+    payload = bench.bench_schedule_cache()
+    _persist(results_dir, "perf_schedule_cache.json", payload)
+    assert payload["schedule_changes"] > 0
+    assert payload["cache_hits"] > 0
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_perf_bench_cli_sections(tmp_path, workers):
+    """`python -m repro bench` writes a well-formed JSON payload."""
+    payload = bench.run_benchmarks(
+        workers=workers,
+        parallel_system="sensor",
+        sections=["parallel", "schedule_cache"],
+    )
+    out = tmp_path / "bench.json"
+    bench.write_benchmarks(str(out), payload)
+    loaded = json.loads(out.read_text())
+    assert loaded["benchmark"] == "repro-dft pipeline performance"
+    assert loaded["parallel"]["identical"]
+    assert loaded["schedule_cache"]["cache_hits"] > 0

@@ -7,6 +7,7 @@ classification (:mod:`~repro.analysis.cluster_analysis`).
 """
 
 from .astutils import RefKind, SourceInfo, VarRef, get_source_info
+from .cache import StaticAnalysisCache, fingerprint_cluster, get_default_cache
 from .cfg import Cfg, CfgNode, ENTRY, EXIT, build_cfg
 from .cluster_analysis import StaticAnalysisResult, analyze_cluster
 from .defuse import DefUse, extract
@@ -36,12 +37,15 @@ __all__ = [
     "RedefAnchor",
     "RefKind",
     "SourceInfo",
+    "StaticAnalysisCache",
     "StaticAnalysisResult",
     "VarRef",
     "analyze_cluster",
     "analyze_model",
     "build_cfg",
     "extract",
+    "fingerprint_cluster",
+    "get_default_cache",
     "get_source_info",
     "has_non_du_path",
     "is_strong_local",

@@ -56,6 +56,9 @@ class StaticAnalysisResult:
     #: Model start line per model (used by the dynamic matcher to anchor
     #: testbench-driven placeholder definitions).
     model_start_lines: Dict[str, int] = field(default_factory=dict)
+    #: Fingerprint of the analysed inputs (processing sources + netlist);
+    #: the memoization key, also used to scope dynamic-result caches.
+    fingerprint: Optional[str] = None
 
     def by_class(self, klass: AssocClass) -> List[Association]:
         """Associations of one class."""
@@ -95,7 +98,12 @@ def _use_anchors(
     ]
 
 
-def analyze_cluster(cluster: Cluster, telemetry=None) -> StaticAnalysisResult:
+_UNSET = object()
+
+
+def analyze_cluster(
+    cluster: Cluster, telemetry=None, cache=_UNSET
+) -> StaticAnalysisResult:
     """Run the complete static data-flow analysis over ``cluster``.
 
     Module ``set_attributes()`` must not be required: the analysis is
@@ -103,9 +111,28 @@ def analyze_cluster(cluster: Cluster, telemetry=None) -> StaticAnalysisResult:
     simulation.  Per-model CFG/def-use extraction time and the final
     association counts by class are recorded into ``telemetry`` (the
     globally active session when not given).
+
+    Results are memoized on a fingerprint of the processing sources and
+    the netlist (see :mod:`repro.analysis.cache`): by default the
+    process-wide :func:`~repro.analysis.cache.get_default_cache` is
+    consulted; pass an explicit :class:`StaticAnalysisCache` to use a
+    private one, or ``cache=None`` to force a fresh analysis.
     """
+    from .cache import fingerprint_cluster, get_default_cache
+
     tel = telemetry if telemetry is not None else get_telemetry()
-    result = StaticAnalysisResult(cluster=cluster.name)
+    if cache is _UNSET:
+        cache = get_default_cache()
+    fingerprint = fingerprint_cluster(cluster)
+    if cache is not None:
+        cached = cache.get(fingerprint)
+        if cached is not None:
+            tel.metrics.counter(
+                "analysis.cache_hits", cluster=cluster.name
+            ).inc()
+            return cached
+        tel.metrics.counter("analysis.cache_misses", cluster=cluster.name).inc()
+    result = StaticAnalysisResult(cluster=cluster.name, fingerprint=fingerprint)
     models: Dict[str, ModelAnalysis] = {}
     for module in cluster.modules:
         if _is_analyzable(module):
@@ -183,6 +210,8 @@ def analyze_cluster(cluster: Cluster, telemetry=None) -> StaticAnalysisResult:
         tel.metrics.counter(
             "analysis.definitions", cluster=cluster.name
         ).inc(len(result.definitions))
+    if cache is not None:
+        cache.put(fingerprint, result)
     return result
 
 

@@ -1,0 +1,229 @@
+"""Performance benchmark machinery (``repro-dft bench``).
+
+Measures the PR-2 optimisation layers against their unoptimised
+baselines and emits one machine-readable JSON document (the
+``BENCH_PR*.json`` baselines checked into the repo root):
+
+* **campaign** — the iterative-refinement campaign run cold (every
+  iteration re-executes its full cumulative suite) versus with the
+  per-testcase :class:`~repro.exec.DynamicResultCache` (each distinct
+  testcase simulated once).  This is the headline number: campaigns
+  re-run 86 testcase executions for 26 distinct testcases (window
+  lifter), so the cache legitimately collapses most of the work.
+* **parallel** — the same testsuite through :class:`SerialExecutor` and
+  :class:`ProcessExecutor`, with a result-equality check.  The speedup
+  is reported honestly: on a single-CPU host it hovers around (or
+  below) 1.0 and only multi-core machines benefit.
+* **static_cache** — ``analyze_cluster`` cold versus memoized
+  (:mod:`repro.analysis.cache`).
+* **schedule_cache** — a dynamic-TDF simulation (the window lifter's
+  fine/coarse timestep zone switching), reporting the kernel's
+  schedule-cache hit/miss counts.
+
+Every section records its own wall-clock seconds, so regressions are
+attributable to a layer, not just "the benchmark got slower".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .core import run_dft
+from .exec import ProcessExecutor, SerialExecutor
+from .testing import TestSuite
+
+#: CLI/benchmark registry: system name -> (factory_ref, suite_ref).
+#: Only systems whose suite is rebuildable by reference can run under
+#: the process executor.
+PARALLEL_REFS: Dict[str, Dict[str, str]] = {
+    "sensor": {
+        "factory": "repro.systems.sensor:SenseTop",
+        "suite": "repro.systems.sensor:paper_testcases",
+    },
+    "window_lifter": {
+        "factory": "repro.systems.window_lifter:WindowLifterTop",
+        "suite": "repro.systems.campaigns:window_lifter_all_testcases",
+    },
+    "buck_boost": {
+        "factory": "repro.systems.buck_boost:BuckBoostTop",
+        "suite": "repro.systems.campaigns:buck_boost_all_testcases",
+    },
+    "riscv_platform": {
+        "factory": "repro.systems.riscv_platform:RiscvPlatformTop",
+        "suite": "repro.systems.riscv_platform:paper_style_testcases",
+    },
+}
+
+
+def _timed(fn: Callable[[], Any]) -> tuple:
+    t0 = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - t0
+
+
+def _records_equal(a, b) -> bool:
+    """Compare campaign rows field-by-field (coverage objects excluded)."""
+    if len(a) != len(b):
+        return False
+    return all(ra == rb for ra, rb in zip(a, b))
+
+
+def bench_campaign(system: str = "buck_boost", workers: int = 1) -> Dict[str, Any]:
+    """Cold versus result-cached campaign; identical Table-II rows."""
+    from .systems import campaigns
+
+    builders = {
+        "window_lifter": campaigns.window_lifter_campaign,
+        "buck_boost": campaigns.buck_boost_campaign,
+    }
+    builder = builders[system]
+
+    cold = builder(workers=workers)
+    cold.reuse_dynamic_results = False
+    cold_records, cold_seconds = _timed(cold.run)
+
+    cached = builder(workers=workers)
+    cached_records, cached_seconds = _timed(cached.run)
+
+    executions_cold = sum(
+        len(cold.suite_for(i)) for i in range(cold.iteration_count)
+    )
+    distinct = len(cold.suite_for(cold.iteration_count - 1))
+    return {
+        "system": system,
+        "workers": workers,
+        "iterations": cold.iteration_count,
+        "testcase_executions_cold": executions_cold,
+        "testcase_executions_cached": distinct,
+        "cold_seconds": cold_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": cold_seconds / cached_seconds if cached_seconds else None,
+        "records_identical": _records_equal(cold_records, cached_records),
+    }
+
+
+def bench_parallel(system: str = "sensor", workers: int = 2) -> Dict[str, Any]:
+    """Serial versus process-pool dynamic stage; identical coverage."""
+    from .exec.refs import resolve_ref
+
+    refs = PARALLEL_REFS[system]
+    factory = resolve_ref(refs["factory"])
+    suite = TestSuite(system, resolve_ref(refs["suite"])())
+
+    serial_result, serial_seconds = _timed(
+        lambda: run_dft(factory, suite, executor=SerialExecutor())
+    )
+    parallel_result, parallel_seconds = _timed(
+        lambda: run_dft(
+            factory,
+            suite,
+            executor=ProcessExecutor(refs["factory"], refs["suite"], workers),
+        )
+    )
+    from .core import format_summary
+
+    identical = (
+        serial_result.dynamic.exercised_keys()
+        == parallel_result.dynamic.exercised_keys()
+        and format_summary(serial_result.coverage)
+        == format_summary(parallel_result.coverage)
+    )
+    return {
+        "system": system,
+        "workers": workers,
+        "testcases": len(suite),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds else None,
+        "identical": identical,
+        "cpus": os.cpu_count(),
+    }
+
+
+def bench_static_cache(system: str = "window_lifter") -> Dict[str, Any]:
+    """Static analysis cold versus served from a fresh memo."""
+    from .analysis import StaticAnalysisCache, analyze_cluster
+    from .exec.refs import resolve_ref
+
+    factory = resolve_ref(PARALLEL_REFS[system]["factory"])
+    cache = StaticAnalysisCache()
+    cold, cold_seconds = _timed(lambda: analyze_cluster(factory(), cache=cache))
+    warm, warm_seconds = _timed(lambda: analyze_cluster(factory(), cache=cache))
+    return {
+        "system": system,
+        "cold_seconds": cold_seconds,
+        "cached_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else None,
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "identical": {a.key for a in cold.associations}
+        == {a.key for a in warm.associations},
+    }
+
+
+def bench_schedule_cache() -> Dict[str, Any]:
+    """Dynamic-TDF simulation exercising the kernel schedule cache.
+
+    Uses the window lifter with an obstacle parked in the fine-timestep
+    zone: the position controller keeps flipping between the coarse and
+    fine timestep, so after the first flip in each direction every
+    schedule change is a cache hit.
+    """
+    from .systems.window_lifter import BTN_NONE, BTN_UP, WindowLifterTop
+    from .tdf import sec
+    from .tdf.simulator import Simulator
+
+    top = WindowLifterTop()
+    top.apply_buttons(lambda t: BTN_UP if t < 1.9 else BTN_NONE)
+    top.apply_obstacle(lambda t: 90.0)
+    sim = Simulator(top)
+    _, seconds = _timed(lambda: sim.run(sec(2)))
+    total = sim.schedule_cache_hits + sim.schedule_cache_misses
+    return {
+        "system": "window_lifter",
+        "scenario": "obstacle in fine-timestep zone (dynamic TDF)",
+        "seconds": seconds,
+        "schedule_changes": sim.reelaborations,
+        "cache_hits": sim.schedule_cache_hits,
+        "cache_misses": sim.schedule_cache_misses,
+        "hit_rate": sim.schedule_cache_hits / total if total else 0.0,
+    }
+
+
+def run_benchmarks(
+    workers: int = 2,
+    campaign_system: str = "buck_boost",
+    parallel_system: str = "sensor",
+    sections: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Run the selected benchmark sections and assemble the JSON payload."""
+    wanted = sections or ["campaign", "parallel", "static_cache", "schedule_cache"]
+    payload: Dict[str, Any] = {
+        "benchmark": "repro-dft pipeline performance",
+        "host": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpus": os.cpu_count(),
+        },
+    }
+    if "campaign" in wanted:
+        payload["campaign"] = bench_campaign(campaign_system, workers=1)
+    if "parallel" in wanted:
+        payload["parallel"] = bench_parallel(parallel_system, workers=workers)
+    if "static_cache" in wanted:
+        payload["static_cache"] = bench_static_cache()
+    if "schedule_cache" in wanted:
+        payload["schedule_cache"] = bench_schedule_cache()
+    return payload
+
+
+def write_benchmarks(path: str, payload: Dict[str, Any]) -> None:
+    """Pretty-print the payload to ``path`` (trailing newline included)."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

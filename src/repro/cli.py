@@ -13,13 +13,19 @@ Subcommands:
 ``campaign <system>``
     Run the iterative refinement campaign and print the Table-II rows
     (window lifter and buck-boost only).
+``bench``
+    Run the performance benchmark and emit machine-readable JSON
+    (see :mod:`repro.bench`).
 ``telemetry-report <file>``
     Pretty-print a telemetry JSONL file saved with ``--telemetry``.
 
 ``static``, ``run`` and ``campaign`` accept ``--telemetry PATH`` (save
 a JSON-lines event log) and ``--trace-events PATH`` (save a Chrome /
 Perfetto trace-event file); either flag enables telemetry recording
-for the command.
+for the command.  ``run`` and ``campaign`` accept ``--workers N`` to
+fan the dynamic stage out across worker processes (reported results
+are identical for any worker count), plus ``--cache-dir PATH`` /
+``--no-static-cache`` to control static-analysis memoization.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import sys
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
+from .analysis.cache import DEFAULT_CACHE_DIR
 from .core import (
     format_iteration_table,
     format_matrix,
@@ -87,22 +94,66 @@ def _riscv_suite() -> List[TestCase]:
     return paper_style_testcases()
 
 
-SYSTEMS: Dict[str, Dict[str, Callable]] = {
-    "sensor": {"factory": _sensor_factory, "suite": _sensor_suite},
-    "window_lifter": {"factory": _window_lifter_factory, "suite": _window_lifter_suite},
-    "buck_boost": {"factory": _buck_boost_factory, "suite": _buck_boost_suite},
-    "riscv_platform": {"factory": _riscv_factory, "suite": _riscv_suite},
+#: Per-system entries: ``factory``/``suite`` build the objects in this
+#: process; ``factory_ref``/``suite_ref`` are the importable references
+#: worker processes use to rebuild them (``--workers``).
+SYSTEMS: Dict[str, Dict[str, object]] = {
+    "sensor": {
+        "factory": _sensor_factory,
+        "suite": _sensor_suite,
+        "factory_ref": "repro.systems.sensor:SenseTop",
+        "suite_ref": "repro.systems.sensor:paper_testcases",
+    },
+    "window_lifter": {
+        "factory": _window_lifter_factory,
+        "suite": _window_lifter_suite,
+        "factory_ref": "repro.systems.window_lifter:WindowLifterTop",
+        "suite_ref": "repro.systems.campaigns:window_lifter_all_testcases",
+    },
+    "buck_boost": {
+        "factory": _buck_boost_factory,
+        "suite": _buck_boost_suite,
+        "factory_ref": "repro.systems.buck_boost:BuckBoostTop",
+        "suite_ref": "repro.systems.campaigns:buck_boost_all_testcases",
+    },
+    "riscv_platform": {
+        "factory": _riscv_factory,
+        "suite": _riscv_suite,
+        "factory_ref": "repro.systems.riscv_platform:RiscvPlatformTop",
+        "suite_ref": "repro.systems.riscv_platform:paper_style_testcases",
+    },
 }
 
 
-def _campaign(system: str):
+def _campaign(system: str, workers: int = 1):
     from .systems import campaigns
 
     if system == "window_lifter":
-        return campaigns.window_lifter_campaign()
+        return campaigns.window_lifter_campaign(workers=workers)
     if system == "buck_boost":
-        return campaigns.buck_boost_campaign()
+        return campaigns.buck_boost_campaign(workers=workers)
     raise SystemExit(f"no campaign defined for system {system!r}")
+
+
+def _executor(system: str, workers: int):
+    """The dynamic-stage backend for ``--workers`` (None = serial)."""
+    if workers <= 1:
+        return None
+    from .exec import ProcessExecutor
+
+    entry = SYSTEMS[system]
+    return ProcessExecutor(entry["factory_ref"], entry["suite_ref"], workers)
+
+
+def _configure_static_cache(args) -> None:
+    """Apply ``--cache-dir`` / ``--no-static-cache`` to the default cache."""
+    from .analysis import get_default_cache
+
+    cache = get_default_cache()
+    if getattr(args, "no_static_cache", False):
+        cache.enabled = False
+    if getattr(args, "cache_dir", None):
+        cache.set_disk_dir(args.cache_dir)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -122,17 +173,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record telemetry and save Chrome/Perfetto trace events to PATH",
     )
 
+    cache_opts = argparse.ArgumentParser(add_help=False)
+    cache_opts.add_argument(
+        "--cache-dir", metavar="PATH",
+        help=f"persist static-analysis results under PATH "
+             f"(e.g. {DEFAULT_CACHE_DIR})",
+    )
+    cache_opts.add_argument(
+        "--no-static-cache", action="store_true",
+        help="disable static-analysis memoization for this invocation",
+    )
+
     sub.add_parser("list", help="list bundled systems")
 
     p_static = sub.add_parser(
-        "static", help="static analysis only", parents=[telemetry_opts]
+        "static", help="static analysis only",
+        parents=[telemetry_opts, cache_opts],
     )
     p_static.add_argument("system", choices=sorted(SYSTEMS))
 
     p_run = sub.add_parser(
-        "run", help="full DFT pipeline", parents=[telemetry_opts]
+        "run", help="full DFT pipeline", parents=[telemetry_opts, cache_opts]
     )
     p_run.add_argument("system", choices=sorted(SYSTEMS))
+    p_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the dynamic stage (1 = in-process)",
+    )
     p_run.add_argument("--matrix", action="store_true", help="print the Table-I matrix")
     p_run.add_argument(
         "--max-missed", type=int, default=20, help="missed associations to list"
@@ -148,9 +215,44 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_campaign = sub.add_parser(
         "campaign", help="iterative refinement (Table II)",
-        parents=[telemetry_opts],
+        parents=[telemetry_opts, cache_opts],
     )
     p_campaign.add_argument("system", choices=["window_lifter", "buck_boost"])
+    p_campaign.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the dynamic stage (1 = in-process)",
+    )
+    p_campaign.add_argument(
+        "--no-result-cache", action="store_true",
+        help="re-execute every testcase in every iteration (disable the "
+             "per-testcase dynamic-result cache)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="performance benchmark (machine-readable JSON)",
+        parents=[telemetry_opts],
+    )
+    p_bench.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for the parallel section",
+    )
+    p_bench.add_argument(
+        "--campaign-system", choices=["window_lifter", "buck_boost"],
+        default="buck_boost", help="system for the campaign section",
+    )
+    p_bench.add_argument(
+        "--parallel-system", choices=sorted(SYSTEMS), default="sensor",
+        help="system for the serial-vs-parallel section",
+    )
+    p_bench.add_argument(
+        "--sections", nargs="+", metavar="NAME",
+        choices=["campaign", "parallel", "static_cache", "schedule_cache"],
+        help="run only the named sections (default: all)",
+    )
+    p_bench.add_argument(
+        "--output", metavar="PATH",
+        help="write the JSON document to PATH instead of stdout",
+    )
 
     p_report = sub.add_parser(
         "telemetry-report",
@@ -219,6 +321,7 @@ def _dispatch(args) -> int:
         from .analysis import analyze_cluster
         from .obs import get_telemetry
 
+        _configure_static_cache(args)
         with get_telemetry().span("static", system=args.system):
             result = analyze_cluster(SYSTEMS[args.system]["factory"]())
         print(f"cluster: {result.cluster}")
@@ -236,9 +339,12 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "run":
+        _configure_static_cache(args)
         entry = SYSTEMS[args.system]
         suite = TestSuite(args.system, entry["suite"]())
-        result = run_dft(entry["factory"], suite)
+        result = run_dft(
+            entry["factory"], suite, executor=_executor(args.system, args.workers)
+        )
         if args.save_db:
             from .core import CoverageDatabase
 
@@ -257,8 +363,30 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "campaign":
-        records = _campaign(args.system).run()
+        _configure_static_cache(args)
+        campaign = _campaign(args.system, workers=args.workers)
+        if args.no_result_cache:
+            campaign.reuse_dynamic_results = False
+        records = campaign.run()
         print(format_iteration_table(records))
+        return 0
+
+    if args.command == "bench":
+        import json
+
+        from .bench import run_benchmarks, write_benchmarks
+
+        payload = run_benchmarks(
+            workers=args.workers,
+            campaign_system=args.campaign_system,
+            parallel_system=args.parallel_system,
+            sections=args.sections,
+        )
+        if args.output:
+            write_benchmarks(args.output, payload)
+            print(f"benchmark results written to {args.output}", file=sys.stderr)
+        else:
+            print(json.dumps(payload, indent=2))
         return 0
 
     if args.command == "telemetry-report":

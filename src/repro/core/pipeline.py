@@ -23,6 +23,8 @@ from .coverage import CoverageResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports avoid a cycle
     from ..analysis.cluster_analysis import StaticAnalysisResult
+    from ..exec.base import DynamicExecutor
+    from ..exec.cache import DynamicResultCache
     from ..instrument.runner import ClusterFactory, DynamicAnalyzer, DynamicResult
     from ..obs import Span
 
@@ -55,6 +57,8 @@ def run_dft(
     suite: TestSuite,
     warn: bool = False,
     telemetry: Optional[Telemetry] = None,
+    executor: Optional["DynamicExecutor"] = None,
+    result_cache: Optional["DynamicResultCache"] = None,
 ) -> PipelineResult:
     """Run the complete data-flow-testing pipeline.
 
@@ -68,6 +72,12 @@ def run_dft(
     use-without-def findings into Python warnings in addition to the
     report entries.  ``telemetry`` overrides the globally active
     session for this run.
+
+    ``executor`` selects the dynamic-stage backend (serial when omitted;
+    see :mod:`repro.exec`).  ``result_cache`` memoizes per-testcase
+    dynamic results across runs — only testcases missing from the cache
+    are executed; the merged result is identical either way because each
+    testcase runs on its own fresh cluster.
     """
     from ..analysis.cluster_analysis import analyze_cluster
     from ..instrument.runner import DynamicAnalyzer
@@ -91,9 +101,9 @@ def run_dft(
         with tel.span("static") as span_static:
             static = analyze_cluster(counted_factory(), telemetry=tel)
         with tel.span("dynamic") as span_dynamic:
-            dynamic = DynamicAnalyzer(
-                counted_factory, static, warn=warn, telemetry=tel
-            ).run_suite(suite)
+            dynamic = _run_dynamic(
+                counted_factory, static, suite, warn, tel, executor, result_cache
+            )
         with tel.span("coverage") as span_coverage:
             coverage = CoverageResult(static, dynamic)
             # Touch the aggregate numbers so the 'coverage' timing is honest.
@@ -109,3 +119,56 @@ def run_dft(
         },
         telemetry=tel,
     )
+
+
+def _run_dynamic(
+    cluster_factory: "ClusterFactory",
+    static: "StaticAnalysisResult",
+    suite: TestSuite,
+    warn: bool,
+    tel: Telemetry,
+    executor: Optional["DynamicExecutor"],
+    result_cache: Optional["DynamicResultCache"],
+) -> "DynamicResult":
+    """Execute the dynamic stage through the chosen backend and cache.
+
+    Cached testcases are skipped entirely; the remainder goes through
+    ``executor`` (or the serial runner).  The merged ``per_testcase``
+    map always follows suite order, independent of backend, worker
+    count and cache population.
+    """
+    from ..instrument.runner import DynamicAnalyzer, DynamicResult
+
+    if executor is None:
+        from ..exec.base import SerialExecutor
+
+        executor = SerialExecutor()
+
+    fingerprint = static.fingerprint
+    cached = {}
+    if result_cache is not None:
+        for testcase in suite:
+            hit = result_cache.get(fingerprint, testcase.name)
+            if hit is not None:
+                cached[testcase.name] = hit
+        if tel.enabled and cached:
+            tel.metrics.counter("exec.result_cache_hits").inc(len(cached))
+    pending = [tc for tc in suite if tc.name not in cached]
+    if pending:
+        if tel.enabled and result_cache is not None:
+            tel.metrics.counter("exec.result_cache_misses").inc(len(pending))
+        pending_suite = TestSuite(suite.name, pending)
+        fresh = executor.run_suite(
+            cluster_factory, static, pending_suite, warn=warn, telemetry=tel
+        )
+    else:
+        fresh = DynamicResult()
+    result = DynamicResult()
+    for testcase in suite:
+        match = cached.get(testcase.name)
+        if match is None:
+            match = fresh.per_testcase[testcase.name]
+            if result_cache is not None:
+                result_cache.put(fingerprint, testcase.name, match)
+        result.per_testcase[testcase.name] = match
+    return result

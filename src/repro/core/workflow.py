@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 from ..testing.testcase import TestCase, TestSuite
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import avoids a cycle
+    from ..exec.base import DynamicExecutor
     from ..instrument.runner import ClusterFactory
 from .associations import AssocClass
 from .coverage import CoverageResult
@@ -51,10 +52,19 @@ class IterativeCampaign:
         cluster_factory: "ClusterFactory",
         base_suite: Sequence[TestCase],
         name: str = "campaign",
+        executor: Optional["DynamicExecutor"] = None,
+        reuse_dynamic_results: bool = True,
     ) -> None:
         self.cluster_factory = cluster_factory
         self.name = name
         self._batches: List[List[TestCase]] = [list(base_suite)]
+        #: Dynamic-stage backend handed to every pipeline run (serial
+        #: when None; see :mod:`repro.exec`).
+        self.executor = executor
+        #: Iteration *k* re-runs every testcase of iterations ``0..k-1``
+        #: on a fresh cluster each — deterministic, so their per-testcase
+        #: results are memoized across iterations unless disabled.
+        self.reuse_dynamic_results = reuse_dynamic_results
 
     def add_iteration(self, testcases: Sequence[TestCase]) -> None:
         """Schedule a batch of additional testcases as the next iteration."""
@@ -78,10 +88,18 @@ class IterativeCampaign:
 
     def run(self) -> List[IterationRecord]:
         """Execute every iteration and return the Table-II records."""
+        from ..exec.cache import DynamicResultCache
+
+        result_cache = DynamicResultCache() if self.reuse_dynamic_results else None
         records: List[IterationRecord] = []
         for index in range(len(self._batches)):
             suite = self.suite_for(index)
-            result: PipelineResult = run_dft(self.cluster_factory, suite)
+            result: PipelineResult = run_dft(
+                self.cluster_factory,
+                suite,
+                executor=self.executor,
+                result_cache=result_cache,
+            )
             coverage = result.coverage
             records.append(
                 IterationRecord(

@@ -1,0 +1,28 @@
+"""Execution backends for the dynamic-analysis stage.
+
+The performance layer of the pipeline (ROADMAP: sharding / batching /
+caching):
+
+* :class:`SerialExecutor` / :class:`ProcessExecutor` — pluggable
+  fan-out of testcases, serial or across worker processes, with
+  deterministic (suite-ordered) merging;
+* :class:`DynamicResultCache` — per-testcase result memoization that
+  collapses the repeated cumulative suites of iterative campaigns;
+* :mod:`repro.exec.refs` — the ``"module:attr"`` reference scheme that
+  lets worker processes rebuild factories and suites they cannot
+  unpickle.
+"""
+
+from .base import DynamicExecutor, SerialExecutor
+from .cache import DynamicResultCache
+from .process import ProcessExecutor
+from .refs import ref_to, resolve_ref
+
+__all__ = [
+    "DynamicExecutor",
+    "DynamicResultCache",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ref_to",
+    "resolve_ref",
+]

@@ -1,0 +1,72 @@
+"""Executor interface for the dynamic-analysis stage.
+
+The dynamic stage runs every testcase of a suite on its own fresh
+cluster — no shared state between testcases — which makes the fan-out
+strategy *pluggable*: the pipeline hands an executor the static result
+and the suite, and gets back one :class:`DynamicResult` whose contents
+are identical whichever backend ran it.
+
+Backends:
+
+* :class:`SerialExecutor` — in-process, one testcase after the other
+  (the default; equivalent to calling the runner directly);
+* :class:`repro.exec.process.ProcessExecutor` — fans testcases out
+  across worker processes and merges deterministically.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from ..obs import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports avoid cycles
+    from ..analysis.cluster_analysis import StaticAnalysisResult
+    from ..instrument.runner import ClusterFactory, DynamicResult
+    from ..testing.testcase import TestSuite
+
+
+class DynamicExecutor(abc.ABC):
+    """Strategy for executing a testsuite against an instrumented cluster."""
+
+    #: Degree of parallelism the backend uses (1 for serial).
+    workers: int = 1
+
+    @abc.abstractmethod
+    def run_suite(
+        self,
+        cluster_factory: "ClusterFactory",
+        static: "StaticAnalysisResult",
+        suite: "TestSuite",
+        warn: bool = False,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "DynamicResult":
+        """Run every testcase of ``suite`` and merge the results.
+
+        The returned :class:`DynamicResult` must order ``per_testcase``
+        by the suite's testcase order — never by completion order — so
+        downstream reports are byte-identical across backends and
+        worker counts.
+        """
+
+
+class SerialExecutor(DynamicExecutor):
+    """In-process execution, one testcase at a time (the baseline)."""
+
+    workers = 1
+
+    def run_suite(
+        self,
+        cluster_factory: "ClusterFactory",
+        static: "StaticAnalysisResult",
+        suite: "TestSuite",
+        warn: bool = False,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "DynamicResult":
+        from ..instrument.runner import DynamicAnalyzer
+
+        analyzer = DynamicAnalyzer(
+            cluster_factory, static, warn=warn, telemetry=telemetry
+        )
+        return analyzer.run_suite(suite)

@@ -1,0 +1,66 @@
+"""Per-testcase dynamic-result memoization.
+
+The TDF kernel is deterministic and every testcase runs on its own
+fresh cluster, so one testcase's :class:`MatchResult` is a pure
+function of (cluster structure + model sources, testcase).  The
+iterative-refinement workflow exploits that: iteration *k* re-runs the
+full cumulative suite (paper §VI — 17, 20, 23, 26 testcases for the
+window lifter), yet only the newly added testcases can produce new
+results.  Caching per-testcase results across iterations collapses the
+window-lifter campaign from 86 testcase executions to 26 without
+changing a single reported number.
+
+Keys combine the **static fingerprint** (see
+:func:`repro.analysis.cache.fingerprint_cluster` — it covers the model
+sources and the netlist) with the testcase name; a cache must only be
+shared across runs that use the *same testcase objects* per name, which
+is exactly the campaign situation.  The caller owns the cache lifetime
+— there is deliberately no process-wide default instance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import avoids a cycle
+    from ..instrument.matching import MatchResult
+
+
+class DynamicResultCache:
+    """Memo of per-testcase dynamic results, scoped by static fingerprint."""
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[str, str], "MatchResult"] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, fingerprint: Optional[str], testcase: str) -> Optional["MatchResult"]:
+        """The cached result, or ``None``; counts the hit/miss."""
+        if fingerprint is None:
+            self.misses += 1
+            return None
+        cached = self._store.get((fingerprint, testcase))
+        if cached is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def put(self, fingerprint: Optional[str], testcase: str, result: "MatchResult") -> None:
+        """Store one testcase's result (no-op without a fingerprint)."""
+        if fingerprint is not None:
+            self._store[(fingerprint, testcase)] = result
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

@@ -51,11 +51,18 @@ class DynamicResult:
         return keys
 
     def use_without_def(self) -> List[str]:
-        """All distinct use-without-def findings across testcases."""
+        """All distinct use-without-def findings across testcases.
+
+        First-occurrence order (testcase order, then event order within
+        a testcase); deduplicated with a seen-set so large suites do not
+        pay quadratic list membership scans.
+        """
         found: List[str] = []
+        seen: set = set()
         for match in self.per_testcase.values():
             for desc in match.use_without_def:
-                if desc not in found:
+                if desc not in seen:
+                    seen.add(desc)
                     found.append(desc)
         return found
 

@@ -182,6 +182,46 @@ class MetricsRegistry:
             })
         return out
 
+    def raw_records(self) -> List[Dict[str, Any]]:
+        """Lossless plain-dict form of every metric.
+
+        Unlike :meth:`records` (which summarises histograms), this keeps
+        the raw observation lists so a registry can be reconstructed or
+        merged elsewhere — the hand-off format parallel workers use to
+        fold their telemetry back into the parent session.
+        """
+        out: List[Dict[str, Any]] = []
+        for c in self._counters.values():
+            out.append({"kind": "counter", "name": c.name,
+                        "labels": c.labels, "value": c.value})
+        for g in self._gauges.values():
+            out.append({"kind": "gauge", "name": g.name,
+                        "labels": g.labels, "value": g.value})
+        for h in self._histograms.values():
+            out.append({"kind": "histogram", "name": h.name,
+                        "labels": h.labels, "values": list(h.values)})
+        return out
+
+    def merge_raw(self, records: List[Dict[str, Any]]) -> None:
+        """Fold :meth:`raw_records` output from another registry into this one.
+
+        Counters add, histograms concatenate observations, gauges keep
+        the last merged value (gauges are point-in-time samples; for the
+        kernel gauges involved — schedule lengths per cluster — every
+        worker observes the same value anyway).
+        """
+        for rec in records:
+            kind = rec["kind"]
+            labels = rec.get("labels", {})
+            if kind == "counter":
+                self.counter(rec["name"], **labels).inc(rec["value"])
+            elif kind == "gauge":
+                self.gauge(rec["name"], **labels).set(rec["value"])
+            elif kind == "histogram":
+                self.histogram(rec["name"], **labels).values.extend(rec["values"])
+            else:
+                raise ValueError(f"unknown metric record kind {kind!r}")
+
 
 # ---------------------------------------------------------------------------
 # Spans
@@ -428,6 +468,12 @@ class _NullMetricsRegistry:
 
     def records(self) -> list:
         return []
+
+    def raw_records(self) -> list:
+        return []
+
+    def merge_raw(self, records: list) -> None:
+        return None
 
 
 class NullTelemetry:

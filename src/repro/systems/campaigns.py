@@ -152,14 +152,47 @@ def window_lifter_iteration_batches() -> List[List[TestCase]]:
     return [batch1, batch2, batch3]
 
 
-def window_lifter_campaign() -> IterativeCampaign:
-    """The full §VI-A campaign (Table II, upper half)."""
+def window_lifter_all_testcases() -> List[TestCase]:
+    """Every window-lifter testcase (base suite + all three batches).
+
+    The flat list worker processes rebuild suites from
+    (:mod:`repro.exec.refs` cannot pickle the testcase closures, so
+    workers re-create them by name from this importable function).
+    """
+    tests = window_lifter_base_suite()
+    for batch in window_lifter_iteration_batches():
+        tests.extend(batch)
+    return tests
+
+
+def window_lifter_campaign(workers: int = 1) -> IterativeCampaign:
+    """The full §VI-A campaign (Table II, upper half).
+
+    ``workers > 1`` fans the dynamic stage out across a process pool;
+    the reported rows are identical for any worker count.
+    """
     campaign = IterativeCampaign(
-        lambda: WindowLifterTop(), window_lifter_base_suite(), name="window_lifter"
+        lambda: WindowLifterTop(),
+        window_lifter_base_suite(),
+        name="window_lifter",
+        executor=_campaign_executor(
+            "repro.systems.window_lifter:WindowLifterTop",
+            "repro.systems.campaigns:window_lifter_all_testcases",
+            workers,
+        ),
     )
     for batch in window_lifter_iteration_batches():
         campaign.add_iteration(batch)
     return campaign
+
+
+def _campaign_executor(factory_ref: str, suite_ref: str, workers: int):
+    """A ProcessExecutor for ``workers > 1``, else the serial default."""
+    if workers <= 1:
+        return None
+    from ..exec import ProcessExecutor
+
+    return ProcessExecutor(factory_ref, suite_ref, workers)
 
 
 # ---------------------------------------------------------------------------
@@ -251,10 +284,25 @@ def buck_boost_iteration_batches() -> List[List[TestCase]]:
     return [batch1, batch2, batch3]
 
 
-def buck_boost_campaign() -> IterativeCampaign:
+def buck_boost_all_testcases() -> List[TestCase]:
+    """Every buck-boost testcase (base suite + all three batches)."""
+    tests = buck_boost_base_suite()
+    for batch in buck_boost_iteration_batches():
+        tests.extend(batch)
+    return tests
+
+
+def buck_boost_campaign(workers: int = 1) -> IterativeCampaign:
     """The full §VI-B campaign (Table II, lower half)."""
     campaign = IterativeCampaign(
-        lambda: BuckBoostTop(), buck_boost_base_suite(), name="buck_boost"
+        lambda: BuckBoostTop(),
+        buck_boost_base_suite(),
+        name="buck_boost",
+        executor=_campaign_executor(
+            "repro.systems.buck_boost:BuckBoostTop",
+            "repro.systems.campaigns:buck_boost_all_testcases",
+            workers,
+        ),
     )
     for batch in buck_boost_iteration_batches():
         campaign.add_iteration(batch)

@@ -241,20 +241,27 @@ class TdfModule:
     # -- kernel hooks -----------------------------------------------------------------
 
     def _activate(self, time: ScaTime) -> None:
-        """Run one activation at ``time`` (kernel use only)."""
-        self._time = time
-        for port in self.in_ports():
+        """Run one activation at ``time`` (kernel use only).
+
+        Bypasses :meth:`__setattr__` (its port-capture check is pure
+        overhead for plain state) and resolves the port lists once per
+        activation instead of once per loop.
+        """
+        object.__setattr__(self, "_time", time)
+        ins = self.in_ports()
+        outs = self.out_ports()
+        for port in ins:
             port._begin_activation()
-        for port in self.out_ports():
+        for port in outs:
             port._begin_activation(time)
         try:
             self.resolved_processing()()
         finally:
-            for port in self.in_ports():
+            for port in ins:
                 port._end_activation()
-            for port in self.out_ports():
+            for port in outs:
                 port._end_activation()
-        self.activation_count += 1
+        object.__setattr__(self, "activation_count", self.activation_count + 1)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -88,6 +88,18 @@ def _capture_bind_site() -> Optional[BindSite]:
 class Port:
     """Common state shared by input and output TDF ports."""
 
+    __slots__ = (
+        "name",
+        "module",
+        "signal",
+        "rate",
+        "delay",
+        "initial_values",
+        "requested_timestep",
+        "timestep",
+        "bind_site",
+    )
+
     direction = "?"
 
     def __init__(self, name: str = "") -> None:
@@ -169,6 +181,8 @@ class Port:
 class TdfIn(Port):
     """TDF input port (``sca_tdf::sca_in`` analogue)."""
 
+    __slots__ = ("_read_hooks", "_in_activation")
+
     direction = "in"
 
     def __init__(self, name: str = "") -> None:
@@ -246,6 +260,15 @@ class TdfIn(Port):
 class TdfOut(Port):
     """TDF output port (``sca_tdf::sca_out`` analogue)."""
 
+    __slots__ = (
+        "_write_hooks",
+        "_pending",
+        "_flushed",
+        "_in_activation",
+        "_activation_time",
+        "_last_value",
+    )
+
     direction = "out"
 
     def __init__(self, name: str = "") -> None:
@@ -300,14 +323,24 @@ class TdfOut(Port):
         # Sample timestamps are only needed when someone observes the
         # signal (tracers); skip the ScaTime arithmetic otherwise.
         want_times = bool(signal._write_observers)
-        values = {i: v for i, v in self._pending}
+        pending = self._pending
+        if self.rate == 1 and not want_times:
+            # Dominant case (single-rate port, no tracers): skip the
+            # dict round-trip; the last write for offset 0 wins.
+            if pending:
+                self._last_value = pending[-1][1]
+                pending.clear()
+            signal.write(self._last_value, None)
+            self._flushed += 1
+            return
+        values = {i: v for i, v in pending}
         for i in range(self.rate):
             value = values.get(i, self._last_value)
             self._last_value = value
             sample_time = self._sample_time(i) if want_times else None
             signal.write(value, sample_time)
         self._flushed += self.rate
-        self._pending.clear()
+        pending.clear()
 
     def _sample_time(self, offset: int) -> Optional[ScaTime]:
         if self._activation_time is None or self.timestep is None:

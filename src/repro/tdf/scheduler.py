@@ -63,10 +63,15 @@ class Schedule:
         self.module_timesteps = module_timesteps
         #: Duration of one cluster period.
         self.period = period
-        #: Precomputed ``(module, time-offset-within-period)`` pairs so
-        #: the per-period hot loop does one ScaTime addition per firing.
+        #: Integer femtosecond mirror of :attr:`period` for the hot loop.
+        self.period_fs = period.femtoseconds
+        #: Precomputed ``(module, femtosecond-offset-within-period)``
+        #: pairs: the per-period hot loop turns each into an absolute
+        #: activation time with one integer add and one
+        #: :meth:`ScaTime.from_femtoseconds` call — no ScaTime
+        #: arithmetic per firing.
         self.timed_firings = [
-            (module, module_timesteps[module.name] * firing_index)
+            (module, module_timesteps[module.name].femtoseconds * firing_index)
             for module, firing_index in firings
         ]
 
@@ -75,6 +80,25 @@ class Schedule:
         period starting at ``period_start``."""
         ts = self.module_timesteps[module.name]
         return period_start + ts * firing_index
+
+    def apply_timesteps(self) -> None:
+        """Re-assign the derived module/port timesteps to the cluster.
+
+        Elaboration sets ``module.timestep`` and ``port.timestep`` as a
+        side effect; a cached schedule that is *reused* instead of
+        rebuilt (see ``Simulator._handle_dynamic_tdf``) must restore
+        those assignments, because the intervening configuration may
+        have left different values behind.  The integer division is
+        exact: this schedule was only cached under a key that pins every
+        port rate, and elaboration verified divisibility when it was
+        built.
+        """
+        for module in self.cluster.modules:
+            ts = self.module_timesteps[module.name]
+            module.timestep = ts
+            ts_fs = ts.femtoseconds
+            for port in module.ports():
+                port.timestep = ScaTime.from_femtoseconds(ts_fs // port.rate)
 
     def __len__(self) -> int:
         return len(self.firings)

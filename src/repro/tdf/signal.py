@@ -36,6 +36,20 @@ ReadObserver = Callable[["Signal", "TdfIn", int, Any], None]
 class Signal:
     """A timed token stream with one driver and many readers."""
 
+    __slots__ = (
+        "name",
+        "initial_value",
+        "driver",
+        "readers",
+        "_tokens",
+        "_base_index",
+        "_write_count",
+        "_cursors",
+        "_write_observers",
+        "_read_observers",
+        "last_write_time",
+    )
+
     def __init__(self, name: str, initial_value: Any = 0.0) -> None:
         self.name = name
         #: Value returned for delay tokens unless the reader overrides it.

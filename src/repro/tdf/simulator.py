@@ -8,12 +8,24 @@ until the requested stop time.  After every period each module's
 request (new timestep or port rate) the kernel applies the request and
 re-elaborates before the next period — the SystemC-AMS *dynamic TDF*
 behaviour the paper's window-lifter experiment exercises.
+
+Dynamic-TDF workloads typically oscillate between a small set of
+attribute configurations (the window lifter flips between a fine and a
+coarse timestep every few periods).  Rebuilding the schedule from
+scratch on every flip repeats the same rate-balance / timestep /
+PASS computation, so the simulator memoizes each built
+:class:`~repro.tdf.scheduler.Schedule` under a fingerprint of the
+attribute configuration and reuses it on repeat visits
+(:attr:`Simulator.schedule_cache_hits` /
+:attr:`Simulator.schedule_cache_misses`, mirrored as the
+``tdf.schedule_cache_hits`` / ``tdf.schedule_cache_misses`` telemetry
+counters).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import get_telemetry
 from .cluster import Cluster
@@ -32,7 +44,15 @@ class Simulator:
         #: Simulated time at the start of the next period.
         self.now = ScaTime.zero()
         self.periods_run = 0
+        #: Number of schedule *changes* triggered by dynamic TDF —
+        #: counted whether the new schedule was rebuilt or served from
+        #: the cache.
         self.reelaborations = 0
+        #: Schedules previously built for an attribute configuration,
+        #: keyed by :meth:`_attribute_key`.
+        self._schedule_cache: Dict[Tuple, Schedule] = {}
+        self.schedule_cache_hits = 0
+        self.schedule_cache_misses = 0
         self._initialized = False
         #: Observers called after every period: ``(simulator)``.
         self._period_hooks: List[Callable[["Simulator"], None]] = []
@@ -48,6 +68,10 @@ class Simulator:
     def elaborate(self) -> Schedule:
         """(Re-)elaborate the cluster and return the fresh schedule."""
         self.schedule = elaborate(self.cluster)
+        # Seed the schedule cache: the key must be computed *after*
+        # elaboration because the initial pass runs set_attributes(),
+        # which is what establishes the rates/timesteps the key covers.
+        self._schedule_cache[self._attribute_key()] = self.schedule
         return self.schedule
 
     def initialize(self) -> None:
@@ -67,17 +91,55 @@ class Simulator:
             self.initialize()
         assert self.schedule is not None
         schedule = self.schedule
-        now = self.now
-        for module, offset in schedule.timed_firings:
-            module._activate(now + offset)
-        self.now = self.now + schedule.period
+        base_fs = self.now.femtoseconds
+        from_fs = ScaTime.from_femtoseconds
+        for module, offset_fs in schedule.timed_firings:
+            module._activate(from_fs(base_fs + offset_fs))
+        self.now = from_fs(base_fs + schedule.period_fs)
         self.periods_run += 1
         for hook in self._period_hooks:
             hook(self)
         self._handle_dynamic_tdf()
 
+    def _attribute_key(self) -> Tuple:
+        """Fingerprint of every attribute elaboration depends on.
+
+        The schedule is a pure function of the cluster's bindings (fixed
+        for a simulator's lifetime) plus, per module: the requested
+        module timestep and each port's rate, delay and requested port
+        timestep.  Dynamic TDF can only alter the requested timesteps
+        and rates, so equal keys guarantee an identical schedule.
+        """
+        parts = []
+        for module in self.cluster.modules:
+            req = module.requested_timestep
+            parts.append(
+                (
+                    module.name,
+                    req.femtoseconds if req is not None else None,
+                    tuple(
+                        (
+                            port.name,
+                            port.rate,
+                            port.delay,
+                            port.requested_timestep.femtoseconds
+                            if port.requested_timestep is not None
+                            else None,
+                        )
+                        for port in module.ports()
+                    ),
+                )
+            )
+        return tuple(parts)
+
     def _handle_dynamic_tdf(self) -> None:
-        """Run ``change_attributes()`` and re-elaborate on request."""
+        """Run ``change_attributes()`` and swap schedules on request.
+
+        A configuration seen before reuses its cached schedule (plus
+        :meth:`Schedule.apply_timesteps` to restore the module/port
+        timestep side effects of elaboration); only genuinely new
+        configurations pay for a full re-elaboration.
+        """
         changed = False
         for module in self.cluster.modules:
             module.change_attributes()
@@ -85,12 +147,31 @@ class Simulator:
             if module.has_pending_attribute_requests:
                 module.consume_attribute_requests()
                 changed = True
-        if changed:
+        if not changed:
+            return
+        key = self._attribute_key()
+        cached = self._schedule_cache.get(key)
+        tel = get_telemetry()
+        if cached is not None:
+            cached.apply_timesteps()
+            self.schedule = cached
+            self.schedule_cache_hits += 1
+            if tel.enabled:
+                tel.metrics.counter(
+                    "tdf.schedule_cache_hits", cluster=self.cluster.name
+                ).inc()
+        else:
             # Re-elaboration keeps all token buffers: dynamic TDF changes
             # timing, not data already in flight.  ``initial=False``
             # skips set_attributes() so the requests just applied stand.
             self.schedule = elaborate(self.cluster, initial=False)
-            self.reelaborations += 1
+            self._schedule_cache[key] = self.schedule
+            self.schedule_cache_misses += 1
+            if tel.enabled:
+                tel.metrics.counter(
+                    "tdf.schedule_cache_misses", cluster=self.cluster.name
+                ).inc()
+        self.reelaborations += 1
 
     def run(self, duration: ScaTime) -> None:
         """Run for (at least) ``duration`` of simulated time.
@@ -109,27 +190,65 @@ class Simulator:
             )
         if not self._initialized:
             self.initialize()
+        self._run(
+            stop=self.now + duration,
+            max_periods=None,
+            span_attrs={"duration_fs": duration.femtoseconds},
+        )
+
+    def run_periods(self, count: int) -> None:
+        """Run exactly ``count`` cluster periods.
+
+        Shares :meth:`run`'s guarded loop: the zero-length-period check
+        and the telemetry accounting apply to period-counted runs too
+        (historically this path bypassed both).
+        """
+        if not isinstance(count, int) or count < 0:
+            raise SimulationError(f"period count must be >= 0, got {count!r}")
+        if count == 0:
+            return
+        if not self._initialized:
+            self.initialize()
+        self._run(stop=None, max_periods=count, span_attrs={"periods": count})
+
+    def _run(
+        self,
+        stop: Optional[ScaTime],
+        max_periods: Optional[int],
+        span_attrs: Dict[str, int],
+    ) -> None:
+        """Shared driver for :meth:`run` and :meth:`run_periods`."""
         tel = get_telemetry()
         if tel.enabled:
             with tel.span(
-                "tdf.simulate",
-                cluster=self.cluster.name,
-                duration_fs=duration.femtoseconds,
+                "tdf.simulate", cluster=self.cluster.name, **span_attrs
             ):
-                self._run_instrumented(duration, tel)
+                self._run_instrumented(stop, max_periods, tel)
             return
-        stop = self.now + duration
-        while self.now < stop:
+        self._loop(stop, max_periods, period_hist=None)
+
+    def _loop(self, stop, max_periods, period_hist) -> None:
+        """The guarded period loop common to both execution modes."""
+        executed = 0
+        while (stop is None or self.now < stop) and (
+            max_periods is None or executed < max_periods
+        ):
             before = self.now
-            self.run_period()
+            if period_hist is None:
+                self.run_period()
+            else:
+                t0 = time.perf_counter()
+                self.run_period()
+                period_hist.observe(time.perf_counter() - t0)
+            executed += 1
             if self.now == before:
                 raise SimulationError(
                     f"cluster {self.cluster.name!r} has a zero-length period; "
                     f"check timestep assignments"
                 )
 
-    def _run_instrumented(self, duration: ScaTime, tel) -> None:
-        """The :meth:`run` loop with telemetry accounting around it.
+    def _run_instrumented(self, stop, max_periods, tel) -> None:
+        """The guarded loop with telemetry accounting around it.
 
         Counters are recorded as before/after deltas so repeated ``run``
         calls on one simulator accumulate correctly, and are flushed even
@@ -144,17 +263,7 @@ class Simulator:
         reelaborations_before = self.reelaborations
         period_hist = metrics.histogram("tdf.period_seconds", cluster=name)
         try:
-            stop = self.now + duration
-            while self.now < stop:
-                before = self.now
-                t0 = time.perf_counter()
-                self.run_period()
-                period_hist.observe(time.perf_counter() - t0)
-                if self.now == before:
-                    raise SimulationError(
-                        f"cluster {name!r} has a zero-length period; "
-                        f"check timestep assignments"
-                    )
+            self._loop(stop, max_periods, period_hist)
         finally:
             for module in self.cluster.modules:
                 delta = module.activation_count - base_activations[module]
@@ -181,13 +290,6 @@ class Simulator:
                 metrics.counter("tdf.reelaborations", cluster=name).inc(
                     reelaborated
                 )
-
-    def run_periods(self, count: int) -> None:
-        """Run exactly ``count`` cluster periods."""
-        if count < 0:
-            raise SimulationError(f"period count must be >= 0, got {count}")
-        for _ in range(count):
-            self.run_period()
 
     def finish(self) -> None:
         """Signal end of simulation to every module."""

@@ -15,6 +15,22 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from helpers import Accumulator, Doubler, Passthrough  # noqa: E402,F401
 
 
+@pytest.fixture(autouse=True)
+def _fresh_static_cache():
+    """Clear the process-wide static-analysis cache around every test.
+
+    The default cache memoizes ``analyze_cluster`` by cluster
+    fingerprint; without isolation a test's telemetry (e.g. the
+    ``analysis.models_analyzed`` counter) would depend on which tests
+    analyzed the same cluster earlier in the session.
+    """
+    from repro.analysis import get_default_cache
+
+    get_default_cache().clear()
+    yield
+    get_default_cache().clear()
+
+
 @pytest.fixture
 def passthrough_cluster():
     """source -> passthrough -> sink, 1 ms timestep."""

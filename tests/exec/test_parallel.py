@@ -1,0 +1,130 @@
+"""Serial-vs-parallel equivalence of the dynamic stage.
+
+The acceptance bar for the parallel executor is *byte-identical*
+reports: same exercised pairs, same summary text, same testcase order,
+for every paper system.  The window-lifter and buck-boost checks run on
+suite subsets (including a dynamic-TDF testcase) to keep the suite
+fast; the sensor check covers a full pipeline run.
+"""
+
+import pytest
+
+from repro.analysis import analyze_cluster
+from repro.core import format_summary, run_dft
+from repro.exec import ProcessExecutor, SerialExecutor
+from repro.exec.refs import resolve_ref
+from repro.testing import TestSuite
+
+SENSOR = ("repro.systems.sensor:SenseTop", "repro.systems.sensor:paper_testcases")
+WINDOW_LIFTER = (
+    "repro.systems.window_lifter:WindowLifterTop",
+    "repro.systems.campaigns:window_lifter_all_testcases",
+)
+BUCK_BOOST = (
+    "repro.systems.buck_boost:BuckBoostTop",
+    "repro.systems.campaigns:buck_boost_all_testcases",
+)
+
+
+def _subset_suite(suite_ref, names):
+    by_name = {tc.name: tc for tc in resolve_ref(suite_ref)()}
+    return TestSuite("subset", [by_name[name] for name in names])
+
+
+def _run_both(factory_ref, suite_ref, suite, workers=2):
+    factory = resolve_ref(factory_ref)
+    static = analyze_cluster(factory())
+    serial = SerialExecutor().run_suite(factory, static, suite)
+    parallel = ProcessExecutor(factory_ref, suite_ref, workers).run_suite(
+        factory, static, suite
+    )
+    return serial, parallel
+
+
+class TestSensorEquivalence:
+    def test_full_pipeline_identical(self):
+        factory = resolve_ref(SENSOR[0])
+        suite = TestSuite("sensor", resolve_ref(SENSOR[1])())
+        serial = run_dft(factory, suite, executor=SerialExecutor())
+        parallel = run_dft(
+            factory, suite, executor=ProcessExecutor(*SENSOR, workers=2)
+        )
+        assert (
+            serial.dynamic.exercised_keys() == parallel.dynamic.exercised_keys()
+        )
+        assert format_summary(serial.coverage) == format_summary(
+            parallel.coverage
+        )
+        assert list(parallel.dynamic.per_testcase) == [tc.name for tc in suite]
+
+    def test_worker_count_does_not_matter(self):
+        factory = resolve_ref(SENSOR[0])
+        suite = TestSuite("sensor", resolve_ref(SENSOR[1])())
+        summaries = set()
+        for workers in (1, 3):
+            result = run_dft(
+                factory, suite, executor=ProcessExecutor(*SENSOR, workers=workers)
+            )
+            summaries.add(format_summary(result.coverage))
+        assert len(summaries) == 1
+
+
+class TestWindowLifterEquivalence:
+    def test_subset_with_dynamic_tdf_testcase(self):
+        # wl_obst_fine_zone exercises the dynamic-TDF timestep flip.
+        suite = _subset_suite(
+            WINDOW_LIFTER[1], ["wl_close_short", "wl_idle", "wl_obst_fine_zone"]
+        )
+        serial, parallel = _run_both(*WINDOW_LIFTER, suite)
+        for name in suite.names():
+            assert (
+                serial.per_testcase[name].pairs
+                == parallel.per_testcase[name].pairs
+            )
+        assert serial.use_without_def() == parallel.use_without_def()
+
+
+class TestBuckBoostEquivalence:
+    def test_subset_identical(self):
+        suite = _subset_suite(BUCK_BOOST[1], ["bb_buck_0v9", "bb_boost_4v2"])
+        serial, parallel = _run_both(*BUCK_BOOST, suite)
+        assert serial.exercised_keys() == parallel.exercised_keys()
+        assert list(parallel.per_testcase) == suite.names()
+
+
+class TestExecutorMechanics:
+    def test_shards_round_robin(self):
+        executor = ProcessExecutor(*SENSOR, workers=2)
+        assert executor._shards(["a", "b", "c", "d", "e"]) == [
+            ("a", "c", "e"),
+            ("b", "d"),
+        ]
+
+    def test_more_workers_than_testcases(self):
+        suite = _subset_suite(BUCK_BOOST[1], ["bb_buck_0v9"])
+        serial, parallel = _run_both(*BUCK_BOOST, suite, workers=8)
+        assert serial.exercised_keys() == parallel.exercised_keys()
+
+    def test_unknown_testcase_rejected(self):
+        from repro.testing import TestCase
+        from repro.tdf import ms
+
+        factory = resolve_ref(SENSOR[0])
+        static = analyze_cluster(factory())
+        rogue = TestSuite("rogue", [TestCase("not_in_ref", ms(1), lambda c: None)])
+        with pytest.raises(LookupError):
+            ProcessExecutor(*SENSOR, workers=2).run_suite(factory, static, rogue)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(*SENSOR, workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor("not-a-ref", SENSOR[1], workers=2)
+
+    def test_empty_suite(self):
+        factory = resolve_ref(SENSOR[0])
+        static = analyze_cluster(factory())
+        result = ProcessExecutor(*SENSOR, workers=2).run_suite(
+            factory, static, TestSuite("empty")
+        )
+        assert result.per_testcase == {}

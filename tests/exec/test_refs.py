@@ -1,0 +1,57 @@
+"""The ``"module:attr"`` reference scheme used by worker processes."""
+
+import pytest
+
+from repro.exec import ref_to, resolve_ref
+from repro.systems.sensor import SenseTop, paper_testcases
+
+
+class TestResolveRef:
+    def test_resolves_class(self):
+        assert resolve_ref("repro.systems.sensor:SenseTop") is SenseTop
+
+    def test_resolves_function(self):
+        assert resolve_ref("repro.systems.sensor:paper_testcases") is paper_testcases
+
+    def test_resolves_dotted_attribute(self):
+        method = resolve_ref("repro.systems.sensor:SenseTop.architecture")
+        assert method is SenseTop.architecture
+
+    @pytest.mark.parametrize(
+        "bad", ["no_colon", ":attr_only", "module:", "a:b:c", ""]
+    )
+    def test_malformed_reference_raises(self, bad):
+        with pytest.raises(ValueError):
+            resolve_ref(bad)
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            resolve_ref("repro.systems.sensor:NoSuchThing")
+
+    def test_missing_module_raises(self):
+        with pytest.raises(ModuleNotFoundError):
+            resolve_ref("repro.no_such_module:thing")
+
+
+class TestRefTo:
+    def test_round_trip(self):
+        ref = ref_to(SenseTop)
+        assert resolve_ref(ref) is SenseTop
+
+    def test_function_round_trip(self):
+        ref = ref_to(paper_testcases)
+        assert resolve_ref(ref) is paper_testcases
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            ref_to(lambda: None)
+
+    def test_closure_rejected(self):
+        def outer():
+            def inner():
+                pass
+
+            return inner
+
+        with pytest.raises(ValueError):
+            ref_to(outer())

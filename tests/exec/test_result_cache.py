@@ -1,0 +1,97 @@
+"""Per-testcase dynamic-result memoization (campaign acceleration)."""
+
+from repro.core import run_dft
+from repro.core.workflow import IterativeCampaign
+from repro.exec import DynamicResultCache
+from repro.instrument.matching import MatchResult
+from repro.systems.sensor import SenseTop, paper_testcases
+from repro.testing import TestSuite
+
+
+def _factory():
+    return SenseTop()
+
+
+class TestDynamicResultCache:
+    def test_get_miss_then_hit(self):
+        cache = DynamicResultCache()
+        match = MatchResult("tc")
+        assert cache.get("fp", "tc") is None
+        cache.put("fp", "tc", match)
+        assert cache.get("fp", "tc") is match
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_fingerprint_scopes_entries(self):
+        cache = DynamicResultCache()
+        cache.put("fp1", "tc", MatchResult("tc"))
+        assert cache.get("fp2", "tc") is None
+
+    def test_none_fingerprint_disables_caching(self):
+        cache = DynamicResultCache()
+        cache.put(None, "tc", MatchResult("tc"))
+        assert len(cache) == 0
+        assert cache.get(None, "tc") is None
+        assert cache.misses == 1
+
+    def test_clear(self):
+        cache = DynamicResultCache()
+        cache.put("fp", "tc", MatchResult("tc"))
+        cache.get("fp", "tc")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+class TestPipelineResultCache:
+    def test_cached_testcases_not_reexecuted(self):
+        builds = []
+
+        def counting_factory():
+            builds.append(1)
+            return SenseTop()
+
+        suite = TestSuite("sensor", paper_testcases())
+        cache = DynamicResultCache()
+        first = run_dft(counting_factory, suite, result_cache=cache)
+        builds_first = len(builds)
+        second = run_dft(counting_factory, suite, result_cache=cache)
+        # Second run: one build for the static stage, none for testcases.
+        assert len(builds) == builds_first + 1
+        assert cache.hits == len(suite)
+        assert first.dynamic.exercised_keys() == second.dynamic.exercised_keys()
+        assert list(second.dynamic.per_testcase) == suite.names()
+
+    def test_partial_cache_runs_only_pending(self):
+        suite = TestSuite("sensor", paper_testcases())
+        cache = DynamicResultCache()
+        warmup = TestSuite("warmup", suite.testcases[:2])
+        run_dft(_factory, warmup, result_cache=cache)
+        result = run_dft(_factory, suite, result_cache=cache)
+        assert cache.hits == 2
+        assert list(result.dynamic.per_testcase) == suite.names()
+        uncached = run_dft(_factory, suite)
+        assert (
+            result.dynamic.exercised_keys() == uncached.dynamic.exercised_keys()
+        )
+
+
+class TestCampaignReuse:
+    def _campaign(self, reuse):
+        tests = paper_testcases()
+        campaign = IterativeCampaign(
+            _factory, tests[:1], name="mini", reuse_dynamic_results=reuse
+        )
+        campaign.add_iteration(tests[1:2])
+        campaign.add_iteration(tests[2:])
+        return campaign
+
+    def test_reuse_matches_cold_records(self):
+        cold = self._campaign(reuse=False).run()
+        cached = self._campaign(reuse=True).run()
+        assert len(cold) == len(cached) == 3
+        for a, b in zip(cold, cached):
+            assert a.tests == b.tests
+            assert a.exercised_total == b.exercised_total
+            assert a.class_percent == b.class_percent
+            assert a.criteria == b.criteria

@@ -19,6 +19,10 @@ baselines and emits one machine-readable JSON document (the
 * **schedule_cache** — a dynamic-TDF simulation (the window lifter's
   fine/coarse timestep zone switching), reporting the kernel's
   schedule-cache hit/miss counts.
+* **engine** — the PR-3 headline: the same cold campaign under the
+  per-firing interpreter versus the compiled block engine
+  (:mod:`repro.tdf.engine`), with a records-identical check and a
+  byte-identical coverage comparison across every bundled system.
 
 Every section records its own wall-clock seconds, so regressions are
 attributable to a layer, not just "the benchmark got slower".
@@ -183,15 +187,68 @@ def bench_schedule_cache() -> Dict[str, Any]:
     top.apply_obstacle(lambda t: 90.0)
     sim = Simulator(top)
     _, seconds = _timed(lambda: sim.run(sec(2)))
-    total = sim.schedule_cache_hits + sim.schedule_cache_misses
+    stats = sim.schedule_cache_stats
     return {
         "system": "window_lifter",
         "scenario": "obstacle in fine-timestep zone (dynamic TDF)",
         "seconds": seconds,
         "schedule_changes": sim.reelaborations,
-        "cache_hits": sim.schedule_cache_hits,
-        "cache_misses": sim.schedule_cache_misses,
-        "hit_rate": sim.schedule_cache_hits / total if total else 0.0,
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+        "hit_rate": stats["hit_rate"],
+    }
+
+
+def bench_engine(system: str = "buck_boost") -> Dict[str, Any]:
+    """Cold campaign: per-firing interpreter versus block engine.
+
+    Both campaigns re-execute every testcase of every iteration
+    (``reuse_dynamic_results=False``) so the whole dynamic stage —
+    instrumentation, simulation, event matching — is measured, not the
+    result cache.  ``coverage_identical`` additionally runs every
+    bundled system once per engine and compares the machine-readable
+    coverage exports byte for byte.
+    """
+    from .core import coverage_to_dict
+    from .exec.refs import resolve_ref
+    from .systems import campaigns
+
+    builders = {
+        "window_lifter": campaigns.window_lifter_campaign,
+        "buck_boost": campaigns.buck_boost_campaign,
+    }
+    builder = builders[system]
+
+    interp = builder(engine="interp")
+    interp.reuse_dynamic_results = False
+    interp_records, interp_seconds = _timed(interp.run)
+
+    block = builder(engine="block")
+    block.reuse_dynamic_results = False
+    block_records, block_seconds = _timed(block.run)
+
+    coverage_identical: Dict[str, bool] = {}
+    for name, refs in PARALLEL_REFS.items():
+        factory = resolve_ref(refs["factory"])
+
+        def blob(engine: str) -> str:
+            suite = TestSuite(name, resolve_ref(refs["suite"])())
+            result = run_dft(factory, suite, engine=engine)
+            return json.dumps(coverage_to_dict(result.coverage), sort_keys=True)
+
+        coverage_identical[name] = blob("interp") == blob("block")
+
+    return {
+        "system": system,
+        "iterations": interp.iteration_count,
+        "testcase_executions": sum(
+            len(interp.suite_for(i)) for i in range(interp.iteration_count)
+        ),
+        "interp_seconds": interp_seconds,
+        "block_seconds": block_seconds,
+        "speedup": interp_seconds / block_seconds if block_seconds else None,
+        "records_identical": _records_equal(interp_records, block_records),
+        "coverage_identical": coverage_identical,
     }
 
 
@@ -202,7 +259,9 @@ def run_benchmarks(
     sections: Optional[List[str]] = None,
 ) -> Dict[str, Any]:
     """Run the selected benchmark sections and assemble the JSON payload."""
-    wanted = sections or ["campaign", "parallel", "static_cache", "schedule_cache"]
+    wanted = sections or [
+        "campaign", "parallel", "static_cache", "schedule_cache", "engine"
+    ]
     payload: Dict[str, Any] = {
         "benchmark": "repro-dft pipeline performance",
         "host": {
@@ -219,6 +278,8 @@ def run_benchmarks(
         payload["static_cache"] = bench_static_cache()
     if "schedule_cache" in wanted:
         payload["schedule_cache"] = bench_schedule_cache()
+    if "engine" in wanted:
+        payload["engine"] = bench_engine(campaign_system)
     return payload
 
 

@@ -24,7 +24,10 @@ a JSON-lines event log) and ``--trace-events PATH`` (save a Chrome /
 Perfetto trace-event file); either flag enables telemetry recording
 for the command.  ``run`` and ``campaign`` accept ``--workers N`` to
 fan the dynamic stage out across worker processes (reported results
-are identical for any worker count), plus ``--cache-dir PATH`` /
+are identical for any worker count; the default is an automatic
+heuristic that stays serial on single-CPU hosts and tiny suites),
+``--engine {auto,interp,block}`` to pick the TDF execution engine
+(bit-identical results either way), plus ``--cache-dir PATH`` /
 ``--no-static-cache`` to control static-analysis memoization.
 """
 
@@ -125,14 +128,42 @@ SYSTEMS: Dict[str, Dict[str, object]] = {
 }
 
 
-def _campaign(system: str, workers: int = 1):
+def _campaign(system: str, workers: int = 1, engine: str = "auto"):
     from .systems import campaigns
 
     if system == "window_lifter":
-        return campaigns.window_lifter_campaign(workers=workers)
+        return campaigns.window_lifter_campaign(workers=workers, engine=engine)
     if system == "buck_boost":
-        return campaigns.buck_boost_campaign(workers=workers)
+        return campaigns.buck_boost_campaign(workers=workers, engine=engine)
     raise SystemExit(f"no campaign defined for system {system!r}")
+
+
+def _resolve_workers(requested: Optional[int], suite_len: int) -> int:
+    """``--workers`` heuristic: explicit value wins, ``None`` is *auto*.
+
+    Auto stays serial when the host has a single CPU (a process pool
+    only adds pickling overhead) or the suite has fewer than two
+    testcases (nothing to fan out); otherwise it uses one worker per
+    CPU, capped at the suite size.  The decision is recorded on the
+    ``cli.auto_workers`` telemetry gauge with its reason.
+    """
+    if requested is not None:
+        return requested
+    import os
+
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        chosen, reason = 1, "single_cpu"
+    elif suite_len < 2:
+        chosen, reason = 1, "small_suite"
+    else:
+        chosen, reason = min(cpus, suite_len), "one_per_cpu"
+    from .obs import get_telemetry
+
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.metrics.gauge("cli.auto_workers", reason=reason).set(chosen)
+    return chosen
 
 
 def _executor(system: str, workers: int):
@@ -184,6 +215,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable static-analysis memoization for this invocation",
     )
 
+    engine_opts = argparse.ArgumentParser(add_help=False)
+    engine_opts.add_argument(
+        "--engine", choices=["auto", "interp", "block"], default="auto",
+        help="TDF execution engine: the per-firing interpreter or the "
+             "compiled block engine (auto = block); results are "
+             "bit-identical either way",
+    )
+
     sub.add_parser("list", help="list bundled systems")
 
     p_static = sub.add_parser(
@@ -193,12 +232,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_static.add_argument("system", choices=sorted(SYSTEMS))
 
     p_run = sub.add_parser(
-        "run", help="full DFT pipeline", parents=[telemetry_opts, cache_opts]
+        "run", help="full DFT pipeline",
+        parents=[telemetry_opts, cache_opts, engine_opts],
     )
     p_run.add_argument("system", choices=sorted(SYSTEMS))
     p_run.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="worker processes for the dynamic stage (1 = in-process)",
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the dynamic stage (default: auto — "
+             "serial on single-CPU hosts or suites with <2 testcases)",
     )
     p_run.add_argument("--matrix", action="store_true", help="print the Table-I matrix")
     p_run.add_argument(
@@ -215,12 +256,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_campaign = sub.add_parser(
         "campaign", help="iterative refinement (Table II)",
-        parents=[telemetry_opts, cache_opts],
+        parents=[telemetry_opts, cache_opts, engine_opts],
     )
     p_campaign.add_argument("system", choices=["window_lifter", "buck_boost"])
     p_campaign.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="worker processes for the dynamic stage (1 = in-process)",
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the dynamic stage (default: auto — "
+             "serial on single-CPU hosts or suites with <2 testcases)",
     )
     p_campaign.add_argument(
         "--no-result-cache", action="store_true",
@@ -246,7 +288,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--sections", nargs="+", metavar="NAME",
-        choices=["campaign", "parallel", "static_cache", "schedule_cache"],
+        choices=["campaign", "parallel", "static_cache", "schedule_cache",
+                 "engine"],
         help="run only the named sections (default: all)",
     )
     p_bench.add_argument(
@@ -342,8 +385,12 @@ def _dispatch(args) -> int:
         _configure_static_cache(args)
         entry = SYSTEMS[args.system]
         suite = TestSuite(args.system, entry["suite"]())
+        workers = _resolve_workers(args.workers, len(suite))
         result = run_dft(
-            entry["factory"], suite, executor=_executor(args.system, args.workers)
+            entry["factory"],
+            suite,
+            executor=_executor(args.system, workers),
+            engine=args.engine,
         )
         if args.save_db:
             from .core import CoverageDatabase
@@ -364,7 +411,9 @@ def _dispatch(args) -> int:
 
     if args.command == "campaign":
         _configure_static_cache(args)
-        campaign = _campaign(args.system, workers=args.workers)
+        suite_len = len(SYSTEMS[args.system]["suite"]())
+        workers = _resolve_workers(args.workers, suite_len)
+        campaign = _campaign(args.system, workers=workers, engine=args.engine)
         if args.no_result_cache:
             campaign.reuse_dynamic_results = False
         records = campaign.run()

@@ -59,6 +59,7 @@ def run_dft(
     telemetry: Optional[Telemetry] = None,
     executor: Optional["DynamicExecutor"] = None,
     result_cache: Optional["DynamicResultCache"] = None,
+    engine: Optional[str] = "auto",
 ) -> PipelineResult:
     """Run the complete data-flow-testing pipeline.
 
@@ -78,6 +79,11 @@ def run_dft(
     dynamic results across runs — only testcases missing from the cache
     are executed; the merged result is identical either way because each
     testcase runs on its own fresh cluster.
+
+    ``engine`` selects the TDF execution engine for the dynamic-stage
+    simulations (``"auto"``/``"block"``/``"interp"``; see
+    :mod:`repro.tdf.engine`).  Engines are bit-identical, so coverage
+    reports and cached dynamic results do not depend on the choice.
     """
     from ..analysis.cluster_analysis import analyze_cluster
     from ..instrument.runner import DynamicAnalyzer
@@ -102,7 +108,8 @@ def run_dft(
             static = analyze_cluster(counted_factory(), telemetry=tel)
         with tel.span("dynamic") as span_dynamic:
             dynamic = _run_dynamic(
-                counted_factory, static, suite, warn, tel, executor, result_cache
+                counted_factory, static, suite, warn, tel, executor,
+                result_cache, engine,
             )
         with tel.span("coverage") as span_coverage:
             coverage = CoverageResult(static, dynamic)
@@ -129,6 +136,7 @@ def _run_dynamic(
     tel: Telemetry,
     executor: Optional["DynamicExecutor"],
     result_cache: Optional["DynamicResultCache"],
+    engine: Optional[str] = "auto",
 ) -> "DynamicResult":
     """Execute the dynamic stage through the chosen backend and cache.
 
@@ -159,7 +167,8 @@ def _run_dynamic(
             tel.metrics.counter("exec.result_cache_misses").inc(len(pending))
         pending_suite = TestSuite(suite.name, pending)
         fresh = executor.run_suite(
-            cluster_factory, static, pending_suite, warn=warn, telemetry=tel
+            cluster_factory, static, pending_suite, warn=warn, telemetry=tel,
+            engine=engine,
         )
     else:
         fresh = DynamicResult()

@@ -54,6 +54,7 @@ class IterativeCampaign:
         name: str = "campaign",
         executor: Optional["DynamicExecutor"] = None,
         reuse_dynamic_results: bool = True,
+        engine: Optional[str] = "auto",
     ) -> None:
         self.cluster_factory = cluster_factory
         self.name = name
@@ -65,6 +66,9 @@ class IterativeCampaign:
         #: on a fresh cluster each — deterministic, so their per-testcase
         #: results are memoized across iterations unless disabled.
         self.reuse_dynamic_results = reuse_dynamic_results
+        #: TDF execution engine for the dynamic stage (engines are
+        #: bit-identical, so the recorded rows do not depend on it).
+        self.engine = engine
 
     def add_iteration(self, testcases: Sequence[TestCase]) -> None:
         """Schedule a batch of additional testcases as the next iteration."""
@@ -99,6 +103,7 @@ class IterativeCampaign:
                 suite,
                 executor=self.executor,
                 result_cache=result_cache,
+                engine=self.engine,
             )
             coverage = result.coverage
             records.append(

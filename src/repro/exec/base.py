@@ -41,13 +41,15 @@ class DynamicExecutor(abc.ABC):
         suite: "TestSuite",
         warn: bool = False,
         telemetry: Optional[Telemetry] = None,
+        engine: Optional[str] = "auto",
     ) -> "DynamicResult":
         """Run every testcase of ``suite`` and merge the results.
 
         The returned :class:`DynamicResult` must order ``per_testcase``
         by the suite's testcase order — never by completion order — so
         downstream reports are byte-identical across backends and
-        worker counts.
+        worker counts.  ``engine`` selects the TDF execution engine for
+        the simulations (see :mod:`repro.tdf.engine`).
         """
 
 
@@ -63,10 +65,12 @@ class SerialExecutor(DynamicExecutor):
         suite: "TestSuite",
         warn: bool = False,
         telemetry: Optional[Telemetry] = None,
+        engine: Optional[str] = "auto",
     ) -> "DynamicResult":
         from ..instrument.runner import DynamicAnalyzer
 
         analyzer = DynamicAnalyzer(
-            cluster_factory, static, warn=warn, telemetry=telemetry
+            cluster_factory, static, warn=warn, telemetry=telemetry,
+            engine=engine,
         )
         return analyzer.run_suite(suite)

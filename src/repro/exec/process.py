@@ -58,6 +58,7 @@ class _WorkerJob:
     model_start_lines: Tuple[Tuple[str, int], ...]
     warn: bool
     record_telemetry: bool
+    engine: str = "auto"
 
 
 def _run_worker(job: _WorkerJob) -> Tuple[List[Tuple[str, "MatchResult"]], List[dict], float]:
@@ -85,6 +86,7 @@ def _run_worker(job: _WorkerJob) -> Tuple[List[Tuple[str, "MatchResult"]], List[
         analyzer = DynamicAnalyzer(
             factory, static, warn=job.warn,
             telemetry=tel if job.record_telemetry else None,
+            engine=job.engine,
         )
         for name in job.names:
             results.append((name, analyzer.run_testcase(testcases[name])))
@@ -117,6 +119,7 @@ class ProcessExecutor(DynamicExecutor):
         suite: "TestSuite",
         warn: bool = False,
         telemetry: Optional[Telemetry] = None,
+        engine: Optional[str] = "auto",
     ) -> "DynamicResult":
         from ..instrument.runner import DynamicResult
 
@@ -145,6 +148,7 @@ class ProcessExecutor(DynamicExecutor):
                 model_start_lines=tuple(static.model_start_lines.items()),
                 warn=warn,
                 record_telemetry=tel.enabled,
+                engine=engine if engine is not None else "auto",
             )
             for shard in shards
         ]

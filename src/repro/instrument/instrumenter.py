@@ -17,13 +17,28 @@ join directly against the static anchors.  The rewritten function is
 compiled in a copy of the original function's globals (plus the probe)
 and installed on the module instance via ``register_processing`` —
 the class and all other instances stay untouched.
+
+Two emission variants exist, selected by the probe's recording mode:
+
+* **per-event** (default): every def/use calls ``__dft_probe__.u``/
+  ``.d`` as sketched above;
+* **batched** (block engine): every def/use site ``N`` becomes a bare
+  ``__dft_a__(__dft_tN__)`` — one C-level ``list.append`` of a tuple
+  *preallocated at instrumentation time* (``(tag, var, model, line)``
+  is fully static per site).  No Python frame and no tuple
+  construction on the hot path; the event content and order are
+  identical to the per-event variant by construction.
+
+Compilation is memoized per ``(function, ports, variant)`` in
+:data:`_CODE_CACHE` — repeated instrumentation (one fresh cluster per
+testcase) only pays the ``exec`` of the cached code object.
 """
 
 from __future__ import annotations
 
 import ast
 import types
-from typing import Any, Callable, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..analysis.astutils import (
     KERNEL_ATTRS,
@@ -35,8 +50,19 @@ from ..analysis.astutils import (
     self_attribute,
 )
 from ..tdf.module import TdfModule
+from .probes import TAG_DEF, TAG_USE
 
 PROBE_NAME = "__dft_probe__"
+#: Batched mode: the probe buffer's ``append`` bound method.
+APPEND_NAME = "__dft_a__"
+#: Batched mode: per-site preallocated event tuples ``__dft_t<N>__``.
+SITE_PREFIX = "__dft_t"
+
+#: ``(underlying function, in ports, out ports, batched)`` ->
+#: ``(code object, function name, site templates)``.  Site templates
+#: are ``(tag, var, line)`` triples in emission order; the model name
+#: is added per instance at exec time.
+_CODE_CACHE: Dict[tuple, Tuple[Any, str, tuple]] = {}
 
 
 def _load(name: str) -> ast.Name:
@@ -60,17 +86,60 @@ class _Rewriter(ast.NodeTransformer):
         out_ports: Set[str],
         local_names: Set[str],
         line_offset: int,
+        batched: bool = False,
     ) -> None:
         self.in_ports = in_ports
         self.out_ports = out_ports
         self.local_names = local_names
         self.line_offset = line_offset
+        self.batched = batched
+        #: Batched mode: ``(tag, var, line)`` per emitted u/d site, in
+        #: emission order (site N reads global ``__dft_t<N>__``).
+        self.sites: List[tuple] = []
 
     def _abs(self, node: ast.AST) -> int:
         return getattr(node, "lineno", 1) + self.line_offset
 
     def _line_const(self, node: ast.AST) -> ast.Constant:
         return ast.Constant(value=self._abs(node))
+
+    def _site_append(self, tag: int, var: str, line: int) -> ast.Call:
+        """``__dft_a__(__dft_tN__)`` for a new batched event site."""
+        idx = len(self.sites)
+        self.sites.append((tag, var, line))
+        return ast.Call(
+            func=_load(APPEND_NAME),
+            args=[_load(f"{SITE_PREFIX}{idx}__")],
+            keywords=[],
+        )
+
+    def _u_event(self, var: str, line: int, value_node: ast.expr) -> ast.expr:
+        """A use event wrapping ``value_node`` (returns its value)."""
+        if self.batched:
+            # (value, append(site))[0]: value first, then the event —
+            # the same order as evaluating u()'s arguments then its body.
+            return ast.Subscript(
+                value=ast.Tuple(
+                    elts=[value_node, self._site_append(TAG_USE, var, line)],
+                    ctx=ast.Load(),
+                ),
+                slice=ast.Constant(value=0),
+                ctx=ast.Load(),
+            )
+        return _probe_call(
+            "u",
+            [_load("self"), ast.Constant(var), ast.Constant(line), value_node],
+        )
+
+    def _d_stmt(self, var: str, line: int) -> ast.Expr:
+        """A definition event statement."""
+        if self.batched:
+            return ast.Expr(value=self._site_append(TAG_DEF, var, line))
+        return ast.Expr(
+            value=_probe_call(
+                "d", [_load("self"), ast.Constant(var), ast.Constant(line)]
+            )
+        )
 
     # -- expression wrapping ---------------------------------------------------
 
@@ -81,11 +150,7 @@ class _Rewriter(ast.NodeTransformer):
             and node.id != "self"
         ):
             return ast.copy_location(
-                _probe_call(
-                    "u",
-                    [_load("self"), ast.Constant(node.id), self._line_const(node), node],
-                ),
-                node,
+                self._u_event(node.id, self._abs(node), node), node
             )
         return node
 
@@ -99,11 +164,7 @@ class _Rewriter(ast.NodeTransformer):
                 and attr not in KERNEL_ATTRS
             ):
                 return ast.copy_location(
-                    _probe_call(
-                        "u",
-                        [_load("self"), ast.Constant(attr), self._line_const(node), node],
-                    ),
-                    node,
+                    self._u_event(attr, self._abs(node), node), node
                 )
             return node
         node.value = self.visit(node.value)
@@ -168,14 +229,7 @@ class _Rewriter(ast.NodeTransformer):
                 if attr is not None and attr not in KERNEL_ATTRS:
                     var = attr
             if var is not None:
-                probes.append(
-                    ast.Expr(
-                        value=_probe_call(
-                            "d",
-                            [_load("self"), ast.Constant(var), ast.Constant(line)],
-                        )
-                    )
-                )
+                probes.append(self._d_stmt(var, line))
         return probes
 
     def visit_Assign(self, node: ast.Assign) -> Any:
@@ -207,14 +261,10 @@ class _Rewriter(ast.NodeTransformer):
         if isinstance(node.target, ast.Name) and node.target.id in self.local_names:
             pre.append(
                 ast.Expr(
-                    value=_probe_call(
-                        "u",
-                        [
-                            _load("self"),
-                            ast.Constant(node.target.id),
-                            ast.Constant(line),
-                            ast.Name(id=node.target.id, ctx=ast.Load()),
-                        ],
+                    value=self._u_event(
+                        node.target.id,
+                        line,
+                        ast.Name(id=node.target.id, ctx=ast.Load()),
                     )
                 )
             )
@@ -223,16 +273,12 @@ class _Rewriter(ast.NodeTransformer):
             if attr is not None and attr not in KERNEL_ATTRS:
                 pre.append(
                     ast.Expr(
-                        value=_probe_call(
-                            "u",
-                            [
-                                _load("self"),
-                                ast.Constant(attr),
-                                ast.Constant(line),
-                                ast.Attribute(
-                                    value=_load("self"), attr=attr, ctx=ast.Load()
-                                ),
-                            ],
+                        value=self._u_event(
+                            attr,
+                            line,
+                            ast.Attribute(
+                                value=_load("self"), attr=attr, ctx=ast.Load()
+                            ),
                         )
                     )
                 )
@@ -282,33 +328,51 @@ def instrument_processing(module: TdfModule, probe: Any) -> Callable[[], None]:
 
     Returns the previous processing callable registration so the caller
     can restore it (``None`` when the plain method was in use).
+
+    The expensive part — source recovery, AST rewrite, ``compile()`` —
+    is memoized on the *underlying function* (shared by every instance
+    of a class and every testcase), keyed with the port-name sets and
+    the probe's recording mode that shape the rewrite.  Per call only a
+    fresh ``exec`` binds the probe (and, in batched mode, the per-site
+    event tuples carrying this instance's model name).
     """
     original_registration = module._processing_fn
     fn = module.resolved_processing()
-    info = get_source_info(fn)
-    in_ports = {p.name for p in module.in_ports()}
-    out_ports = {p.name for p in module.out_ports()}
-    local_names = assigned_local_names(info.func)
+    underlying = fn.__func__ if isinstance(fn, types.MethodType) else fn
+    batched = getattr(probe, "batched", False)
+    in_ports = frozenset(p.name for p in module.in_ports())
+    out_ports = frozenset(p.name for p in module.out_ports())
+    cache_key = (underlying, in_ports, out_ports, batched)
+    cached = _CODE_CACHE.get(cache_key)
+    if cached is None:
+        info = get_source_info(fn)
+        local_names = assigned_local_names(info.func)
+        rewriter = _Rewriter(
+            set(in_ports), set(out_ports), local_names, info.line_offset, batched
+        )
+        func = info.func
+        # Rewrite the body directly: visit_FunctionDef keeps *nested*
+        # functions opaque, so the top-level def must not go through it.
+        func.body = _flatten([rewriter.visit(stmt) for stmt in func.body])
+        func.decorator_list = []
+        tree = ast.Module(body=[func], type_ignores=[])
+        ast.fix_missing_locations(tree)
+        # Shift line numbers so tracebacks point at the original file lines.
+        ast.increment_lineno(tree, info.line_offset)
+        code = compile(tree, info.filename, "exec")
+        cached = (code, func.name, tuple(rewriter.sites))
+        _CODE_CACHE[cache_key] = cached
 
-    rewriter = _Rewriter(in_ports, out_ports, local_names, info.line_offset)
-    func = info.func
-    # Rewrite the body directly: visit_FunctionDef keeps *nested*
-    # functions opaque, so the top-level def must not go through it.
-    func.body = _flatten([rewriter.visit(stmt) for stmt in func.body])
-    func.decorator_list = []
-    tree = ast.Module(body=[func], type_ignores=[])
-    ast.fix_missing_locations(tree)
-    # Shift line numbers so tracebacks point at the original file lines.
-    ast.increment_lineno(tree, info.line_offset)
-
-    code = compile(tree, info.filename, "exec")
-    underlying = fn
-    if isinstance(underlying, types.MethodType):
-        underlying = underlying.__func__
+    code, func_name, sites = cached
     namespace = dict(getattr(underlying, "__globals__", {}))
     namespace[PROBE_NAME] = probe
+    if batched:
+        namespace[APPEND_NAME] = probe._buf.append
+        model = module.name
+        for idx, (tag, var, line) in enumerate(sites):
+            namespace[f"{SITE_PREFIX}{idx}__"] = (tag, var, model, line)
     exec(code, namespace)
-    new_fn = namespace[func.name]
+    new_fn = namespace[func_name]
     module.register_processing(types.MethodType(new_fn, module))
     return original_registration
 

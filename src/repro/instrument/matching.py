@@ -78,6 +78,12 @@ def match_events(
     be treated as definitions.
     """
     result = MatchResult(testcase=testcase)
+    buf = getattr(probe, "_buf", None)
+    if buf is not None:
+        # Batched probe: consume the flat tuple buffer directly (it is
+        # already in sequence order) without materialising dataclasses.
+        _match_batched(buf, model_start_lines, result, warn)
+        return result
     _match_var_events(probe.var_events, result)
     _match_port_events(
         probe.port_writes,
@@ -88,6 +94,117 @@ def match_events(
         warn,
     )
     return result
+
+
+def _match_batched(
+    buf: List[tuple],
+    model_start_lines: Dict[str, int],
+    result: MatchResult,
+    warn: bool,
+) -> None:
+    """Single-pass matcher over the batched probe buffer.
+
+    Semantically identical to :func:`_match_var_events` +
+    :func:`_match_port_events`: var events pair inline against the
+    running last-def map, port writes build the per-signal index maps
+    (later writes of the same token overwrite earlier ones, i.e. last
+    by sequence wins), and port reads resolve after all writes — the
+    same order the dataclass path imposes by sorting on ``seq``.
+    """
+    last_def: Dict[Tuple[str, str], int] = {}
+    pairs = result.pairs
+    add_pair = pairs.add
+    per_signal: Dict[str, Dict[int, tuple]] = {}
+    reads: List[tuple] = []
+    append_read = reads.append
+    last_def_get = last_def.get
+    # Use events are *shared per-site tuples* (the batched instrumenter
+    # preallocates one tuple per def/use site), and the buffer keeps
+    # every event alive for the duration of the match — so ``id(ev)``
+    # is a stable, collision-free key.  Memoizing the unpacked site and
+    # the def-lines already paired turns the steady state (the same
+    # site firing once per period) into two int-keyed dict hits.
+    use_memo: Dict[int, tuple] = {}
+    use_memo_get = use_memo.get
+    for ev in buf:
+        tag = ev[0]
+        if tag == 0:  # TAG_USE: (tag, var, model, line)
+            site = use_memo_get(id(ev))
+            if site is None:
+                # ((model, var), var, use_line, paired def_lines)
+                site = ((ev[2], ev[1]), ev[1], ev[3], set())
+                use_memo[id(ev)] = site
+            def_line = last_def_get(site[0])
+            if def_line is not None:
+                seen = site[3]
+                if def_line not in seen:
+                    seen.add(def_line)
+                    model = site[0][0]
+                    add_pair((site[1], model, def_line, model, site[2]))
+        elif tag == 1:  # TAG_DEF: (tag, var, model, line)
+            last_def[(ev[2], ev[1])] = ev[3]
+        elif tag == 2:  # TAG_PW: (tag, signal, token_index, var, model, line, kind)
+            sig_map = per_signal.get(ev[1])
+            if sig_map is None:
+                sig_map = per_signal[ev[1]] = {}
+            sig_map[ev[2]] = ev
+        else:
+            append_read(ev)
+
+    # Per signal: (index map, sorted indices or None, greatest index).
+    # ``None`` marks a *dense* map — one write at every token index from
+    # 0 to the maximum — where the floor lookup ("greatest write index
+    # <= token") is a clamp plus one dict hit instead of a bisect.
+    # Rate-1 signals written every period (the common case) are dense.
+    sig_info: Dict[str, tuple] = {}
+    for sig, idx_map in per_signal.items():
+        indices = sorted(idx_map)
+        last = indices[-1]
+        dense = indices[0] == 0 and last == len(indices) - 1
+        sig_info[sig] = (idx_map, None if dense else indices, last)
+    sig_info_get = sig_info.get
+    bisect_right = bisect.bisect_right
+    testbench = WriterKind.TESTBENCH
+    start_lines_get = model_start_lines.get
+    warned: Set[str] = set()
+    for ev in reads:
+        # (tag, signal, token_index, port, reader_model,
+        #  anchor_model, anchor_line, undriven)
+        if ev[7]:  # undriven
+            desc = f"{ev[4]}.{ev[3]}"
+            if desc not in warned:
+                warned.add(desc)
+                result.use_without_def.append(desc)
+                if warn:
+                    warnings.warn(
+                        f"use of port {desc} without any definition "
+                        f"(signal {ev[1]!r} has no driver): undefined "
+                        f"behaviour per the SystemC-AMS standard",
+                        UseWithoutDefWarning,
+                        stacklevel=2,
+                    )
+            continue
+        token_index = ev[2]
+        if token_index < 0:
+            continue
+        info = sig_info_get(ev[1])
+        if info is None:
+            continue
+        idx_map, indices, last = info
+        if indices is None:
+            w = idx_map[token_index if token_index <= last else last]
+        else:
+            pos = bisect_right(indices, token_index) - 1
+            if pos < 0:
+                continue
+            w = idx_map[indices[pos]]
+        if w[6] is testbench:
+            start = start_lines_get(ev[4])
+            if start is None:
+                continue
+            add_pair((ev[3], ev[4], start, ev[5], ev[6]))
+        else:
+            add_pair((w[3], w[4], w[5], ev[5], ev[6]))
 
 
 def _match_var_events(events: List[VarEvent], result: MatchResult) -> None:

@@ -22,8 +22,10 @@ import enum
 import io
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, TextIO
+from operator import itemgetter
+from typing import Any, List, Optional, TextIO, Tuple
 
+from ..tdf.errors import PortAccessError
 from ..tdf.ports import TdfIn, TdfOut
 
 
@@ -82,15 +84,47 @@ class PortReadEvent:
     seq: int
 
 
-class ProbeRuntime:
-    """Collects all dynamic events of one testcase execution."""
+#: Tags of the batched-mode flat event buffer (first tuple element).
+#: Kept small ints so tag dispatch in the matcher is two comparisons.
+TAG_USE = 0
+TAG_DEF = 1
+TAG_PW = 2
+TAG_PR = 3
 
-    def __init__(self, cluster_name: str) -> None:
+_tag_of = itemgetter(0)
+
+
+class ProbeRuntime:
+    """Collects all dynamic events of one testcase execution.
+
+    Two recording modes:
+
+    * **per-event** (default): every probe call appends a dataclass
+      event to ``var_events`` / ``port_writes`` / ``port_reads``, with a
+      shared sequence counter.  This is the mode the interpreter engine
+      uses and the reference for equivalence.
+    * **batched** (``batched=True``, used by the compiled block engine):
+      every probe call appends one plain tuple to a single flat buffer;
+      the sequence number *is* the buffer position + 1, so the global
+      event order is identical by construction.  The dataclass views are
+      materialised lazily on first access (event matching consumes the
+      raw buffer directly and never pays for materialisation).
+    """
+
+    def __init__(self, cluster_name: str, batched: bool = False) -> None:
         self.cluster_name = cluster_name
-        self.var_events: List[VarEvent] = []
-        self.port_writes: List[PortWriteEvent] = []
-        self.port_reads: List[PortReadEvent] = []
+        self.batched = batched
         self._seq = 0
+        if batched:
+            self._buf: Optional[List[tuple]] = []
+            self._mat_len = -1
+            self._mat: Tuple[list, list, list] = ([], [], [])
+            self._install_batched()
+        else:
+            self._buf = None
+            self.var_events: List[VarEvent] = []
+            self.port_writes: List[PortWriteEvent] = []
+            self.port_reads: List[PortReadEvent] = []
 
     def _next(self) -> int:
         self._seq += 1
@@ -98,10 +132,171 @@ class ProbeRuntime:
 
     def clear(self) -> None:
         """Drop all recorded events (between testcases)."""
-        self.var_events.clear()
-        self.port_writes.clear()
-        self.port_reads.clear()
-        self._seq = 0
+        if self._buf is not None:
+            self._buf.clear()  # in place: installed closures hold a reference
+            self._mat_len = -1
+        else:
+            self.var_events.clear()
+            self.port_writes.clear()
+            self.port_reads.clear()
+            self._seq = 0
+
+    # -- batched mode ---------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Only reached in batched mode (per-event instances assign the
+        # lists in __init__): materialise the dataclass views on demand.
+        if name in ("var_events", "port_writes", "port_reads"):
+            mat = self._materialize()
+            return mat[("var_events", "port_writes", "port_reads").index(name)]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _materialize(self) -> Tuple[list, list, list]:
+        buf = self._buf
+        assert buf is not None
+        if self._mat_len == len(buf):
+            return self._mat
+        var_events: List[VarEvent] = []
+        port_writes: List[PortWriteEvent] = []
+        port_reads: List[PortReadEvent] = []
+        for pos, ev in enumerate(buf):
+            tag = ev[0]
+            if tag <= TAG_DEF:
+                var_events.append(VarEvent(tag == TAG_DEF, ev[1], ev[2], ev[3], pos + 1))
+            elif tag == TAG_PW:
+                port_writes.append(
+                    PortWriteEvent(ev[1], ev[2], ev[3], ev[4], ev[5], ev[6], pos + 1)
+                )
+            else:
+                port_reads.append(
+                    PortReadEvent(
+                        ev[1], ev[2], ev[3], ev[4], ev[5], ev[6], ev[7], pos + 1
+                    )
+                )
+        self._mat = (var_events, port_writes, port_reads)
+        self._mat_len = len(buf)
+        return self._mat
+
+    def event_counts(self) -> Tuple[int, int, int]:
+        """(var, write, read) event counts without materialising."""
+        if self._buf is None:
+            return len(self.var_events), len(self.port_writes), len(self.port_reads)
+        # One C-level pass (map + list.count) instead of a Python loop.
+        tags = list(map(_tag_of, self._buf))
+        nw = tags.count(TAG_PW)
+        nr = tags.count(TAG_PR)
+        return len(tags) - nw - nr, nw, nr
+
+    def _install_batched(self) -> None:
+        """Shadow the probe methods with flat-buffer closures.
+
+        The instrumented code calls ``__dft_probe__.u(self, ...)`` — an
+        instance-dict lookup resolving to these plain functions, which
+        skips both the bound-method creation and the dataclass
+        construction of the per-event path.  ``pr``/``pw`` inline the
+        port fast paths but keep every user-visible validation and hook
+        of :meth:`TdfIn.read` / :meth:`TdfOut.write`.
+        """
+        buf = self._buf
+        assert buf is not None
+        append = buf.append
+        cluster_name = self.cluster_name
+        # id(port) -> (anchor_model, anchor_line) for opaque uses, or
+        # None when the anchor is the instrumented source line.
+        anchor_cache: dict = {}
+
+        def u(module, var, line, value):
+            append((TAG_USE, var, module.name, line))
+            return value
+
+        def d(module, var, line):
+            append((TAG_DEF, var, module.name, line))
+
+        def pr(module, port, line, offset=0):
+            sig = port.signal
+            if sig is None:
+                raise PortAccessError(f"read from unbound port {port.full_name()}")
+            if not port._in_activation:
+                raise PortAccessError(
+                    f"port {port.full_name()} read outside of processing()"
+                )
+            if offset and not 0 <= offset < port.rate:
+                raise PortAccessError(
+                    f"sample offset {offset} out of range for port "
+                    f"{port.full_name()} with rate {port.rate}"
+                )
+            index = sig._cursors[id(port)] + offset
+            driver = sig.driver
+            if driver is None:
+                value = sig.initial_value
+            else:
+                # Inline _value_at's in-buffer fast path; delegate the
+                # delay region and bounds diagnostics to the slow path.
+                i = index - sig._base_index
+                if i >= 0:
+                    try:
+                        value = sig._tokens[i]
+                    except IndexError:
+                        value = sig._value_at(index, port)
+                else:
+                    value = sig._value_at(index, port)
+            hooks = port._read_hooks
+            if hooks:
+                for hook in hooks:
+                    hook(port, index, value, offset)
+            key = id(port)
+            anchor = anchor_cache.get(key, 0)
+            if anchor == 0:
+                if module.OPAQUE_USES and port.bind_site is not None:
+                    anchor = (cluster_name, port.bind_site.lineno)
+                else:
+                    anchor = None
+                anchor_cache[key] = anchor
+            if anchor is None:
+                append(
+                    (TAG_PR, sig.name, index, port.name, module.name,
+                     module.name, line, driver is None)
+                )
+            else:
+                append(
+                    (TAG_PR, sig.name, index, port.name, module.name,
+                     anchor[0], anchor[1], driver is None)
+                )
+            return value
+
+        def pw(module, port, line, value, offset=0):
+            sig = port.signal
+            if sig is None:
+                raise PortAccessError(f"write to unbound port {port.full_name()}")
+            if not port._in_activation:
+                raise PortAccessError(
+                    f"port {port.full_name()} written outside of processing()"
+                )
+            if offset and not 0 <= offset < port.rate:
+                raise PortAccessError(
+                    f"sample offset {offset} out of range for port "
+                    f"{port.full_name()} with rate {port.rate}"
+                )
+            index = port._flushed + offset
+            port._pending.append((offset, value))
+            hooks = port._write_hooks
+            if hooks:
+                for hook in hooks:
+                    hook(port, index, value, offset)
+            append((TAG_PW, sig.name, index, port.name, module.name, line,
+                    WriterKind.MODEL))
+            return index
+
+        def generic_write(port, token_index, var, model, line, kind):
+            append((TAG_PW, port.signal.name, token_index, var, model, line, kind))
+
+        self.u = u
+        self.d = d
+        self.pr = pr
+        self.pw = pw
+        self.generic_write = generic_write
 
     # -- instrumented-code API (names kept short on purpose) -----------------
 

@@ -17,6 +17,7 @@ from ..analysis.cluster_analysis import StaticAnalysisResult
 from ..analysis.netlist import origin_of
 from ..obs import get_telemetry
 from ..tdf.cluster import Cluster
+from ..tdf.engine.executor import resolve_engine
 from ..tdf.module import TdfModule
 from ..tdf.ports import TdfOut
 from ..tdf.simulator import Simulator
@@ -76,11 +77,17 @@ class DynamicAnalyzer:
         static: StaticAnalysisResult,
         warn: bool = False,
         telemetry=None,
+        engine: Optional[str] = "auto",
     ) -> None:
         self.cluster_factory = cluster_factory
         self.static = static
         self.warn = warn
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        #: Resolved TDF engine for the simulations ("interp" or "block").
+        #: Block runs also switch the probe to batched recording — probe
+        #: *semantics* (event content and order) are identical; only the
+        #: storage format changes.
+        self.engine = resolve_engine(engine)
 
     # -- single testcase ------------------------------------------------------
 
@@ -97,11 +104,11 @@ class DynamicAnalyzer:
             f"dynamic.testcase[{testcase.name}]", testcase=testcase.name
         ) as tc_span:
             cluster = self.cluster_factory()
-            probe = ProbeRuntime(cluster.name)
+            probe = ProbeRuntime(cluster.name, batched=self.engine == "block")
             self._instrument(cluster, probe)
             self._install_hooks(cluster, probe)
             testcase.apply(cluster)
-            simulator = Simulator(cluster)
+            simulator = Simulator(cluster, engine=self.engine)
             with tel.span("dynamic.simulate", testcase=testcase.name):
                 simulator.run(testcase.duration)
                 simulator.finish()
@@ -118,10 +125,11 @@ class DynamicAnalyzer:
                     warn=self.warn,
                 )
             if tel.enabled:
+                nv, nw, nr = probe.event_counts()
                 events = {
-                    "var_events": len(probe.var_events),
-                    "port_writes": len(probe.port_writes),
-                    "port_reads": len(probe.port_reads),
+                    "var_events": nv,
+                    "port_writes": nw,
+                    "port_reads": nr,
                 }
                 for kind, count in events.items():
                     tc_span.set_attribute(kind, count)
@@ -197,4 +205,8 @@ class DynamicAnalyzer:
         def hook(p: TdfOut, index: int, value, offset: int) -> None:
             probe.generic_write(p, index, var, model, line, kind)
 
+        # Marker consumed by the engine compiler: a hook carrying it is a
+        # pure probe-event recorder whose effect the compiled program can
+        # replay without firing the interpreted write path.
+        hook.__dft_probe_writer__ = (probe, var, model, line, kind)
         port.add_write_hook(hook)

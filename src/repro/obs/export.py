@@ -135,6 +135,28 @@ def format_tree(run: Any, metrics: bool = True) -> str:
                 lines.append(f"  histogram {label:<58s} {detail}")
             else:
                 lines.append(f"  {record['kind']:<9s} {label:<58s} {record['value']}")
+        # Derived rates: every ``<base>_hits`` / ``<base>_misses``
+        # counter pair with identical labels yields a hit-rate line, so
+        # cache effectiveness is readable without a calculator (e.g.
+        # ``tdf.schedule_cache_hit_rate``).
+        counters: Dict[tuple, float] = {
+            (r["name"], tuple(sorted(r["labels"].items()))): r["value"]
+            for r in run["metrics"]
+            if r["kind"] == "counter"
+        }
+        derived: List[str] = []
+        for (name, labels), hits in sorted(counters.items()):
+            if not name.endswith("_hits"):
+                continue
+            base = name[: -len("_hits")]
+            misses = counters.get((base + "_misses", labels), 0)
+            total = hits + misses
+            if total:
+                label = f"{base}_hit_rate{_format_labels(dict(labels))}"
+                derived.append(f"  {'rate':<9s} {label:<58s} {hits / total:.4f}")
+        if derived:
+            lines.append("derived:")
+            lines.extend(derived)
     return "\n".join(lines)
 
 

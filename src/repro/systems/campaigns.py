@@ -165,11 +165,14 @@ def window_lifter_all_testcases() -> List[TestCase]:
     return tests
 
 
-def window_lifter_campaign(workers: int = 1) -> IterativeCampaign:
+def window_lifter_campaign(
+    workers: int = 1, engine: str = "auto"
+) -> IterativeCampaign:
     """The full §VI-A campaign (Table II, upper half).
 
     ``workers > 1`` fans the dynamic stage out across a process pool;
-    the reported rows are identical for any worker count.
+    ``engine`` selects the TDF execution engine.  The reported rows are
+    identical for any worker count and either engine.
     """
     campaign = IterativeCampaign(
         lambda: WindowLifterTop(),
@@ -180,6 +183,7 @@ def window_lifter_campaign(workers: int = 1) -> IterativeCampaign:
             "repro.systems.campaigns:window_lifter_all_testcases",
             workers,
         ),
+        engine=engine,
     )
     for batch in window_lifter_iteration_batches():
         campaign.add_iteration(batch)
@@ -292,7 +296,9 @@ def buck_boost_all_testcases() -> List[TestCase]:
     return tests
 
 
-def buck_boost_campaign(workers: int = 1) -> IterativeCampaign:
+def buck_boost_campaign(
+    workers: int = 1, engine: str = "auto"
+) -> IterativeCampaign:
     """The full §VI-B campaign (Table II, lower half)."""
     campaign = IterativeCampaign(
         lambda: BuckBoostTop(),
@@ -303,6 +309,7 @@ def buck_boost_campaign(workers: int = 1) -> IterativeCampaign:
             "repro.systems.campaigns:buck_boost_all_testcases",
             workers,
         ),
+        engine=engine,
     )
     for batch in buck_boost_iteration_batches():
         campaign.add_iteration(batch)

@@ -1,0 +1,207 @@
+"""Block-mode sample access: :class:`FiringBlock` and signal helpers.
+
+A *block* is ``n`` consecutive rate-1 firings of one module, presented
+to :meth:`~repro.tdf.module.TdfModule.processing_block` as whole sample
+lists instead of ``n`` separate ``read()``/``write()`` round trips.  The
+helpers in this module are the only code that touches signal internals
+on behalf of the compiled engine; they reproduce the exact observable
+effects of the interpreted path (cursor positions, ``_write_count``,
+``_flushed``, sample-and-hold state) so that interleaving block and
+interpreted firings stays bit-identical.
+
+Numeric helpers (``scale_block`` & friends) vectorize through numpy
+when it is importable *and* every operand is a plain Python float —
+IEEE-754 float64 elementwise arithmetic matches Python's scalar float
+arithmetic bit-for-bit, but mixed int/bool payloads would change result
+types, so those fall back to the per-sample list comprehension.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, List, TYPE_CHECKING
+
+from ..errors import TdfError
+from ..time import ScaTime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..ports import TdfIn, TdfOut
+
+try:  # pragma: no cover - exercised implicitly everywhere numpy exists
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy-less fallback
+    _np = None
+
+#: Below this block length the numpy round trip costs more than it saves.
+_NUMPY_MIN = 16
+
+
+def consume_block(port: "TdfIn", n: int) -> List[Any]:
+    """Consume ``n`` tokens through ``port`` and return them in order.
+
+    Equivalent to ``n`` interpreted rate-1 activations each doing one
+    ``read()`` then ``_end_activation()`` — except that garbage
+    collection is deferred to the end of the execution window (the
+    executor sweeps every cluster signal after committing a window).
+    Collecting here would be unsafe: a mid-window dynamic-TDF request
+    rolls this cursor *back*, and tokens collected under the advanced
+    cursor would be unrecoverable.  GC timing is internal either way.
+    Read hooks are *not* fired — the compiler never block-fires a module
+    whose input ports carry hooks.
+    """
+    sig = port.signal
+    key = id(port)
+    cursor = sig._cursors[key]
+    if sig.driver is None:
+        # Undriven signal: mirror TdfIn.read()'s initial-value semantics.
+        init = port.initial_values
+        if cursor >= 0 or not init:
+            values = [sig.initial_value] * n
+        else:
+            values = []
+            ninit = len(init)
+            iv = sig.initial_value
+            for k in range(cursor, cursor + n):
+                if k < 0:
+                    mapped = ninit + k
+                    values.append(init[mapped] if 0 <= mapped < ninit else iv)
+                else:
+                    values.append(iv)
+    elif cursor >= 0 and cursor + n <= sig._write_count:
+        start = cursor - sig._base_index
+        if start >= 0:
+            values = list(islice(sig._tokens, start, start + n))
+        else:  # pragma: no cover - engine never resurrects discarded tokens
+            values = [sig._value_at(k, port) for k in range(cursor, cursor + n)]
+    else:
+        # Delay region or (engine bug) read-past-end: the slow path
+        # raises the same SimulationError messages as the interpreter.
+        values = [sig._value_at(k, port) for k in range(cursor, cursor + n)]
+    sig._cursors[key] = cursor + n
+    return values
+
+
+def produce_block(port: "TdfOut", values: List[Any]) -> None:
+    """Append a whole block of samples through ``port``.
+
+    Equivalent to ``n`` interpreted rate-1 activations each flushing one
+    written sample (the ``_end_activation`` fast path).  Only legal when
+    the signal has no write observers — the compiler guarantees this.
+    """
+    sig = port.signal
+    sig._tokens.extend(values)
+    sig._write_count += len(values)
+    sig.last_write_time = None
+    port._flushed += len(values)
+    port._last_value = values[-1]
+
+
+def rollback_block(port: "TdfOut", excess: int, last_value: Any) -> None:
+    """Un-produce the last ``excess`` samples written via ``produce_block``.
+
+    Used when a dynamic-TDF request lands mid-window: samples hoisted
+    for periods that will not execute under the old schedule are popped
+    off the tail (they are unconsumed by construction — readers only
+    consumed up to the completed periods).
+    """
+    sig = port.signal
+    tokens = sig._tokens
+    for _ in range(excess):
+        tokens.pop()
+    sig._write_count -= excess
+    port._flushed -= excess
+    port._last_value = last_value
+
+
+class FiringBlock:
+    """``n`` consecutive rate-1 firings of one module, as sample blocks.
+
+    Passed to :meth:`~repro.tdf.module.TdfModule.processing_block`.
+    Reads consume immediately; writes are collected and flushed by the
+    engine after the callback returns (so the engine can account for
+    probe events and rollback state in one place).
+    """
+
+    __slots__ = ("n", "module", "_base_fs", "_ts_fs", "writes", "_times")
+
+    def __init__(self, n: int, module, base_fs: int, ts_fs: int) -> None:
+        self.n = n
+        self.module = module
+        self._base_fs = base_fs
+        self._ts_fs = ts_fs
+        #: ``(port, values)`` pairs in write order; flushed by the engine.
+        self.writes: List[tuple] = []
+        self._times: Any = None
+
+    def read(self, port: "TdfIn") -> List[Any]:
+        """The ``n`` input samples for this block, in firing order."""
+        return consume_block(port, self.n)
+
+    def write(self, port: "TdfOut", values: List[Any]) -> None:
+        """Stage the ``n`` output samples for this block."""
+        if len(values) != self.n:
+            raise TdfError(
+                f"processing_block of {self.module.name!r} wrote "
+                f"{len(values)} samples to {port.full_name()}, expected {self.n}"
+            )
+        self.writes.append((port, values if isinstance(values, list) else list(values)))
+
+    def times_seconds(self) -> List[float]:
+        """``local_time().to_seconds()`` for each firing, bit-identical.
+
+        Computed through the same exact-femtosecond ScaTime conversion
+        the interpreter uses, then cached (sinks that never look at
+        times skip the cost entirely).
+        """
+        if self._times is None:
+            from_fs = ScaTime.from_femtoseconds
+            base, ts = self._base_fs, self._ts_fs
+            self._times = [from_fs(base + k * ts).to_seconds() for k in range(self.n)]
+        return self._times
+
+    def timestep_seconds(self) -> float:
+        """The module timestep in seconds (constant within a block)."""
+        return ScaTime.from_femtoseconds(self._ts_fs).to_seconds()
+
+
+def _vectorizable(values: List[Any]) -> bool:
+    return (
+        _np is not None
+        and len(values) >= _NUMPY_MIN
+        and all(type(v) is float for v in values)
+    )
+
+
+def scale_block(values: List[Any], factor: Any) -> List[Any]:
+    """``[v * factor for v in values]``, vectorized when bit-safe."""
+    if type(factor) is float and _vectorizable(values):
+        return (_np.asarray(values) * factor).tolist()
+    return [v * factor for v in values]
+
+
+def offset_block(values: List[Any], offset: Any) -> List[Any]:
+    """``[v + offset for v in values]``, vectorized when bit-safe."""
+    if type(offset) is float and _vectorizable(values):
+        return (_np.asarray(values) + offset).tolist()
+    return [v + offset for v in values]
+
+
+def add_blocks(a: List[Any], b: List[Any]) -> List[Any]:
+    """Elementwise ``a + b``, vectorized when bit-safe."""
+    if _vectorizable(a) and _vectorizable(b):
+        return (_np.asarray(a) + _np.asarray(b)).tolist()
+    return [x + y for x, y in zip(a, b)]
+
+
+def sub_blocks(a: List[Any], b: List[Any]) -> List[Any]:
+    """Elementwise ``a - b``, vectorized when bit-safe."""
+    if _vectorizable(a) and _vectorizable(b):
+        return (_np.asarray(a) - _np.asarray(b)).tolist()
+    return [x - y for x, y in zip(a, b)]
+
+
+def mul_blocks(a: List[Any], b: List[Any]) -> List[Any]:
+    """Elementwise ``a * b``, vectorized when bit-safe."""
+    if _vectorizable(a) and _vectorizable(b):
+        return (_np.asarray(a) * _np.asarray(b)).tolist()
+    return [x * y for x, y in zip(a, b)]

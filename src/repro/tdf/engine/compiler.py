@@ -1,0 +1,540 @@
+"""Schedule compiler: flatten an elaborated :class:`Schedule` into a
+firing *program* the block engine executes without per-firing dict
+lookups or ScaTime arithmetic.
+
+SDF theory guarantees the periodic schedule is fully static, so every
+decision the interpreter re-makes per firing — which ports, what
+timestep offset, whether hooks/observers exist, whether the fast flush
+applies — is made once here and baked into closures.  A compiled
+program has four parts:
+
+* **pre ops** — *windowable* block-capable modules whose entire input
+  cone is also hoisted: fired once per execution window, producing
+  ``window × repetitions`` samples in a single ``processing_block``
+  call.  Their probe write events (if any) are re-emitted at the
+  canonical schedule positions by event ops, so the global event order
+  is identical to the interpreter's.
+* **core ops** — everything in between, in PASS order: per-firing
+  specialised SISO ops (gain/delay/buffer), per-period coalesced block
+  ops, generic interpreted firings (instrumented or user-defined
+  modules — per-sample fallback), and the event ops of hoisted firings.
+* **post ops** — block-capable sinks (no output ports): fired once per
+  window for the completed periods.
+* **metadata** — window size, dynamic-TDF watch list, event counter
+  cells and a validation signature.
+
+Fallback classification is per module and reported through the
+``tdf.engine_fallbacks`` telemetry counter, with
+``tdf.engine_compiled_firings`` / ``tdf.engine_block_firings`` /
+``tdf.engine_block_ratio`` summarising how much of the schedule left
+the interpreted path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...obs import get_telemetry
+from ..module import TdfModule
+from ..time import ScaTime
+from .blocks import FiringBlock, produce_block
+
+#: Periods per execution window on the fast (hook-free, static-schedule)
+#: path.  Bounds both rollback cost on a mid-window dynamic-TDF request
+#: and the latency of deferred post-op sinks.
+WINDOW_PERIODS = 32
+
+
+class _ModuleInfo:
+    __slots__ = ("capable", "windowable", "reasons", "event_specs", "siso")
+
+    def __init__(self) -> None:
+        self.capable = False
+        self.windowable = False
+        self.reasons: List[str] = []
+        #: ``(out_port, [marker_info, ...])`` for probe-marked write hooks.
+        self.event_specs: List[Tuple[Any, List[tuple]]] = []
+        self.siso: Optional[str] = None  # "gain" | "copy" | None
+
+
+def _block_consistent(cls: type) -> bool:
+    """Whether ``cls``'s ``processing_block`` describes its ``processing``.
+
+    A subclass that overrides ``processing`` without also overriding
+    ``processing_block`` would execute the *parent's* block behaviour —
+    walk the MRO and require the block implementation to live at (or
+    above, in the same class as) the effective ``processing``.
+    """
+    for klass in cls.__mro__:
+        if "processing_block" in klass.__dict__:
+            return True
+        if "processing" in klass.__dict__:
+            return False
+    return False
+
+
+def _classify(module: TdfModule) -> _ModuleInfo:
+    from ..library.siso import BufferTdf, DelayTdf, GainTdf
+
+    info = _ModuleInfo()
+    reasons = info.reasons
+    if type(module).processing_block is TdfModule.processing_block:
+        reasons.append("no_block")
+    elif not _block_consistent(type(module)):
+        reasons.append("processing_override")
+    if module._processing_fn is not None:
+        # Instrumented (or user-registered) processing: the class-level
+        # processing_block no longer describes the executed behaviour.
+        reasons.append("instrumented")
+    if any(port.rate != 1 for port in module.ports()):
+        reasons.append("multirate")
+    for port in module.in_ports():
+        if port._read_hooks:
+            reasons.append("read_hooks")
+            break
+    traced = foreign = False
+    hooked = 0
+    for port in module.out_ports():
+        sig = port.signal
+        if sig is not None and sig._write_observers:
+            traced = True
+        if port._write_hooks:
+            infos = [
+                getattr(hook, "__dft_probe_writer__", None)
+                for hook in port._write_hooks
+            ]
+            if any(i is None for i in infos):
+                foreign = True
+            else:
+                hooked += 1
+                info.event_specs.append((port, infos))
+    if traced:
+        reasons.append("traced_signal")
+    if foreign:
+        reasons.append("foreign_write_hook")
+    if hooked > 1:
+        reasons.append("multi_out_events")
+    info.capable = not reasons
+    info.windowable = info.capable and type(module).BLOCK_WINDOWABLE
+    if info.capable:
+        # Exact-type check: a subclass may change behaviour in ways the
+        # specialised op would not reproduce.  Undriven inputs fall back
+        # to the generic op, which routes through port.read() and its
+        # initial-value handling.
+        cls = type(module)
+        if cls in (GainTdf, DelayTdf, BufferTdf):
+            in_sig = module.in_ports()[0].signal
+            if in_sig is not None and in_sig.driver is not None:
+                info.siso = "gain" if cls is GainTdf else "copy"
+    return info
+
+
+class _BlockFireOp:
+    """Fire ``periods × q`` activations of one module in a single
+    ``processing_block`` call (used for pre, post and coalesced core)."""
+
+    __slots__ = ("module", "q", "ts_fs", "ins")
+
+    def __init__(self, module: TdfModule, q: int, ts_fs: int) -> None:
+        self.module = module
+        self.q = q
+        self.ts_fs = ts_fs
+        self.ins = module.in_ports()
+
+    def fire_period(self, base_fs: int) -> None:
+        """Core-op entry point: one period's worth of firings."""
+        self.fire(1, base_fs, None)
+
+    def fire(self, periods: int, base_fs: int, rollback) -> None:
+        module = self.module
+        n = periods * self.q
+        block = FiringBlock(n, module, base_fs, self.ts_fs)
+        if rollback is not None:
+            q = self.q
+            note_in = rollback.ins.append
+            for port in self.ins:
+                note_in((port.signal, id(port), q))
+            rollback.mods.append((module, q))
+        module.processing_block(block)
+        if rollback is not None:
+            note_out = rollback.outs.append
+            for port, values in block.writes:
+                note_out((port, self.q, values, port._last_value))
+        for port, values in block.writes:
+            produce_block(port, values)
+        object.__setattr__(module, "activation_count", module.activation_count + n)
+
+
+class _WindowRollback:
+    """Undo hoisted pre-op production for periods that never executed."""
+
+    __slots__ = ("ins", "outs", "mods")
+
+    def __init__(self) -> None:
+        self.ins: List[tuple] = []   # (signal, cursor_key, per_period_tokens)
+        self.outs: List[tuple] = []  # (port, per_period, values, prev_last)
+        self.mods: List[tuple] = []  # (module, per_period_activations)
+
+    def apply(self, total_periods: int, completed: int) -> None:
+        dropped = total_periods - completed
+        if dropped <= 0:
+            return
+        from .blocks import rollback_block
+
+        for sig, key, q in self.ins:
+            sig._cursors[key] -= dropped * q
+        for port, q, values, prev_last in self.outs:
+            keep = completed * q
+            last = values[keep - 1] if keep > 0 else prev_last
+            rollback_block(port, dropped * q, last)
+        for module, q in self.mods:
+            object.__setattr__(
+                module, "activation_count", module.activation_count - dropped * q
+            )
+
+
+def _make_event_op(port, infos, cell, batched_buf):
+    """Probe write events of one hoisted firing, emitted at its
+    canonical position in the period with a running token counter."""
+    sig_name = port.signal.name
+    if batched_buf is not None and len(infos) == 1:
+        from ...instrument.probes import TAG_PW
+
+        append = batched_buf.append
+        _probe, var, model, line, kind = infos[0]
+
+        def op(base_fs, cell=cell, append=append, sig_name=sig_name,
+               var=var, model=model, line=line, kind=kind):
+            index = cell[0]
+            cell[0] = index + 1
+            append((TAG_PW, sig_name, index, var, model, line, kind))
+
+        return op
+
+    def op(base_fs, cell=cell, port=port, infos=infos):
+        index = cell[0]
+        cell[0] = index + 1
+        for probe, var, model, line, kind in infos:
+            probe.generic_write(port, index, var, model, line, kind)
+
+    return op
+
+
+def _make_siso_op(module, kind, event_infos):
+    """Specialised per-firing op for uninstrumented gain/delay/buffer:
+    direct token move with an inline probe event, no FiringBlock."""
+    in_port = module.in_ports()[0]
+    out_port = module.out_ports()[0]
+    in_sig = in_port.signal
+    out_sig = out_port.signal
+    in_key = id(in_port)
+    cursors = in_sig._cursors
+    out_tokens = out_sig._tokens
+    is_gain = kind == "gain"
+
+    event = None
+    if event_infos:
+        port, infos = event_infos
+        batched_buf = getattr(infos[0][0], "_buf", None)
+        if batched_buf is not None and len(infos) == 1:
+            from ...instrument.probes import TAG_PW
+
+            append = batched_buf.append
+            _probe, var, model, line, wkind = infos[0]
+            sig_name = out_sig.name
+
+            def event(index, a=append, s=sig_name, v=var, m=model, l=line, k=wkind):
+                a((TAG_PW, s, index, v, m, l, k))
+
+        else:
+
+            def event(index, port=out_port, infos=infos):
+                for probe, var, model, line, wkind in infos:
+                    probe.generic_write(port, index, var, model, line, wkind)
+
+    def op(base_fs, module=module, in_port=in_port, out_port=out_port,
+           in_sig=in_sig, out_sig=out_sig, in_key=in_key, cursors=cursors,
+           out_tokens=out_tokens, is_gain=is_gain, event=event):
+        cursor = cursors[in_key]
+        if cursor >= 0:
+            try:
+                value = in_sig._tokens[cursor - in_sig._base_index]
+            except IndexError:
+                # Past the end: _value_at raises the kernel's
+                # read-past-end SimulationError with full context.
+                value = in_sig._value_at(cursor, in_port)
+        else:
+            # Reader-side delay region: initial values.
+            value = in_sig._value_at(cursor, in_port)
+        # No per-firing GC: the executor sweeps every cluster signal
+        # once per committed window.
+        cursors[in_key] = cursor + 1
+        if is_gain:
+            value = value * module.m_gain
+        index = out_port._flushed
+        out_tokens.append(value)
+        out_sig._write_count += 1
+        out_sig.last_write_time = None
+        out_port._flushed = index + 1
+        out_port._last_value = value
+        if event is not None:
+            event(index)
+        object.__setattr__(module, "activation_count", module.activation_count + 1)
+
+    return op
+
+
+def _make_generic_op(module, offset_fs):
+    """One interpreted firing with the framing decisions precomputed:
+    prebound port lists, inline rate-1 flush when unobserved, a single
+    resolved processing callable."""
+    ins = tuple(
+        (port, port.signal, id(port), port.rate) for port in module.in_ports()
+    )
+    fast_outs = []
+    slow_outs = []
+    for port in module.out_ports():
+        if port.rate == 1 and not port.signal._write_observers:
+            fast_outs.append((port, port.signal))
+        else:
+            slow_outs.append(port)
+    fast_outs = tuple(fast_outs)
+    slow_outs = tuple(slow_outs)
+    processing = module.resolved_processing()
+    from_fs = ScaTime.from_femtoseconds
+    setattr_ = object.__setattr__
+
+    def op(base_fs, module=module, offset_fs=offset_fs, ins=ins,
+           fast_outs=fast_outs, slow_outs=slow_outs, processing=processing,
+           from_fs=from_fs, setattr_=setattr_):
+        t = from_fs(base_fs + offset_fs)
+        setattr_(module, "_time", t)
+        for port, _sig, _key, _rate in ins:
+            port._in_activation = True
+        for port, _sig in fast_outs:
+            port._in_activation = True
+            port._pending.clear()
+        for port in slow_outs:
+            port._begin_activation(t)
+        try:
+            processing()
+        finally:
+            for port, sig, key, rate in ins:
+                port._in_activation = False
+                sig._cursors[key] += rate
+            for port, sig in fast_outs:
+                port._in_activation = False
+                pending = port._pending
+                if pending:
+                    port._last_value = pending[-1][1]
+                    pending.clear()
+                sig._tokens.append(port._last_value)
+                sig._write_count += 1
+                sig.last_write_time = None
+                port._flushed += 1
+            for port in slow_outs:
+                port._end_activation()
+        setattr_(module, "activation_count", module.activation_count + 1)
+
+    return op
+
+
+class CompiledProgram:
+    """The flattened firing program for one :class:`Schedule`."""
+
+    __slots__ = (
+        "schedule",
+        "period_fs",
+        "pre_ops",
+        "core_ops",
+        "post_ops",
+        "event_cells",
+        "dynamic_watch",
+        "window",
+        "full_dynamic",
+        "signature",
+        "stats",
+    )
+
+    def __init__(self) -> None:
+        self.pre_ops: List[_BlockFireOp] = []
+        self.core_ops: List = []
+        self.post_ops: List[_BlockFireOp] = []
+        self.event_cells: List[tuple] = []
+        self.dynamic_watch: List[TdfModule] = []
+        self.window = WINDOW_PERIODS
+        self.full_dynamic = False
+        self.stats: Dict[str, Any] = {}
+
+
+def program_signature(simulator) -> tuple:
+    """Everything a compiled program bakes in that the kernel lets
+    callers change between runs: processing registrations, hooks,
+    observers.  Unequal signatures force a recompile."""
+    parts = []
+    for module in simulator.cluster.modules:
+        out_state = tuple(
+            (tuple(port._write_hooks),
+             tuple(port.signal._write_observers) if port.signal is not None else ())
+            for port in module.out_ports()
+        )
+        in_state = tuple(tuple(port._read_hooks) for port in module.in_ports())
+        parts.append((module._processing_fn, out_state, in_state))
+    return tuple(parts)
+
+
+def compile_program(simulator, schedule) -> CompiledProgram:
+    """Compile ``schedule`` into a :class:`CompiledProgram`."""
+    cluster = simulator.cluster
+    modules = list(cluster.modules)
+    reps = schedule.repetitions
+    ts_fs = {
+        name: ts.femtoseconds for name, ts in schedule.module_timesteps.items()
+    }
+    info_map = {module: _classify(module) for module in modules}
+
+    # Pre set: windowable modules whose every driven input is fed by
+    # another pre module (fixpoint).  Their samples are produced for the
+    # whole window up front; a mid-window schedule change rolls the
+    # excess back.  A module only enters once its producers are members,
+    # so the insertion order IS a topological firing order — and
+    # feedback cycles (whose delay slack covers one period, not a whole
+    # window) can never enter.
+    pre: set = set()
+    pre_order: List[TdfModule] = []
+    changed = True
+    while changed:
+        changed = False
+        for module in modules:
+            info = info_map[module]
+            if module in pre or not info.windowable:
+                continue
+            if all(
+                port.signal.driver is None or port.signal.driver.module in pre
+                for port in module.in_ports()
+            ):
+                pre.add(module)
+                pre_order.append(module)
+                changed = True
+
+    # Post set: block-capable pure sinks — no output ports, so deferring
+    # their firings to the end of the window is unobservable.
+    post = {
+        module
+        for module in modules
+        if module not in pre
+        and info_map[module].capable
+        and not module.out_ports()
+    }
+
+    program = CompiledProgram()
+    program.schedule = schedule
+    program.period_fs = schedule.period_fs
+    program.full_dynamic = any(
+        type(module).change_attributes is not TdfModule.change_attributes
+        for module in modules
+    )
+
+    for module in pre_order:
+        program.pre_ops.append(
+            _BlockFireOp(module, reps[module.name], ts_fs[module.name])
+        )
+    for module in modules:
+        if module in post:
+            program.post_ops.append(
+                _BlockFireOp(module, reps[module.name], ts_fs[module.name])
+            )
+
+    # Event counter cells for hoisted firings with probe-marked hooks.
+    cell_map: Dict[int, list] = {}
+    for module in pre:
+        for port, _infos in info_map[module].event_specs:
+            cell = [0]
+            cell_map[id(port)] = cell
+            program.event_cells.append((port, cell))
+
+    firings = schedule.firings
+    total = len(firings)
+    block_firings = 0
+    generic_modules = []
+    i = 0
+    while i < total:
+        module, fidx = firings[i]
+        info = info_map[module]
+        if module in pre:
+            for port, infos in info.event_specs:
+                batched_buf = getattr(infos[0][0], "_buf", None)
+                program.core_ops.append(
+                    _make_event_op(port, infos, cell_map[id(port)], batched_buf)
+                )
+            block_firings += 1
+            i += 1
+            continue
+        if module in post:
+            block_firings += 1
+            i += 1
+            continue
+        if info.siso is not None:
+            specs = info.event_specs[0] if info.event_specs else None
+            program.core_ops.append(_make_siso_op(module, info.siso, specs))
+            block_firings += 1
+            i += 1
+            continue
+        q = reps[module.name]
+        if (
+            info.capable
+            and not info.event_specs
+            and fidx == 0
+            and i + q <= total
+            and all(firings[i + k] == (module, k) for k in range(q))
+        ):
+            # All q firings are consecutive in the PASS: the tokens for
+            # every firing were available at the first one (nothing else
+            # fires in between), so they coalesce into one block call.
+            program.core_ops.append(
+                _BlockFireOp(module, q, ts_fs[module.name]).fire_period
+            )
+            program.dynamic_watch.append(module)
+            block_firings += q
+            i += q
+            continue
+        offset = ts_fs[module.name] * fidx
+        program.core_ops.append(_make_generic_op(module, offset))
+        if fidx == 0:
+            generic_modules.append(module)
+        i += 1
+
+    program.dynamic_watch.extend(generic_modules)
+    program.signature = program_signature(simulator)
+
+    fallback_firings = total - block_firings
+    program.stats = {
+        "total_firings": total,
+        "block_firings": block_firings,
+        "interpreted_firings": fallback_firings,
+        "block_ratio": block_firings / total if total else 0.0,
+        "pre_modules": sorted(m.name for m in pre),
+        "post_modules": sorted(m.name for m in post),
+        "fallbacks": {
+            module.name: info_map[module].reasons
+            for module in modules
+            if info_map[module].reasons
+        },
+    }
+
+    tel = get_telemetry()
+    if tel.enabled:
+        name = cluster.name
+        metrics = tel.metrics
+        metrics.counter("tdf.engine_compiled_programs", cluster=name).inc()
+        metrics.counter("tdf.engine_compiled_firings", cluster=name).inc(total)
+        metrics.counter("tdf.engine_block_firings", cluster=name).inc(block_firings)
+        metrics.gauge("tdf.engine_block_ratio", cluster=name).set(
+            program.stats["block_ratio"]
+        )
+        for module in modules:
+            for reason in info_map[module].reasons:
+                metrics.counter(
+                    "tdf.engine_fallbacks", cluster=name, reason=reason
+                ).inc()
+    return program

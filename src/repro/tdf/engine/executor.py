@@ -1,0 +1,212 @@
+"""Windowed executor for compiled firing programs.
+
+:class:`BlockEngine` replaces the interpreter's per-firing loop with
+per-*window* execution: hoisted (pre) modules produce up to
+:data:`~repro.tdf.engine.compiler.WINDOW_PERIODS` periods of samples in
+one ``processing_block`` call, the flattened core ops replay the
+remaining PASS per period, and deferred (post) sinks drain the completed
+periods in one call at window end.
+
+Dynamic TDF stays fully supported: after every period the executor
+scans the modules whose ``processing()`` actually ran (only those can
+file attribute requests on the fast path) and, on a request, truncates
+the window — excess pre-produced samples are rolled back token-for-token
+before the schedule swap, so the data in flight is exactly what the
+interpreter would have left behind.  Clusters that override
+``change_attributes()`` (or carry period hooks) run with a window of
+one period and the interpreter's full end-of-period protocol.
+
+Engine selection is a three-valued knob resolved by
+:func:`resolve_engine`: ``"interp"`` (the historical loop),
+``"block"`` (this executor) and ``"auto"`` (currently ``block`` — the
+compiler itself falls back per module, so auto never loses
+correctness, only the constant factor).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ...obs import get_telemetry
+from ..errors import SimulationError
+from ..time import ScaTime
+from .compiler import (
+    CompiledProgram,
+    _WindowRollback,
+    compile_program,
+    program_signature,
+)
+
+ENGINES = ("auto", "interp", "block")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Map an engine request onto a concrete engine name."""
+    if engine is None or engine == "auto":
+        return "block"
+    if engine in ("interp", "block"):
+        return engine
+    raise ValueError(
+        f"unknown engine {engine!r}: expected one of {', '.join(ENGINES)}"
+    )
+
+
+class BlockEngine:
+    """Executes compiled programs for one :class:`Simulator`."""
+
+    def __init__(self, simulator) -> None:
+        self.sim = simulator
+        self.windows_run = 0
+
+    # -- program cache -----------------------------------------------------
+
+    def program_for(self, schedule) -> CompiledProgram:
+        """The compiled program of ``schedule``, compiling on first use.
+
+        Programs are cached on the schedule object itself (schedules are
+        memoized by the simulator's schedule cache, so a dynamic-TDF
+        oscillation recompiles nothing).  A signature mismatch — hooks or
+        processing registrations changed since compilation — forces a
+        recompile.
+        """
+        program = getattr(schedule, "_engine_program", None)
+        if program is not None and program.signature == program_signature(self.sim):
+            return program
+        program = compile_program(self.sim, schedule)
+        schedule._engine_program = program
+        return program
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, stop: Optional[ScaTime], max_periods: Optional[int],
+            period_hist=None) -> None:
+        """The block-engine counterpart of ``Simulator._loop``."""
+        sim = self.sim
+        cluster = sim.cluster
+        stop_fs = stop.femtoseconds if stop is not None else None
+        executed = 0
+        windows = 0
+        # Signature validation once per schedule per run: hooks cannot
+        # change while the kernel itself is running.
+        validated: Dict[int, CompiledProgram] = {}
+        try:
+            while True:
+                if max_periods is not None and executed >= max_periods:
+                    break
+                now_fs = sim.now.femtoseconds
+                if stop_fs is not None and now_fs >= stop_fs:
+                    break
+                schedule = sim.schedule
+                period_fs = schedule.period_fs
+                if period_fs <= 0:
+                    raise SimulationError(
+                        f"cluster {cluster.name!r} has a zero-length period; "
+                        f"check timestep assignments"
+                    )
+                program = validated.get(id(schedule))
+                if program is None:
+                    program = self.program_for(schedule)
+                    validated[id(schedule)] = program
+                remaining = (
+                    None if max_periods is None else max_periods - executed
+                )
+                if stop_fs is not None:
+                    by_time = -(-(stop_fs - now_fs) // period_fs)
+                    remaining = (
+                        by_time if remaining is None else min(remaining, by_time)
+                    )
+                t0 = time.perf_counter() if period_hist is not None else 0.0
+                if sim._period_hooks or program.full_dynamic:
+                    completed = self._run_one(program, now_fs)
+                else:
+                    n = (
+                        program.window
+                        if remaining is None
+                        else min(program.window, remaining)
+                    )
+                    completed = self._run_window(program, now_fs, n)
+                if period_hist is not None and completed:
+                    # Per-period wall time is not individually observable
+                    # under windowing; attribute the window evenly.
+                    dt = (time.perf_counter() - t0) / completed
+                    for _ in range(completed):
+                        period_hist.observe(dt)
+                executed += completed
+                windows += 1
+                # Deferred GC: block reads skip per-call collection so a
+                # rollback can restore cursors; sweep once the window is
+                # committed and every cursor is final.
+                for signal in cluster.signals:
+                    signal._collect_garbage()
+        finally:
+            self.windows_run += windows
+            tel = get_telemetry()
+            if tel.enabled and windows:
+                metrics = tel.metrics
+                metrics.counter(
+                    "tdf.engine_windows", cluster=cluster.name
+                ).inc(windows)
+                metrics.counter(
+                    "tdf.engine_periods", cluster=cluster.name
+                ).inc(executed)
+
+    def _run_one(self, program: CompiledProgram, base_fs: int) -> int:
+        """One period with the interpreter's full end-of-period protocol
+        (period hooks, ``change_attributes`` on every module)."""
+        sim = self.sim
+        for port, cell in program.event_cells:
+            cell[0] = port._flushed
+        for op in program.pre_ops:
+            op.fire(1, base_fs, None)
+        for op in program.core_ops:
+            op(base_fs)
+        for op in program.post_ops:
+            op.fire(1, base_fs, None)
+        sim.now = ScaTime.from_femtoseconds(base_fs + program.period_fs)
+        sim.periods_run += 1
+        for hook in sim._period_hooks:
+            hook(sim)
+        sim._handle_dynamic_tdf()
+        return 1
+
+    def _run_window(self, program: CompiledProgram, base_fs: int, n: int) -> int:
+        """Up to ``n`` periods in one window; returns periods completed."""
+        sim = self.sim
+        for port, cell in program.event_cells:
+            cell[0] = port._flushed
+        rollback = _WindowRollback() if n > 1 else None
+        for op in program.pre_ops:
+            op.fire(n, base_fs, rollback)
+        period_fs = program.period_fs
+        core_ops = program.core_ops
+        watch = program.dynamic_watch
+        completed = 0
+        p_base = base_fs
+        pending = False
+        while completed < n:
+            for op in core_ops:
+                op(p_base)
+            completed += 1
+            p_base += period_fs
+            for module in watch:
+                if module.has_pending_attribute_requests:
+                    pending = True
+                    break
+            if pending:
+                break
+        for op in program.post_ops:
+            op.fire(completed, base_fs, None)
+        if rollback is not None:
+            rollback.apply(n, completed)
+        sim.now = ScaTime.from_femtoseconds(base_fs + completed * period_fs)
+        sim.periods_run += completed
+        if pending:
+            # Same swap protocol as the interpreter's dynamic-TDF path
+            # (change_attributes is not overridden on this fast path, so
+            # only requests filed during processing() can exist).
+            for module in sim.cluster.modules:
+                if module.has_pending_attribute_requests:
+                    module.consume_attribute_requests()
+            sim._swap_schedule()
+        return completed

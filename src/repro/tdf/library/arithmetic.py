@@ -9,6 +9,7 @@ gain/delay/buffer (see :mod:`repro.tdf.library.siso`).
 
 from __future__ import annotations
 
+from ..engine.blocks import add_blocks, mul_blocks, offset_block, sub_blocks
 from ..module import TdfModule
 from ..ports import TdfIn, TdfOut
 
@@ -17,6 +18,7 @@ class AdderTdf(TdfModule):
     """Writes ``a + b``."""
 
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
@@ -28,11 +30,15 @@ class AdderTdf(TdfModule):
         total = self.ip_a.read() + self.ip_b.read()
         self.op.write(total)
 
+    def processing_block(self, block) -> None:
+        block.write(self.op, add_blocks(block.read(self.ip_a), block.read(self.ip_b)))
+
 
 class SubtractorTdf(TdfModule):
     """Writes ``a - b``."""
 
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
@@ -44,11 +50,15 @@ class SubtractorTdf(TdfModule):
         diff = self.ip_a.read() - self.ip_b.read()
         self.op.write(diff)
 
+    def processing_block(self, block) -> None:
+        block.write(self.op, sub_blocks(block.read(self.ip_a), block.read(self.ip_b)))
+
 
 class MultiplierTdf(TdfModule):
     """Writes ``a * b``."""
 
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
@@ -60,11 +70,15 @@ class MultiplierTdf(TdfModule):
         product = self.ip_a.read() * self.ip_b.read()
         self.op.write(product)
 
+    def processing_block(self, block) -> None:
+        block.write(self.op, mul_blocks(block.read(self.ip_a), block.read(self.ip_b)))
+
 
 class OffsetTdf(TdfModule):
     """Adds a constant offset to the input."""
 
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str, offset: float) -> None:
         super().__init__(name)
@@ -76,11 +90,15 @@ class OffsetTdf(TdfModule):
         shifted = self.ip.read() + self.m_offset
         self.op.write(shifted)
 
+    def processing_block(self, block) -> None:
+        block.write(self.op, offset_block(block.read(self.ip), self.m_offset))
+
 
 class SaturatorTdf(TdfModule):
     """Clamps the input into ``[lo, hi]``."""
 
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str, lo: float, hi: float) -> None:
         super().__init__(name)
@@ -99,11 +117,23 @@ class SaturatorTdf(TdfModule):
             value = self.m_hi
         self.op.write(value)
 
+    def processing_block(self, block) -> None:
+        lo, hi = self.m_lo, self.m_hi
+        out = []
+        for value in block.read(self.ip):
+            if value < lo:
+                value = lo
+            elif value > hi:
+                value = hi
+            out.append(value)
+        block.write(self.op, out)
+
 
 class ComparatorTdf(TdfModule):
     """Writes ``True`` when the input exceeds a threshold."""
 
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str, threshold: float) -> None:
         super().__init__(name)
@@ -114,6 +144,10 @@ class ComparatorTdf(TdfModule):
     def processing(self) -> None:
         above = self.ip.read() > self.m_threshold
         self.op.write(above)
+
+    def processing_block(self, block) -> None:
+        threshold = self.m_threshold
+        block.write(self.op, [v > threshold for v in block.read(self.ip)])
 
 
 class SchmittTriggerTdf(TdfModule):
@@ -138,3 +172,16 @@ class SchmittTriggerTdf(TdfModule):
         elif value <= self.m_low:
             self.m_state = False
         self.op.write(self.m_state)
+
+    def processing_block(self, block) -> None:
+        # Stateful: keep BLOCK_WINDOWABLE False, replay per sample.
+        low, high, state = self.m_low, self.m_high, self.m_state
+        out = []
+        for value in block.read(self.ip):
+            if value >= high:
+                state = True
+            elif value <= low:
+                state = False
+            out.append(state)
+        self.m_state = state
+        block.write(self.op, out)

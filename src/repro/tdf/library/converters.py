@@ -29,6 +29,7 @@ class AdcTdf(TdfModule):
     """
 
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str, bits: int = 9, lsb: float = 1.0) -> None:
         super().__init__(name)
@@ -52,11 +53,24 @@ class AdcTdf(TdfModule):
         adc_out = code
         self.adc_o.write(adc_out)
 
+    def processing_block(self, block) -> None:
+        lsb, full_scale = self.m_lsb, self.m_full_scale
+        out = []
+        for vin in block.read(self.adc_i):
+            code = round(vin / lsb) * lsb
+            if code < 0:
+                code = 0.0
+            if code > full_scale:
+                code = full_scale
+            out.append(code)
+        block.write(self.adc_o, out)
+
 
 class DacTdf(TdfModule):
     """An N-bit digital-to-analog converter (code in, voltage out)."""
 
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str, bits: int = 9, lsb: float = 1.0) -> None:
         super().__init__(name)
@@ -75,3 +89,10 @@ class DacTdf(TdfModule):
         clamped = min(max(code, 0), self.m_max_code)
         vout = clamped * self.m_lsb
         self.dac_o.write(vout)
+
+    def processing_block(self, block) -> None:
+        lsb, max_code = self.m_lsb, self.m_max_code
+        block.write(
+            self.dac_o,
+            [min(max(code, 0), max_code) * lsb for code in block.read(self.dac_i)],
+        )

@@ -39,6 +39,21 @@ class FirFilterTdf(TdfModule):
             acc = acc + coeff * past
         self.op.write(acc)
 
+    def processing_block(self, block) -> None:
+        # Stateful (not windowable): replay the per-sample recurrence so
+        # the accumulation order — and therefore every rounding step —
+        # matches the interpreter exactly.
+        coeffs, history = self.m_coeffs, self.m_history
+        out = []
+        for sample in block.read(self.ip):
+            history.insert(0, sample)
+            history.pop()
+            acc = 0.0
+            for coeff, past in zip(coeffs, history):
+                acc = acc + coeff * past
+            out.append(acc)
+        block.write(self.op, out)
+
 
 class MovingAverageTdf(TdfModule):
     """Moving average over the last ``window`` samples."""
@@ -65,6 +80,16 @@ class MovingAverageTdf(TdfModule):
         avg = sum(self.m_history) / len(self.m_history)
         self.op.write(avg)
 
+    def processing_block(self, block) -> None:
+        window, history = self.m_window, self.m_history
+        out = []
+        for sample in block.read(self.ip):
+            history.append(sample)
+            if len(history) > window:
+                history.pop(0)
+            out.append(sum(history) / len(history))
+        block.write(self.op, out)
+
 
 class IirLowPassTdf(TdfModule):
     """First-order IIR low-pass: ``y[n] = a*y[n-1] + (1-a)*x[n]``."""
@@ -88,6 +113,16 @@ class IirLowPassTdf(TdfModule):
         self.m_state = self.m_alpha * self.m_state + (1.0 - self.m_alpha) * sample
         self.op.write(self.m_state)
 
+    def processing_block(self, block) -> None:
+        alpha, state = self.m_alpha, self.m_state
+        beta = 1.0 - alpha
+        out = []
+        for sample in block.read(self.ip):
+            state = alpha * state + beta * sample
+            out.append(state)
+        self.m_state = state
+        block.write(self.op, out)
+
 
 class IntegratorTdf(TdfModule):
     """Forward-Euler integrator: accumulates ``x[n] * dt``."""
@@ -110,6 +145,16 @@ class IntegratorTdf(TdfModule):
         self.m_state = self.m_state + self.m_gain * self.ip.read() * dt
         self.op.write(self.m_state)
 
+    def processing_block(self, block) -> None:
+        dt = self.timestep.to_seconds() if self.timestep is not None else 0.0
+        gain, state = self.m_gain, self.m_state
+        out = []
+        for sample in block.read(self.ip):
+            state = state + gain * sample * dt
+            out.append(state)
+        self.m_state = state
+        block.write(self.op, out)
+
 
 class DifferentiatorTdf(TdfModule):
     """Backward-difference differentiator: ``(x[n] - x[n-1]) / dt``."""
@@ -131,3 +176,13 @@ class DifferentiatorTdf(TdfModule):
         slope = (sample - self.m_prev) / dt if dt > 0 else 0.0
         self.m_prev = sample
         self.op.write(slope)
+
+    def processing_block(self, block) -> None:
+        dt = self.timestep.to_seconds() if self.timestep is not None else 1.0
+        prev = self.m_prev
+        out = []
+        for sample in block.read(self.ip):
+            out.append((sample - prev) / dt if dt > 0 else 0.0)
+            prev = sample
+        self.m_prev = prev
+        block.write(self.op, out)

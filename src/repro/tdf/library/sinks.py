@@ -14,6 +14,7 @@ class NullSink(TdfModule):
 
     OPAQUE_USES = True
     TESTBENCH = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
@@ -21,6 +22,9 @@ class NullSink(TdfModule):
 
     def processing(self) -> None:
         self.ip.read()
+
+    def processing_block(self, block) -> None:
+        block.read(self.ip)
 
 
 class CollectorSink(TdfModule):
@@ -39,6 +43,13 @@ class CollectorSink(TdfModule):
         value = self.ip.read()
         if self.m_max_samples is None or len(self.m_samples) < self.m_max_samples:
             self.m_samples.append((self.local_time().to_seconds(), value))
+
+    def processing_block(self, block) -> None:
+        values = block.read(self.ip)
+        cap, samples = self.m_max_samples, self.m_samples
+        for t, value in zip(block.times_seconds(), values):
+            if cap is None or len(samples) < cap:
+                samples.append((t, value))
 
     def values(self) -> List[Any]:
         """Just the recorded values, in sample order."""
@@ -75,6 +86,18 @@ class LedSink(TdfModule):
         if new_state != self.m_state:
             self.m_state = new_state
             self.m_transitions.append((self.local_time().to_seconds(), new_state))
+
+    def processing_block(self, block) -> None:
+        state, transitions = self.m_state, self.m_transitions
+        times = None
+        for k, value in enumerate(block.read(self.ip)):
+            new_state = bool(value)
+            if new_state != state:
+                state = new_state
+                if times is None:
+                    times = block.times_seconds()
+                transitions.append((times[k], new_state))
+        self.m_state = state
 
     @property
     def is_on(self) -> bool:

@@ -15,6 +15,7 @@ anchors are the netlist bind sites of their ports (paper §V).
 
 from __future__ import annotations
 
+from ..engine.blocks import scale_block
 from ..module import TdfModule
 from ..ports import TdfIn, TdfOut
 
@@ -24,6 +25,7 @@ class GainTdf(TdfModule):
 
     REDEFINING = True
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str, gain: float = 1.0) -> None:
         super().__init__(name)
@@ -33,6 +35,9 @@ class GainTdf(TdfModule):
 
     def processing(self) -> None:
         self.op.write(self.ip.read() * self.m_gain)
+
+    def processing_block(self, block) -> None:
+        block.write(self.op, scale_block(block.read(self.ip), self.m_gain))
 
 
 class DelayTdf(TdfModule):
@@ -45,6 +50,7 @@ class DelayTdf(TdfModule):
 
     REDEFINING = True
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str, delay: int = 1, initial_value: float = 0.0) -> None:
         super().__init__(name)
@@ -60,12 +66,16 @@ class DelayTdf(TdfModule):
     def processing(self) -> None:
         self.op.write(self.ip.read())
 
+    def processing_block(self, block) -> None:
+        block.write(self.op, block.read(self.ip))
+
 
 class BufferTdf(TdfModule):
     """Regenerates the input signal unchanged (unit buffer)."""
 
     REDEFINING = True
     OPAQUE_USES = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
@@ -74,3 +84,6 @@ class BufferTdf(TdfModule):
 
     def processing(self) -> None:
         self.op.write(self.ip.read())
+
+    def processing_block(self, block) -> None:
+        block.write(self.op, block.read(self.ip))

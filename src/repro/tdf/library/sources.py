@@ -22,6 +22,7 @@ class StimulusSource(TdfModule):
 
     OPAQUE_USES = True
     TESTBENCH = True
+    BLOCK_WINDOWABLE = True
 
     def __init__(
         self,
@@ -45,6 +46,10 @@ class StimulusSource(TdfModule):
     def processing(self) -> None:
         t = self.local_time().to_seconds()
         self.op.write(self.m_waveform(t))
+
+    def processing_block(self, block) -> None:
+        wf = self.m_waveform
+        block.write(self.op, [wf(t) for t in block.times_seconds()])
 
 
 class ConstantSource(StimulusSource):

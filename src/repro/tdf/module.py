@@ -64,6 +64,13 @@ class TdfModule:
     TESTBENCH = False
     #: Whether the module accepts dynamic attribute changes at runtime.
     ACCEPT_ATTRIBUTE_CHANGES = True
+    #: Block-engine hint: the module is stateless across firings (its
+    #: output samples depend only on its input samples and declared
+    #: attributes), so the compiled engine may hoist its firings across
+    #: period boundaries inside an execution window.  Stateful modules
+    #: (filters, triggers) must leave this False; they still block-fire,
+    #: but only within a single period.
+    BLOCK_WINDOWABLE = False
 
     def __init__(self, name: str) -> None:
         if not name or not isinstance(name, str):
@@ -139,6 +146,24 @@ class TdfModule:
 
     def change_attributes(self) -> None:
         """Dynamic TDF hook, called once per cluster period."""
+
+    def processing_block(self, block) -> None:
+        """Block-mode behaviour: process ``block.n`` firings in one call.
+
+        Overriding this method declares the module *block-capable*: the
+        compiled execution engine (:mod:`repro.tdf.engine`) may replace
+        ``block.n`` consecutive per-sample activations with a single
+        call, passing a :class:`~repro.tdf.engine.blocks.FiringBlock`
+        that exposes whole sample blocks (``block.read(port)`` returns a
+        list of ``block.n`` samples, ``block.write(port, values)``
+        expects exactly ``block.n``).  Implementations must produce
+        bit-identical samples and leave module state exactly as ``n``
+        sequential :meth:`processing` calls would.  The base class does
+        not implement it; the engine falls back to interpreted firing.
+        """
+        raise NotImplementedError(
+            f"module {self.name!r} does not implement processing_block()"
+        )
 
     def end_of_simulation(self) -> None:
         """Called once when the simulation finishes."""

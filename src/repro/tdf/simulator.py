@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import get_telemetry
 from .cluster import Cluster
+from .engine.executor import BlockEngine, resolve_engine
 from .errors import SimulationError
 from .module import TdfModule
 from .scheduler import Schedule, elaborate
@@ -36,10 +37,20 @@ from .time import ScaTime
 
 
 class Simulator:
-    """Executes a TDF cluster."""
+    """Executes a TDF cluster.
 
-    def __init__(self, cluster: Cluster) -> None:
+    ``engine`` selects the execution strategy: ``"interp"`` (default)
+    is the historical per-firing interpreter; ``"block"`` compiles the
+    schedule into a flattened program executed in multi-period windows
+    (see :mod:`repro.tdf.engine`); ``"auto"`` resolves to the block
+    engine.  Both engines produce bit-identical results — the block
+    engine falls back to interpreted firings per module where it must.
+    """
+
+    def __init__(self, cluster: Cluster, engine: str = "interp") -> None:
         self.cluster = cluster
+        self.engine = engine if engine == "interp" else resolve_engine(engine)
+        self._block_engine: Optional[BlockEngine] = None
         self.schedule: Optional[Schedule] = None
         #: Simulated time at the start of the next period.
         self.now = ScaTime.zero()
@@ -149,6 +160,14 @@ class Simulator:
                 changed = True
         if not changed:
             return
+        self._swap_schedule()
+
+    def _swap_schedule(self) -> None:
+        """Install the schedule for the (just-changed) attribute config.
+
+        Shared by the interpreter's dynamic-TDF handler and the block
+        engine's mid-window truncation path.
+        """
         key = self._attribute_key()
         cached = self._schedule_cache.get(key)
         tel = get_telemetry()
@@ -172,6 +191,18 @@ class Simulator:
                     "tdf.schedule_cache_misses", cluster=self.cluster.name
                 ).inc()
         self.reelaborations += 1
+
+    @property
+    def schedule_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss counts and the derived hit rate of the schedule cache."""
+        hits = self.schedule_cache_hits
+        misses = self.schedule_cache_misses
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
 
     def run(self, duration: ScaTime) -> None:
         """Run for (at least) ``duration`` of simulated time.
@@ -229,6 +260,11 @@ class Simulator:
 
     def _loop(self, stop, max_periods, period_hist) -> None:
         """The guarded period loop common to both execution modes."""
+        if self.engine == "block":
+            if self._block_engine is None:
+                self._block_engine = BlockEngine(self)
+            self._block_engine.run(stop, max_periods, period_hist)
+            return
         executed = 0
         while (stop is None or self.now < stop) and (
             max_periods is None or executed < max_periods

@@ -96,6 +96,20 @@ class TestFormatTree:
     def test_empty_session(self):
         assert "(none recorded)" in format_tree(Telemetry())
 
+    def test_hit_rate_derived_from_counter_pairs(self):
+        tel = Telemetry()
+        tel.metrics.counter("tdf.schedule_cache_hits", cluster="top").inc(7)
+        tel.metrics.counter("tdf.schedule_cache_misses", cluster="top").inc(3)
+        text = format_tree(tel)
+        assert "derived:" in text
+        assert "tdf.schedule_cache_hit_rate{cluster=top}" in text
+        assert "0.7000" in text
+
+    def test_no_derived_section_without_pairs(self):
+        text = format_tree(_session())
+        assert "derived:" not in text
+        assert "hit_rate" not in text
+
 
 class TestChromeTrace:
     def test_file_is_valid_trace_event_json(self, tmp_path):

@@ -1,0 +1,282 @@
+"""Block engine ≡ interpreter: equivalence properties and unit tests.
+
+The compiled block engine (:mod:`repro.tdf.engine`) must be an exact
+drop-in for the per-firing interpreter: identical sample streams,
+identical traced signals, identical probe event streams (content *and*
+global order), identical exercised def-use pairs — for every cluster,
+including multirate ones where the compiler partitions the schedule into
+hoisted block runs, specialised SISO ops and interpreted fallbacks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument import ProbeRuntime, instrument_processing
+from repro.instrument.probes import PortReadEvent, PortWriteEvent, VarEvent
+from repro.tdf import Cluster, Simulator, TdfIn, TdfModule, TdfOut, Tracer, ms
+from repro.tdf.engine import BlockEngine, compile_program, resolve_engine
+from repro.tdf.library import CollectorSink, GainTdf, StimulusSource
+
+
+class Expander(TdfModule):
+    """1 in -> r out per activation (zero-order hold)."""
+
+    def __init__(self, rate, name="up"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self._rate = rate
+
+    def set_attributes(self):
+        self.op.set_rate(self._rate)
+
+    def processing(self):
+        value = self.ip.read()
+        for i in range(self.op.rate):
+            self.op.write(value, i)
+
+
+class Decimator(TdfModule):
+    """r in -> 1 out per activation (average)."""
+
+    def __init__(self, rate, name="down"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self._rate = rate
+
+    def set_attributes(self):
+        self.ip.set_rate(self._rate)
+
+    def processing(self):
+        total = 0.0
+        for i in range(self.ip.rate):
+            total += self.ip.read(i)
+        self.op.write(total / self.ip.rate)
+
+
+class Accumulator(TdfModule):
+    """Instrumented DUT: branches, member state, augmented assignment."""
+
+    def __init__(self, name="dut"):
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_acc = 0.0
+        self.m_mode = 0
+
+    def processing(self):
+        sample = self.ip.read()
+        if sample > 0.5:
+            self.m_mode = 1
+        elif sample < -0.5:
+            self.m_mode = 0
+        if self.m_mode == 1:
+            self.m_acc += sample
+        else:
+            self.m_acc = self.m_acc * 0.5
+        self.op.write(self.m_acc)
+
+
+#: Source timestep: 6 ms is divisible by every drawn rate (1..3), so
+#: every propagated module timestep stays a whole femtosecond count.
+BASE_MS = 6
+
+
+def _build(values, up_rate, down_rate):
+    samples = list(values)
+
+    class Top(Cluster):
+        def architecture(self):
+            self.src = self.add(StimulusSource(
+                "src",
+                lambda t: samples[
+                    min(int(round(t * 1000 / BASE_MS)), len(samples) - 1)
+                ],
+                ms(BASE_MS),
+            ))
+            self.gain = self.add(GainTdf("gain", 2.0))
+            self.up = self.add(Expander(up_rate))
+            self.dut = self.add(Accumulator())
+            self.down = self.add(Decimator(down_rate))
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.gain.ip)
+            self.connect(self.gain.op, self.up.ip)
+            self.connect(self.up.op, self.dut.ip)
+            self.connect(self.dut.op, self.down.ip)
+            self.connect(self.down.op, self.sink.ip)
+
+    return Top("top")
+
+
+def _execute(engine, values, up_rate, down_rate):
+    """One instrumented simulation; returns (sink trace, probe)."""
+    top = _build(values, up_rate, down_rate)
+    probe = ProbeRuntime("top", batched=engine == "block")
+    instrument_processing(top.dut, probe)
+    sim = Simulator(top, engine=engine)
+    sim.run(ms(BASE_MS * len(values)))
+    sim.finish()
+    return top.sink.values(), probe
+
+
+class TestEquivalenceProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(-5.0, 5.0, allow_nan=False), min_size=2, max_size=10),
+        st.integers(1, 3),
+        st.integers(1, 3),
+    )
+    def test_traces_and_probe_streams_identical(self, values, up_rate, down_rate):
+        """Sample stream and full probe event streams match event-for-event."""
+        trace_i, probe_i = _execute("interp", values, up_rate, down_rate)
+        trace_b, probe_b = _execute("block", values, up_rate, down_rate)
+        assert trace_b == trace_i
+        # Dataclass views of the batched buffer must equal the per-event
+        # records including the global sequence numbers (= event order).
+        assert probe_b.var_events == probe_i.var_events
+        assert probe_b.port_writes == probe_i.port_writes
+        assert probe_b.port_reads == probe_i.port_reads
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(st.floats(-5.0, 5.0, allow_nan=False), min_size=2, max_size=8),
+        st.integers(1, 3),
+        st.integers(1, 3),
+    )
+    def test_exercised_pairs_identical(self, values, up_rate, down_rate):
+        """The full dynamic analysis yields identical coverage per engine."""
+        from repro.analysis import analyze_cluster
+        from repro.instrument import DynamicAnalyzer
+        from repro.testing import TestCase
+
+        def factory():
+            return _build(values, up_rate, down_rate)
+
+        static = analyze_cluster(factory())
+        tc = TestCase("t", ms(BASE_MS * len(values)), lambda c: None)
+        matches = {}
+        for engine in ("interp", "block"):
+            analyzer = DynamicAnalyzer(factory, static, engine=engine)
+            matches[engine] = analyzer.run_testcase(tc)
+        assert matches["block"].pairs == matches["interp"].pairs
+        assert matches["block"].use_without_def == matches["interp"].use_without_def
+
+    def test_traced_signals_identical(self):
+        """A tracer subscription forces the fallback path yet stays exact."""
+        rows = {}
+        for engine in ("interp", "block"):
+            top = _build([0.3, 1.2, -0.7, 2.0], 2, 2)
+            tracer = Tracer()
+            tracer.trace(top.dut.op.signal, "dut_out")
+            Simulator(top, engine=engine).run(ms(BASE_MS * 4))
+            rows[engine] = tracer.samples("dut_out")
+        assert rows["block"] == rows["interp"]
+
+
+class TestDynamicTdfUnderBlock:
+    def _top(self):
+        class Switcher(Expander):
+            def change_attributes(self):
+                if self.activation_count == 2 and self.op.rate == 3:
+                    self.request_rate("op", 2)
+
+        class Counting(TdfModule):
+            def __init__(self, name="src"):
+                super().__init__(name)
+                self.op = TdfOut()
+                self.m_n = 0
+
+            def set_attributes(self):
+                self.set_timestep(ms(3))
+
+            def processing(self):
+                self.op.write(float(self.m_n))
+                self.m_n += 1
+
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(Counting())
+                self.up = self.add(Switcher(3, "up"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.up.ip)
+                self.connect(self.up.op, self.sink.ip)
+
+        return Top("top")
+
+    def test_rate_change_matches_interp(self):
+        """A mid-run schedule swap (window truncation + rollback on the
+        block path) leaves exactly the interpreter's data behind."""
+        results = {}
+        for engine in ("interp", "block"):
+            top = self._top()
+            sim = Simulator(top, engine=engine)
+            sim.run(ms(12))
+            results[engine] = (sim.reelaborations, top.sink.values())
+        assert results["block"] == results["interp"]
+        assert results["block"][0] == 1
+
+
+class TestCompilerClassification:
+    def test_fallback_reasons_and_partition(self):
+        top = _build([1.0, 2.0], 3, 2)
+        probe = ProbeRuntime("top", batched=True)
+        instrument_processing(top.dut, probe)
+        sim = Simulator(top, engine="block")
+        sim.initialize()
+        program = compile_program(sim, sim.schedule)
+        stats = program.stats
+        fallbacks = stats["fallbacks"]
+        assert "multirate" in fallbacks["up"]
+        assert "multirate" in fallbacks["down"]
+        assert "instrumented" in fallbacks["dut"]
+        # The source hoists, the sink defers, the gain specialises: the
+        # schedule is genuinely partitioned, not all-or-nothing.
+        assert "src" in stats["pre_modules"]
+        assert "sink" in stats["post_modules"]
+        assert 0.0 < stats["block_ratio"] < 1.0
+        assert (
+            stats["block_firings"] + stats["interpreted_firings"]
+            == stats["total_firings"]
+        )
+
+    def test_program_cached_on_schedule(self):
+        top = _build([1.0, 2.0], 1, 1)
+        sim = Simulator(top, engine="block")
+        sim.initialize()
+        engine = BlockEngine(sim)
+        first = engine.program_for(sim.schedule)
+        assert engine.program_for(sim.schedule) is first
+        # A new hook invalidates the signature and forces a recompile.
+        top.dut.op.add_write_hook(lambda p, i, v, o: None)
+        assert engine.program_for(sim.schedule) is not first
+
+
+class TestResolveEngine:
+    def test_auto_and_none_resolve_to_block(self):
+        assert resolve_engine("auto") == "block"
+        assert resolve_engine(None) == "block"
+
+    def test_explicit_names_pass_through(self):
+        assert resolve_engine("interp") == "interp"
+        assert resolve_engine("block") == "block"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("jit")
+
+
+class TestProbeEventSlots:
+    """PR satellite: the hot event dataclasses must stay __dict__-free."""
+
+    @pytest.mark.parametrize("cls,args", [
+        (VarEvent, (True, "v", "m", 1, 1)),
+        (PortWriteEvent, ("s", 0, "v", "m", 1, None, 1)),
+        (PortReadEvent, ("s", 0, "p", "m", "m", 1, False, 1)),
+    ])
+    def test_no_instance_dict(self, cls, args):
+        event = cls(*args)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.arbitrary_attribute = 1

@@ -60,6 +60,67 @@ class TestArgParsing:
         with pytest.raises(SystemExit):
             main(["campaign", "sensor"])
 
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "sensor", "--engine", "jit"])
+
+
+class TestEngineFlag:
+    def test_run_accepts_each_engine(self, capsys):
+        outputs = {}
+        for engine in ("interp", "block", "auto"):
+            assert main(["run", "sensor", "--engine", engine]) == 0
+            outputs[engine] = capsys.readouterr().out
+        # Bit-identical results: the printed summary cannot differ.
+        assert outputs["interp"] == outputs["block"] == outputs["auto"]
+
+
+class TestAutoWorkers:
+    def test_explicit_request_wins(self):
+        from repro.cli import _resolve_workers
+
+        assert _resolve_workers(3, suite_len=100) == 3
+        assert _resolve_workers(1, suite_len=100) == 1
+
+    def test_single_cpu_stays_serial(self, monkeypatch):
+        import os
+
+        from repro.cli import _resolve_workers
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert _resolve_workers(None, suite_len=100) == 1
+
+    def test_small_suite_stays_serial(self, monkeypatch):
+        import os
+
+        from repro.cli import _resolve_workers
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert _resolve_workers(None, suite_len=1) == 1
+
+    def test_one_worker_per_cpu_capped_at_suite(self, monkeypatch):
+        import os
+
+        from repro.cli import _resolve_workers
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert _resolve_workers(None, suite_len=3) == 3
+        assert _resolve_workers(None, suite_len=100) == 8
+
+    def test_decision_recorded_on_telemetry(self, monkeypatch):
+        import os
+
+        from repro.cli import _resolve_workers
+        from repro.obs import telemetry_session
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        with telemetry_session() as tel:
+            _resolve_workers(None, suite_len=10)
+        records = tel.to_run()["metrics"]
+        gauges = [r for r in records if r["name"] == "cli.auto_workers"]
+        assert gauges and gauges[0]["value"] == 4
+        assert gauges[0]["labels"]["reason"] == "one_per_cpu"
+
 
 class TestTelemetryFlags:
     def test_run_writes_jsonl_and_trace_events(self, tmp_path, capsys):

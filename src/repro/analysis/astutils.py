@@ -145,6 +145,22 @@ def port_write_target(node: ast.Call) -> Optional[str]:
     return None
 
 
+def member_store_names(func: ast.FunctionDef) -> Set[str]:
+    """Member variables (``self.X``) stored to anywhere in ``func``.
+
+    Kernel attributes are excluded, matching the member-variable scope
+    of the static analysis.  Used by the mutation subsystem's def-site
+    retarget operator to find alternative store targets.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            attr = self_attribute(node)
+            if attr is not None and attr not in KERNEL_ATTRS:
+                names.add(attr)
+    return names
+
+
 def assigned_local_names(func: ast.FunctionDef) -> Set[str]:
     """All names assigned anywhere in ``func`` (its local variables),
     including parameters (minus ``self``)."""

@@ -23,6 +23,9 @@ baselines and emits one machine-readable JSON document (the
   per-firing interpreter versus the compiled block engine
   (:mod:`repro.tdf.engine`), with a records-identical check and a
   byte-identical coverage comparison across every bundled system.
+* **mutation** — a capped mutation-analysis run on the seeded random
+  cluster (:mod:`repro.mutation`), reporting mutants/second and
+  checking the kill matrix is byte-identical across engines.
 
 Every section records its own wall-clock seconds, so regressions are
 attributable to a layer, not just "the benchmark got slower".
@@ -252,6 +255,50 @@ def bench_engine(system: str = "buck_boost") -> Dict[str, Any]:
     }
 
 
+def bench_mutation(
+    cluster_seed: int = 7, max_mutants: int = 15, seed: int = 0
+) -> Dict[str, Any]:
+    """Capped mutation run on the seeded random cluster.
+
+    Reports throughput (mutants per second over the full differential
+    suite) and re-runs the same sample under the other engine to check
+    that the canonical kill matrix is byte-identical.
+    """
+    from .mutation import kill_matrix_bytes, run_mutation
+
+    def once(engine: str):
+        return _timed(
+            lambda: run_mutation(
+                "repro.testing.generate:random_cluster_factory",
+                "repro.testing.generate:random_suite",
+                factory_args=(cluster_seed,),
+                suite_args=(cluster_seed,),
+                seed=seed,
+                max_mutants=max_mutants,
+                engine=engine,
+            )
+        )
+
+    interp_run, interp_seconds = once("interp")
+    block_run, block_seconds = once("block")
+    return {
+        "system": "random",
+        "cluster_seed": cluster_seed,
+        "generated": interp_run.generated,
+        "sampled": len(interp_run.specs),
+        "viable": interp_run.viable,
+        "killed": interp_run.killed,
+        "mutation_score": interp_run.mutation_score,
+        "interp_seconds": interp_seconds,
+        "block_seconds": block_seconds,
+        "mutants_per_second": (
+            len(interp_run.specs) / interp_seconds if interp_seconds else None
+        ),
+        "kill_matrix_identical": kill_matrix_bytes(interp_run)
+        == kill_matrix_bytes(block_run),
+    }
+
+
 def run_benchmarks(
     workers: int = 2,
     campaign_system: str = "buck_boost",
@@ -260,7 +307,8 @@ def run_benchmarks(
 ) -> Dict[str, Any]:
     """Run the selected benchmark sections and assemble the JSON payload."""
     wanted = sections or [
-        "campaign", "parallel", "static_cache", "schedule_cache", "engine"
+        "campaign", "parallel", "static_cache", "schedule_cache", "engine",
+        "mutation",
     ]
     payload: Dict[str, Any] = {
         "benchmark": "repro-dft pipeline performance",
@@ -280,6 +328,8 @@ def run_benchmarks(
         payload["schedule_cache"] = bench_schedule_cache()
     if "engine" in wanted:
         payload["engine"] = bench_engine(campaign_system)
+    if "mutation" in wanted:
+        payload["mutation"] = bench_mutation()
     return payload
 
 

@@ -13,6 +13,12 @@ Subcommands:
 ``campaign <system>``
     Run the iterative refinement campaign and print the Table-II rows
     (window lifter and buck-boost only).
+``mutate <system>``
+    Run mutation analysis: seed faults with the AST/netlist operators,
+    execute every mutant differentially, and print the kill matrix
+    joined with the per-criterion coverage (see :mod:`repro.mutation`).
+    Accepts ``random`` as the system name to mutate a seeded random
+    multirate cluster (``--cluster-seed``).
 ``bench``
     Run the performance benchmark and emit machine-readable JSON
     (see :mod:`repro.bench`).
@@ -177,14 +183,33 @@ def _executor(system: str, workers: int):
 
 
 def _configure_static_cache(args) -> None:
-    """Apply ``--cache-dir`` / ``--no-static-cache`` to the default cache."""
+    """Apply ``--cache-dir`` / ``--no-static-cache`` to the default cache.
+
+    The cache layer itself treats disk I/O as best-effort (a broken
+    cache must never break an analysis run), so an unusable
+    ``--cache-dir`` would otherwise be swallowed silently.  The user
+    asked for persistence explicitly — validate here and fail with a
+    one-line error instead.
+    """
+    import os
+
     from .analysis import get_default_cache
 
     cache = get_default_cache()
     if getattr(args, "no_static_cache", False):
         cache.enabled = False
-    if getattr(args, "cache_dir", None):
-        cache.set_disk_dir(args.cache_dir)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        expanded = os.path.expanduser(cache_dir)
+        try:
+            os.makedirs(expanded, exist_ok=True)
+        except OSError as exc:
+            raise OSError(
+                f"--cache-dir {cache_dir!r} is not usable: {exc}"
+            ) from None
+        if not os.path.isdir(expanded) or not os.access(expanded, os.W_OK):
+            raise OSError(f"--cache-dir {cache_dir!r} is not a writable directory")
+        cache.set_disk_dir(cache_dir)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -270,6 +295,64 @@ def _build_parser() -> argparse.ArgumentParser:
              "per-testcase dynamic-result cache)",
     )
 
+    p_mutate = sub.add_parser(
+        "mutate", help="mutation analysis (kill matrix + criterion join)",
+        parents=[telemetry_opts, cache_opts, engine_opts],
+    )
+    p_mutate.add_argument(
+        "system", choices=sorted(SYSTEMS) + ["random"],
+        help="bundled system, or 'random' for a seeded random cluster",
+    )
+    p_mutate.add_argument(
+        "--operators", nargs="+", metavar="OP",
+        help="restrict to the named mutation operators (default: all)",
+    )
+    p_mutate.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="sampling seed for --max-mutants (default: 0)",
+    )
+    p_mutate.add_argument(
+        "--max-mutants", type=int, default=None, metavar="N",
+        help="deterministically sample at most N mutants (default: all)",
+    )
+    p_mutate.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for mutant execution (default: 1; the "
+             "kill matrix is identical for any worker count)",
+    )
+    p_mutate.add_argument(
+        "--tolerance", type=float, default=1e-9, metavar="EPS",
+        help="absolute trace-divergence tolerance (default: 1e-9)",
+    )
+    p_mutate.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="per-mutant wall budget; slower mutants are flagged "
+             "timed_out (default: 30)",
+    )
+    p_mutate.add_argument(
+        "--cluster-seed", type=int, default=0, metavar="N",
+        help="construction seed for the 'random' system (default: 0)",
+    )
+    p_mutate.add_argument(
+        "--suite-ref", metavar="MODULE:ATTR",
+        help="override the testsuite with an importable reference to a "
+             "callable returning testcases",
+    )
+    p_mutate.add_argument(
+        "--no-criteria", action="store_true",
+        help="skip the coverage run and the criterion-vs-score join",
+    )
+    p_mutate.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    p_mutate.add_argument(
+        "--csv", metavar="PATH", help="also write one CSV row per mutant to PATH"
+    )
+    p_mutate.add_argument(
+        "--output", metavar="PATH", help="also write the JSON report to PATH"
+    )
+
     p_bench = sub.add_parser(
         "bench", help="performance benchmark (machine-readable JSON)",
         parents=[telemetry_opts],
@@ -289,7 +372,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--sections", nargs="+", metavar="NAME",
         choices=["campaign", "parallel", "static_cache", "schedule_cache",
-                 "engine"],
+                 "engine", "mutation"],
         help="run only the named sections (default: all)",
     )
     p_bench.add_argument(
@@ -351,6 +434,89 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (TdfError, ValueError, OSError) as exc:
         print(f"repro-dft: error: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_mutate(args) -> int:
+    import json
+
+    from .exec import resolve_ref
+    from .mutation import (
+        ALL_OPERATORS,
+        DEFAULT_BUDGET_SECONDS,
+        build_report,
+        format_report,
+        run_mutation,
+        write_csv,
+    )
+
+    _configure_static_cache(args)
+    if args.operators:
+        unknown = [op for op in args.operators if op not in ALL_OPERATORS]
+        if unknown:
+            raise ValueError(
+                f"unknown mutation operator(s): {', '.join(sorted(unknown))} "
+                f"(available: {', '.join(ALL_OPERATORS)})"
+            )
+    if args.system == "random":
+        factory_ref = "repro.testing.generate:random_cluster_factory"
+        factory_args: tuple = (args.cluster_seed,)
+        if args.suite_ref:
+            suite_ref, suite_args = args.suite_ref, ()
+        else:
+            suite_ref = "repro.testing.generate:random_suite"
+            suite_args = (args.cluster_seed,)
+    else:
+        entry = SYSTEMS[args.system]
+        factory_ref = entry["factory_ref"]
+        factory_args = ()
+        suite_ref = args.suite_ref or entry["suite_ref"]
+        suite_args = ()
+
+    budget = (
+        args.budget_seconds
+        if args.budget_seconds is not None
+        else DEFAULT_BUDGET_SECONDS
+    )
+    run = run_mutation(
+        factory_ref,
+        suite_ref,
+        factory_args=factory_args,
+        suite_args=suite_args,
+        operators=args.operators,
+        seed=args.seed,
+        max_mutants=args.max_mutants,
+        tolerance=args.tolerance,
+        workers=args.workers,
+        engine=args.engine,
+        budget_seconds=budget,
+    )
+
+    coverage = None
+    if not args.no_criteria:
+        # One coverage run of the *unmutated* system feeds the
+        # criterion-vs-score join; sub-suites are then scored from the
+        # kill matrix without re-running any mutant.
+        factory_obj = resolve_ref(factory_ref)
+        factory = factory_obj(*factory_args) if factory_args else factory_obj
+        testcases = list(resolve_ref(suite_ref)(*suite_args))
+        suite = TestSuite(args.system, testcases)
+        coverage = run_dft(factory, suite, engine=args.engine).coverage
+
+    payload = build_report(run, coverage=coverage, system=args.system)
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as stream:
+            write_csv(payload, stream)
+        print(f"mutation CSV written to {args.csv}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"mutation report written to {args.output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_report(payload))
+    return 0
 
 
 def _dispatch(args) -> int:
@@ -419,6 +585,9 @@ def _dispatch(args) -> int:
         records = campaign.run()
         print(format_iteration_table(records))
         return 0
+
+    if args.command == "mutate":
+        return _cmd_mutate(args)
 
     if args.command == "bench":
         import json

@@ -13,7 +13,7 @@ caching):
   unpickle.
 """
 
-from .base import DynamicExecutor, SerialExecutor
+from .base import DynamicExecutor, SerialExecutor, round_robin_shards
 from .cache import DynamicResultCache
 from .process import ProcessExecutor
 from .refs import ref_to, resolve_ref
@@ -25,4 +25,5 @@ __all__ = [
     "SerialExecutor",
     "ref_to",
     "resolve_ref",
+    "round_robin_shards",
 ]

@@ -17,7 +17,7 @@ Backends:
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, TypeVar
 
 from ..obs import Telemetry
 
@@ -25,6 +25,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports avoid cycles
     from ..analysis.cluster_analysis import StaticAnalysisResult
     from ..instrument.runner import ClusterFactory, DynamicResult
     from ..testing.testcase import TestSuite
+
+_T = TypeVar("_T")
+
+
+def round_robin_shards(items: Sequence[_T], workers: int) -> List[Tuple[_T, ...]]:
+    """Stripe ``items`` round-robin into at most ``workers`` shards.
+
+    Striping (rather than chunking) balances heterogeneous per-item
+    costs; the shard layout depends only on ``(len(items), workers)``,
+    so a parent and its workers always agree on it.  Shared by the
+    testcase fan-out (:class:`~repro.exec.process.ProcessExecutor`) and
+    the mutant fan-out (:mod:`repro.mutation.executor`).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    count = min(workers, len(items))
+    return [tuple(items[i::count]) for i in range(count)]
 
 
 class DynamicExecutor(abc.ABC):

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import Telemetry, get_telemetry, telemetry_session
-from .base import DynamicExecutor
+from .base import DynamicExecutor, round_robin_shards
 from .refs import resolve_ref
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports avoid cycles
@@ -109,8 +109,7 @@ class ProcessExecutor(DynamicExecutor):
 
     def _shards(self, names: Sequence[str]) -> List[Tuple[str, ...]]:
         """Round-robin striping: balances heterogeneous testcase costs."""
-        count = min(self.workers, len(names))
-        return [tuple(names[i::count]) for i in range(count)]
+        return round_robin_shards(names, self.workers)
 
     def run_suite(
         self,

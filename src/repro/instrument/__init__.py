@@ -1,6 +1,12 @@
 """Dynamic analysis: instrumentation, probes, event matching, runner."""
 
-from .instrumenter import PROBE_NAME, instrument_processing, restore_processing
+from .instrumenter import (
+    PROBE_NAME,
+    compile_processing_ast,
+    install_processing_ast,
+    instrument_processing,
+    restore_processing,
+)
 from .matching import MatchResult, match_events
 from .parallel_print import ParallelPrint, tap_signal
 from .probes import (
@@ -26,6 +32,8 @@ __all__ = [
     "UseWithoutDefWarning",
     "VarEvent",
     "WriterKind",
+    "compile_processing_ast",
+    "install_processing_ast",
     "instrument_processing",
     "match_events",
     "restore_processing",

@@ -323,6 +323,48 @@ def _flatten(stmts: list) -> list:
     return flat
 
 
+def compile_processing_ast(func: ast.FunctionDef, info: SourceInfo) -> Any:
+    """Compile a (possibly rewritten) processing ``FunctionDef``.
+
+    Finalises the tree the way every processing rewrite needs it:
+    decorators dropped, locations fixed, line numbers shifted back to
+    the original file so tracebacks (and the def/use anchors) point at
+    real source lines.  Shared by the instrumenter and the mutation
+    operators (:mod:`repro.mutation`), which splice a mutated body into
+    the very same pipeline.
+    """
+    func.decorator_list = []
+    tree = ast.Module(body=[func], type_ignores=[])
+    ast.fix_missing_locations(tree)
+    ast.increment_lineno(tree, info.line_offset)
+    return compile(tree, info.filename, "exec")
+
+
+def install_processing_ast(
+    module: TdfModule,
+    code: Any,
+    func_name: str,
+    extra_globals: Optional[Dict[str, Any]] = None,
+) -> Optional[Callable[[], None]]:
+    """Exec a compiled processing body and register it on ``module``.
+
+    The code object runs in a *copy* of the original function's globals
+    (optionally extended with ``extra_globals``, e.g. the probe
+    bindings), so the class and all other instances stay untouched.
+    Returns the previous processing registration for later restore.
+    """
+    previous = module._processing_fn
+    fn = module.resolved_processing()
+    underlying = fn.__func__ if isinstance(fn, types.MethodType) else fn
+    namespace = dict(getattr(underlying, "__globals__", {}))
+    if extra_globals:
+        namespace.update(extra_globals)
+    exec(code, namespace)
+    new_fn = namespace[func_name]
+    module.register_processing(types.MethodType(new_fn, module))
+    return previous
+
+
 def instrument_processing(module: TdfModule, probe: Any) -> Callable[[], None]:
     """Instrument ``module``'s processing callable and install it.
 
@@ -354,26 +396,18 @@ def instrument_processing(module: TdfModule, probe: Any) -> Callable[[], None]:
         # Rewrite the body directly: visit_FunctionDef keeps *nested*
         # functions opaque, so the top-level def must not go through it.
         func.body = _flatten([rewriter.visit(stmt) for stmt in func.body])
-        func.decorator_list = []
-        tree = ast.Module(body=[func], type_ignores=[])
-        ast.fix_missing_locations(tree)
-        # Shift line numbers so tracebacks point at the original file lines.
-        ast.increment_lineno(tree, info.line_offset)
-        code = compile(tree, info.filename, "exec")
+        code = compile_processing_ast(func, info)
         cached = (code, func.name, tuple(rewriter.sites))
         _CODE_CACHE[cache_key] = cached
 
     code, func_name, sites = cached
-    namespace = dict(getattr(underlying, "__globals__", {}))
-    namespace[PROBE_NAME] = probe
+    extra: Dict[str, Any] = {PROBE_NAME: probe}
     if batched:
-        namespace[APPEND_NAME] = probe._buf.append
+        extra[APPEND_NAME] = probe._buf.append
         model = module.name
         for idx, (tag, var, line) in enumerate(sites):
-            namespace[f"{SITE_PREFIX}{idx}__"] = (tag, var, model, line)
-    exec(code, namespace)
-    new_fn = namespace[func_name]
-    module.register_processing(types.MethodType(new_fn, module))
+            extra[f"{SITE_PREFIX}{idx}__"] = (tag, var, model, line)
+    install_processing_ast(module, code, func_name, extra)
     return original_registration
 
 

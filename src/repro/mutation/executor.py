@@ -1,0 +1,466 @@
+"""Differential mutant execution (serial and process-parallel).
+
+The oracle is a *trace diff*: every mutant runs the full testsuite and
+each testcase's traced oracle signals are compared sample-by-sample
+against the unmutated baseline.  A mutant is
+
+* **killed** by a testcase when the traces diverge beyond the
+  tolerance (or the mutated run raises at simulation time);
+* **nonviable** when it cannot even be applied or elaborated
+  (schedule deadlock, rate inconsistency) — it drops out of the
+  mutation-score denominator;
+* **survived** when every testcase reproduces the baseline exactly.
+
+Determinism is the design driver: verdicts depend only on
+``(factory, suite, spec, engine, tolerance)`` — never on wall-clock —
+so the kill matrix is byte-identical across ``--workers`` counts and
+across the interpreter and the compiled block engine (which are
+bit-identical by construction).  The per-mutant ``budget_seconds``
+therefore only *flags* slow mutants (``timed_out`` + the
+``mutation.timeout`` counter); it never truncates their verdicts.
+
+Parallel execution shards *mutant indices* across worker processes
+(:func:`repro.exec.base.round_robin_shards`).  Workers rebuild the
+factory and suite from importable references, regenerate the identical
+spec list and baseline traces, run their shard, and ship picklable
+outcomes back; the parent merges by index.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor as _Pool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exec.base import round_robin_shards
+from ..exec.refs import resolve_ref
+from ..obs import Telemetry, get_telemetry, telemetry_session
+from ..tdf import Simulator, Tracer
+from ..tdf.cluster import Cluster
+from ..testing.testcase import TestCase
+from .operators import (
+    ALL_OPERATORS,
+    MutantNotApplicable,
+    MutantSpec,
+    apply_mutant,
+    generate_mutants,
+)
+
+#: Per-signal sample rows, as recorded by the tracer.
+TraceMap = Dict[str, List[tuple]]
+
+#: Default per-mutant wall budget before the ``timed_out`` flag is set.
+DEFAULT_BUDGET_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class MutantOutcome:
+    """The verdict for one mutant, independent of execution backend."""
+
+    spec: MutantSpec
+    status: str  # "killed" | "survived" | "nonviable"
+    killed_by: Tuple[str, ...]  # killing testcases, in suite order
+    timed_out: bool
+    seconds: float
+
+
+@dataclass
+class MutationRun:
+    """The full result of one mutation-analysis run."""
+
+    factory_ref: str
+    suite_ref: str
+    operators: List[str]
+    seed: int
+    engine: str
+    workers: int
+    tolerance: float
+    generated: int
+    specs: List[MutantSpec]
+    outcomes: List[MutantOutcome]
+    testcase_names: List[str]
+    oracle_signals: List[str]
+
+    # -- aggregate counts ----------------------------------------------------
+
+    @property
+    def viable(self) -> int:
+        return sum(1 for o in self.outcomes if o.status != "nonviable")
+
+    @property
+    def killed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "killed")
+
+    @property
+    def survived(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "survived")
+
+    @property
+    def nonviable(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "nonviable")
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for o in self.outcomes if o.timed_out)
+
+    @property
+    def mutation_score(self) -> float:
+        """Killed fraction of the viable mutants (full suite)."""
+        return self.score_for(self.testcase_names)
+
+    def score_for(self, testcase_names: Sequence[str]) -> float:
+        """Mutation score of the sub-suite ``testcase_names``.
+
+        Computed from the per-testcase kill matrix, so any sub-suite
+        can be scored without re-running a single mutant.
+        """
+        subset = set(testcase_names)
+        viable = killed = 0
+        for outcome in self.outcomes:
+            if outcome.status == "nonviable":
+                continue
+            viable += 1
+            if subset.intersection(outcome.killed_by):
+                killed += 1
+        if viable == 0:
+            return 0.0
+        return killed / viable
+
+
+# -- reference resolution ------------------------------------------------------
+
+
+def _resolve_factory(ref: str, args: Sequence) -> Callable[[], Cluster]:
+    """Resolve a cluster factory; non-empty ``args`` select a
+    parameterized factory-of-factories (e.g. the seeded random cluster)."""
+    obj = resolve_ref(ref)
+    return obj(*args) if args else obj
+
+
+def _resolve_suite(ref: str, args: Sequence) -> List[TestCase]:
+    return list(resolve_ref(ref)(*args))
+
+
+def _oracle_names(cluster: Cluster, requested: Optional[Sequence[str]]) -> List[str]:
+    """The signals the differential oracle traces.
+
+    Explicit request wins; then the system's declared
+    ``MUTATION_ORACLE_SIGNALS`` (observable boundary outputs — a
+    boundary oracle is what makes criterion comparison meaningful);
+    finally every driven signal (small generated clusters).
+    """
+    if requested:
+        names = list(requested)
+    else:
+        declared = getattr(cluster, "MUTATION_ORACLE_SIGNALS", None)
+        names = list(declared) if declared else [
+            s.name for s in cluster.signals if s.driver is not None
+        ]
+    for name in names:
+        if name not in cluster._signals:
+            raise ValueError(
+                f"oracle signal {name!r} does not exist in cluster "
+                f"{cluster.name!r}"
+            )
+    return names
+
+
+# -- single simulations --------------------------------------------------------
+
+
+def _attach_tracer(cluster: Cluster, oracle: Sequence[str]) -> Tracer:
+    tracer = Tracer()
+    for name in oracle:
+        tracer.trace(cluster._signals[name], name)
+    return tracer
+
+
+def _run_baseline(
+    factory: Callable[[], Cluster],
+    tc: TestCase,
+    oracle: Sequence[str],
+    engine: str,
+) -> TraceMap:
+    cluster = factory()
+    tc.apply(cluster)
+    tracer = _attach_tracer(cluster, oracle)
+    sim = Simulator(cluster, engine=engine)
+    sim.run(tc.duration)
+    sim.finish()
+    return {name: tracer.samples(name) for name in oracle}
+
+
+def compute_baselines(
+    factory: Callable[[], Cluster],
+    testcases: Sequence[TestCase],
+    oracle: Sequence[str],
+    engine: str,
+) -> Dict[str, TraceMap]:
+    """Reference traces of the unmutated system, one entry per testcase."""
+    return {tc.name: _run_baseline(factory, tc, oracle, engine) for tc in testcases}
+
+
+def traces_diverge(a: TraceMap, b: TraceMap, tolerance: float) -> bool:
+    """Whether two trace maps differ beyond ``tolerance``.
+
+    Any shape difference (missing signal, extra/missing samples,
+    shifted timestamps) is a divergence; NaN equals NaN (a mutant that
+    reproduces the baseline NaN-for-NaN did not change behaviour).
+    """
+    if a.keys() != b.keys():
+        return True
+    for name, rows_a in a.items():
+        rows_b = b[name]
+        if len(rows_a) != len(rows_b):
+            return True
+        for (ta, va), (tb, vb) in zip(rows_a, rows_b):
+            if ta != tb:
+                return True
+            a_nan = isinstance(va, float) and va != va
+            b_nan = isinstance(vb, float) and vb != vb
+            if a_nan or b_nan:
+                if a_nan != b_nan:
+                    return True
+                continue
+            if va == vb:
+                continue
+            try:
+                if abs(va - vb) > tolerance:
+                    return True
+            except TypeError:
+                return True
+    return False
+
+
+def run_mutant(
+    spec: MutantSpec,
+    factory: Callable[[], Cluster],
+    testcases: Sequence[TestCase],
+    baselines: Dict[str, TraceMap],
+    oracle: Sequence[str],
+    engine: str,
+    tolerance: float,
+    budget_seconds: Optional[float] = DEFAULT_BUDGET_SECONDS,
+) -> MutantOutcome:
+    """Execute one mutant against the whole suite and classify it.
+
+    Every testcase always runs (no early exit on the first kill): the
+    criterion-vs-score report needs the complete kill row, and the
+    matrix must not depend on execution order or timing.
+    """
+    t0 = time.perf_counter()
+    killed_by: List[str] = []
+    for tc in testcases:
+        cluster = factory()
+        try:
+            apply_mutant(cluster, spec)
+            tc.apply(cluster)
+            tracer = _attach_tracer(cluster, oracle)
+            sim = Simulator(cluster, engine=engine)
+            sim.initialize()
+        except MutantNotApplicable:
+            return MutantOutcome(spec, "nonviable", (), False, time.perf_counter() - t0)
+        except Exception:
+            # Elaboration rejected the mutated cluster: nonviable, and
+            # deterministically so for every testcase of the suite.
+            return MutantOutcome(spec, "nonviable", (), False, time.perf_counter() - t0)
+        try:
+            sim.run(tc.duration)
+            sim.finish()
+            traces = {name: tracer.samples(name) for name in oracle}
+        except Exception:
+            # The mutated behaviour crashed at runtime: observable
+            # failure, so this testcase kills the mutant.
+            killed_by.append(tc.name)
+            continue
+        if traces_diverge(baselines[tc.name], traces, tolerance):
+            killed_by.append(tc.name)
+    seconds = time.perf_counter() - t0
+    timed_out = budget_seconds is not None and seconds > budget_seconds
+    status = "killed" if killed_by else "survived"
+    return MutantOutcome(spec, status, tuple(killed_by), timed_out, seconds)
+
+
+def _sample_specs(
+    specs: Sequence[MutantSpec], max_mutants: Optional[int], seed: int
+) -> List[MutantSpec]:
+    """Deterministic (seeded) sample, preserving enumeration order."""
+    if max_mutants is None or len(specs) <= max_mutants:
+        return list(specs)
+    if max_mutants < 0:
+        raise ValueError(f"max_mutants must be >= 0, got {max_mutants}")
+    picked = sorted(random.Random(seed).sample(range(len(specs)), max_mutants))
+    return [specs[i] for i in picked]
+
+
+# -- parallel plumbing ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _MutationJob:
+    """One worker's shard of mutant indices, in picklable form.
+
+    The worker regenerates the identical sampled spec list from
+    ``(factory_ref, operators, seed, max_mutants)`` — shipping indices
+    instead of specs keeps the job tiny and makes any divergence
+    between parent and worker enumeration fail loudly (index error)
+    instead of silently running a different mutant.
+    """
+
+    factory_ref: str
+    factory_args: tuple
+    suite_ref: str
+    suite_args: tuple
+    operators: Tuple[str, ...]
+    seed: int
+    max_mutants: Optional[int]
+    indices: Tuple[int, ...]
+    tolerance: float
+    engine: str
+    oracle_signals: Optional[Tuple[str, ...]]
+    budget_seconds: Optional[float]
+    record_telemetry: bool
+
+
+def _mutation_worker(job: _MutationJob) -> Tuple[List[Tuple[int, MutantOutcome]], List[dict], float]:
+    t0 = time.perf_counter()
+    factory = _resolve_factory(job.factory_ref, job.factory_args)
+    testcases = _resolve_suite(job.suite_ref, job.suite_args)
+    with telemetry_session(Telemetry() if job.record_telemetry else None) as tel:
+        specs = _sample_specs(
+            generate_mutants(factory(), list(job.operators)), job.max_mutants, job.seed
+        )
+        oracle = _oracle_names(factory(), job.oracle_signals)
+        baselines = compute_baselines(factory, testcases, oracle, job.engine)
+        results = [
+            (
+                index,
+                run_mutant(
+                    specs[index], factory, testcases, baselines, oracle,
+                    job.engine, job.tolerance, job.budget_seconds,
+                ),
+            )
+            for index in job.indices
+        ]
+        payload = tel.metrics.raw_records() if job.record_telemetry else []
+    return results, payload, time.perf_counter() - t0
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def run_mutation(
+    factory_ref: str,
+    suite_ref: str,
+    *,
+    factory_args: Sequence = (),
+    suite_args: Sequence = (),
+    operators: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    max_mutants: Optional[int] = None,
+    tolerance: float = 1e-9,
+    workers: int = 1,
+    engine: str = "auto",
+    oracle_signals: Optional[Sequence[str]] = None,
+    budget_seconds: Optional[float] = DEFAULT_BUDGET_SECONDS,
+    telemetry: Optional[Telemetry] = None,
+) -> MutationRun:
+    """Run a full mutation analysis and return the kill matrix.
+
+    ``factory_ref`` / ``suite_ref`` are importable ``"module:attr"``
+    references (see :mod:`repro.exec.refs`); ``factory_args`` /
+    ``suite_args``, when non-empty, are applied to the resolved object
+    to obtain the actual factory/suite (the seeded random cluster uses
+    this).  Both serial and parallel paths build everything from the
+    references, so the kill matrix cannot depend on the backend.
+    """
+    tel = telemetry if telemetry is not None else get_telemetry()
+    factory = _resolve_factory(factory_ref, factory_args)
+    testcases = _resolve_suite(suite_ref, suite_args)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    op_names = list(operators) if operators else None
+    with tel.span(
+        "mutation", factory=factory_ref, workers=workers, testcases=len(testcases)
+    ):
+        all_specs = generate_mutants(factory(), op_names)
+        specs = _sample_specs(all_specs, max_mutants, seed)
+        oracle = _oracle_names(factory(), oracle_signals)
+        if tel.enabled:
+            tel.metrics.counter("mutation.generated").inc(len(all_specs))
+            tel.metrics.counter("mutation.sampled").inc(len(specs))
+
+        if workers <= 1 or len(specs) < 2:
+            with tel.span("mutation.baseline", testcases=len(testcases)):
+                baselines = compute_baselines(factory, testcases, oracle, engine)
+            outcomes = []
+            for spec in specs:
+                with tel.span("mutation.mutant", mutant=spec.mutant_id):
+                    outcomes.append(
+                        run_mutant(
+                            spec, factory, testcases, baselines, oracle,
+                            engine, tolerance, budget_seconds,
+                        )
+                    )
+        else:
+            shards = round_robin_shards(range(len(specs)), workers)
+            jobs = [
+                _MutationJob(
+                    factory_ref=factory_ref,
+                    factory_args=tuple(factory_args),
+                    suite_ref=suite_ref,
+                    suite_args=tuple(suite_args),
+                    operators=tuple(op_names) if op_names else tuple(),
+                    seed=seed,
+                    max_mutants=max_mutants,
+                    indices=tuple(shard),
+                    tolerance=tolerance,
+                    engine=engine,
+                    oracle_signals=tuple(oracle_signals) if oracle_signals else None,
+                    budget_seconds=budget_seconds,
+                    record_telemetry=tel.enabled,
+                )
+                for shard in shards
+            ]
+            by_index: Dict[int, MutantOutcome] = {}
+            with tel.span("mutation.parallel", workers=len(jobs), mutants=len(specs)):
+                with _Pool(max_workers=len(jobs)) as pool:
+                    results = list(pool.map(_mutation_worker, jobs))
+                for worker, (entries, payload, wall) in enumerate(results):
+                    for index, outcome in entries:
+                        by_index[index] = outcome
+                    if tel.enabled:
+                        tel.metrics.merge_raw(payload)
+                        tel.metrics.histogram("mutation.worker_seconds").observe(wall)
+                        tel.metrics.counter(
+                            "mutation.worker_mutants", worker=worker
+                        ).inc(len(entries))
+            outcomes = [by_index[i] for i in range(len(specs))]
+
+        if tel.enabled:
+            tel.metrics.counter("mutation.viable").inc(
+                sum(1 for o in outcomes if o.status != "nonviable")
+            )
+            tel.metrics.counter("mutation.killed").inc(
+                sum(1 for o in outcomes if o.status == "killed")
+            )
+            tel.metrics.counter("mutation.timeout").inc(
+                sum(1 for o in outcomes if o.timed_out)
+            )
+
+    return MutationRun(
+        factory_ref=factory_ref,
+        suite_ref=suite_ref,
+        operators=op_names if op_names else list(ALL_OPERATORS),
+        seed=seed,
+        engine=engine,
+        workers=workers,
+        tolerance=tolerance,
+        generated=len(all_specs),
+        specs=specs,
+        outcomes=outcomes,
+        testcase_names=[tc.name for tc in testcases],
+        oracle_signals=list(oracle),
+    )

@@ -335,6 +335,14 @@ class ThermalMonitor(TdfModule):
 class BuckBoostTop(Cluster):
     """The buck-boost converter TDF cluster."""
 
+    #: Observable boundary outputs the mutation oracle traces: the
+    #: regulated rail, the scaled inductor-current sense, and the
+    #: controller's duty/mode/fault decisions.  A boundary oracle (vs
+    #: tracing every internal node) is what makes criterion comparison
+    #: meaningful — an internal fault only counts as detected when it
+    #: propagates to something a real testbench could observe.
+    MUTATION_ORACLE_SIGNALS = ("vout", "il_scaled", "duty", "mode", "fault")
+
     def __init__(self, name: str = "buck_boost", timestep: ScaTime = us(50)) -> None:
         self._timestep = timestep
         super().__init__(name)

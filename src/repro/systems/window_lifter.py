@@ -354,6 +354,13 @@ class MicroController(TdfModule):
 class WindowLifterTop(Cluster):
     """The window-lifter TDF cluster."""
 
+    #: Observable boundary outputs for the mutation oracle: the slewed
+    #: motor drive, the sensed window position, the motor speed and the
+    #: pinch/overcurrent indications (see BuckBoostTop for rationale).
+    MUTATION_ORACLE_SIGNALS = (
+        "drive_slewed", "position_scaled", "speed", "overcurrent", "pinch",
+    )
+
     def __init__(self, name: str = "window_lifter", timestep: ScaTime = ms(1)) -> None:
         self._timestep = timestep
         super().__init__(name)

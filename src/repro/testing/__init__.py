@@ -1,5 +1,15 @@
-"""Testbench layer: stimuli, testcases and suites."""
+"""Testbench layer: stimuli, testcases, suites and random generation."""
 
+from .generate import (
+    Accumulator,
+    Decimator,
+    Expander,
+    build_cluster,
+    build_random_cluster,
+    random_cluster_factory,
+    random_cluster_params,
+    random_suite,
+)
 from .stimuli import (
     Clip,
     Constant,
@@ -16,8 +26,11 @@ from .stimuli import (
 from .testcase import TestCase, TestSuite, waveform_testcase
 
 __all__ = [
+    "Accumulator",
     "Clip",
     "Constant",
+    "Decimator",
+    "Expander",
     "Offset",
     "Pulse",
     "Pwl",
@@ -29,5 +42,10 @@ __all__ = [
     "Sum",
     "TestCase",
     "TestSuite",
+    "build_cluster",
+    "build_random_cluster",
+    "random_cluster_factory",
+    "random_cluster_params",
+    "random_suite",
     "waveform_testcase",
 ]

@@ -1,0 +1,233 @@
+"""Random multirate-cluster generation (fuzzing support).
+
+Promoted from the block-engine equivalence tests so the same cluster
+shapes serve three consumers:
+
+* the Hypothesis property tests (``tests/tdf/test_block_engine.py``)
+  draw ``(values, up_rate, down_rate)`` parameters via
+  :func:`values_strategy` / :func:`rate_strategy`;
+* the mutation subsystem (:mod:`repro.mutation`) fuzzes random clusters
+  through ``repro-dft mutate random`` using the seeded, importable
+  :func:`random_cluster_factory` / :func:`random_suite` pair — worker
+  processes rebuild identical clusters from ``(ref, seed)`` alone;
+* future tests that need a small but genuinely multirate cluster with
+  an instrumentable DUT.
+
+The generated topology is ``src -> gain -> expander -> accumulator ->
+decimator -> sink``: one redefining element, two multirate elements and
+one analyzable stateful module with branches — small enough to simulate
+in milliseconds, rich enough to exercise the schedule compiler's
+partitioning and every mutation-operator family.
+
+Hypothesis is an optional (dev-only) dependency; the strategy helpers
+import it lazily so the core package stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from ..tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
+from ..tdf.library import CollectorSink, GainTdf, StimulusSource
+from .stimuli import RampUpDown, SeededNoise, Step
+from .testcase import TestCase, waveform_testcase
+
+#: Source timestep in milliseconds: 6 ms is divisible by every drawn
+#: rate (1..3), so every propagated module timestep stays a whole
+#: femtosecond count.
+BASE_MS = 6
+
+#: Bounds shared by the Hypothesis strategies and the seeded generator.
+VALUE_RANGE = (-5.0, 5.0)
+RATE_RANGE = (1, 3)
+LENGTH_RANGE = (2, 10)
+
+
+class Expander(TdfModule):
+    """1 in -> r out per activation (zero-order hold)."""
+
+    def __init__(self, rate: int, name: str = "up") -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self._rate = rate
+
+    def set_attributes(self) -> None:
+        self.op.set_rate(self._rate)
+
+    def processing(self) -> None:
+        value = self.ip.read()
+        for i in range(self.op.rate):
+            self.op.write(value, i)
+
+
+class Decimator(TdfModule):
+    """r in -> 1 out per activation (average)."""
+
+    def __init__(self, rate: int, name: str = "down") -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self._rate = rate
+
+    def set_attributes(self) -> None:
+        self.ip.set_rate(self._rate)
+
+    def processing(self) -> None:
+        total = 0.0
+        for i in range(self.ip.rate):
+            total += self.ip.read(i)
+        self.op.write(total / self.ip.rate)
+
+
+class Accumulator(TdfModule):
+    """Analyzable DUT: branches, member state, augmented assignment."""
+
+    def __init__(self, name: str = "dut") -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_acc = 0.0
+        self.m_mode = 0
+
+    def processing(self) -> None:
+        sample = self.ip.read()
+        if sample > 0.5:
+            self.m_mode = 1
+        elif sample < -0.5:
+            self.m_mode = 0
+        if self.m_mode == 1:
+            self.m_acc += sample
+        else:
+            self.m_acc = self.m_acc * 0.5
+        self.op.write(self.m_acc)
+
+
+def build_cluster(
+    values: Sequence[float], up_rate: int, down_rate: int
+) -> Cluster:
+    """A fresh multirate cluster replaying ``values`` through the DUT.
+
+    The stimulus source steps through ``values`` (one per ``BASE_MS``
+    milliseconds, holding the last); every call builds a brand-new
+    cluster (the fresh-instance :data:`ClusterFactory` contract).
+    """
+    samples = list(values)
+
+    class Top(Cluster):
+        def architecture(self) -> None:
+            self.src = self.add(StimulusSource(
+                "src",
+                lambda t: samples[
+                    min(int(round(t * 1000 / BASE_MS)), len(samples) - 1)
+                ],
+                ms(BASE_MS),
+            ))
+            self.gain = self.add(GainTdf("gain", 2.0))
+            self.up = self.add(Expander(up_rate))
+            self.dut = self.add(Accumulator())
+            self.down = self.add(Decimator(down_rate))
+            self.sink = self.add(CollectorSink("sink"))
+            self.connect(self.src.op, self.gain.ip)
+            self.connect(self.gain.op, self.up.ip)
+            self.connect(self.up.op, self.dut.ip)
+            self.connect(self.dut.op, self.down.ip)
+            self.connect(self.down.op, self.sink.ip)
+
+    return Top("top")
+
+
+def cluster_duration(values: Sequence[float]):
+    """Simulated duration that consumes every stimulus value once."""
+    return ms(BASE_MS * len(values))
+
+
+# -- seeded (plain-random) generation -----------------------------------------
+
+def random_cluster_params(seed: int) -> Tuple[List[float], int, int]:
+    """Deterministic ``(values, up_rate, down_rate)`` draw for ``seed``.
+
+    Uses a dedicated :class:`random.Random` instance, so the draw is
+    identical in every process — the property the mutation executor's
+    worker fan-out relies on.
+    """
+    rng = random.Random(seed)
+    length = rng.randint(*LENGTH_RANGE)
+    values = [round(rng.uniform(*VALUE_RANGE), 3) for _ in range(length)]
+    return values, rng.randint(*RATE_RANGE), rng.randint(*RATE_RANGE)
+
+
+def build_random_cluster(seed: int) -> Cluster:
+    """A fresh cluster with parameters drawn from ``seed``."""
+    values, up_rate, down_rate = random_cluster_params(seed)
+    return build_cluster(values, up_rate, down_rate)
+
+
+def random_cluster_factory(seed: int) -> Callable[[], Cluster]:
+    """A :data:`ClusterFactory` for the seed (importable by reference).
+
+    Worker processes resolve ``"repro.testing.generate:
+    random_cluster_factory"`` and call it with the shipped seed to
+    obtain the same factory the parent used.
+    """
+
+    def factory() -> Cluster:
+        return build_random_cluster(seed)
+
+    return factory
+
+
+def random_suite(seed: int) -> List[TestCase]:
+    """A small deterministic testsuite for the seeded random cluster.
+
+    Four testcases: the cluster's baked-in sample replay plus a step, a
+    ramp and a seeded-noise waveform over the same value range — enough
+    variety that mutation kill sets differ between testcases.
+    """
+    values, _, _ = random_cluster_params(seed)
+    duration = cluster_duration(values)
+    horizon = BASE_MS * len(values) / 1000.0  # seconds
+    lo, hi = VALUE_RANGE
+    return [
+        TestCase("replay", duration, lambda cluster: None,
+                 description="baked-in random sample replay"),
+        waveform_testcase(
+            "step", duration,
+            {"src": Step(lo / 2.0, hi / 2.0, at=horizon / 2.0)},
+            description="half-range step at mid-horizon",
+        ),
+        waveform_testcase(
+            "ramp", duration,
+            {"src": RampUpDown(lo / 4.0, hi,
+                               t_up=horizon / 3.0,
+                               t_hold_end=horizon / 2.0,
+                               t_end=horizon)},
+            description="ramp up, hold, ramp down",
+        ),
+        waveform_testcase(
+            "noise", duration,
+            {"src": SeededNoise(lo, hi, seed=seed, quantum=BASE_MS / 1000.0)},
+            description="seeded uniform noise",
+        ),
+    ]
+
+
+# -- Hypothesis strategies (optional dev dependency) --------------------------
+
+def values_strategy(max_size: int = LENGTH_RANGE[1]):
+    """Strategy for the stimulus value list (requires hypothesis)."""
+    from hypothesis import strategies as st
+
+    lo, hi = VALUE_RANGE
+    return st.lists(
+        st.floats(lo, hi, allow_nan=False),
+        min_size=LENGTH_RANGE[0], max_size=max_size,
+    )
+
+
+def rate_strategy():
+    """Strategy for an expander/decimator rate (requires hypothesis)."""
+    from hypothesis import strategies as st
+
+    return st.integers(*RATE_RANGE)

@@ -13,8 +13,21 @@ from __future__ import annotations
 
 import bisect
 import math
-import random
 from typing import Callable, List, Optional, Sequence, Tuple
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: avalanche a 64-bit integer.
+
+    A pure function — no RNG object, no hidden state — so two processes
+    mixing the same ``(seed, tick)`` always produce the same value.
+    """
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
 
 
 class Stimulus:
@@ -173,9 +186,14 @@ class Pwl(Stimulus):
 class SeededNoise(Stimulus):
     """Uniform noise in ``[lo, hi]``, deterministic per seed and time.
 
-    Sampling is *stateless*: the value at time ``t`` is derived from
-    ``hash(seed, quantised t)``, so re-runs and out-of-order sampling
-    give identical waveforms (essential for reproducible coverage).
+    Sampling is *stateless*: the value at time ``t`` is a SplitMix64
+    mix of the constructor seed and the quantised ``t``, so re-runs,
+    out-of-order sampling and worker processes all see the identical
+    waveform.  The seed is fixed at construction time — per testcase,
+    never per process — which is what keeps ``--workers N`` runs
+    byte-identical to serial ones; constructing an RNG object per
+    sample (or, worse, per process) is exactly the failure mode this
+    implementation rules out.
     """
 
     def __init__(
@@ -196,8 +214,8 @@ class SeededNoise(Stimulus):
 
     def __call__(self, t: float) -> float:
         tick = round(t / self.quantum)
-        rng = random.Random((self.seed << 32) ^ tick)
-        return self.lo + (self.hi - self.lo) * rng.random()
+        h = _mix64((self.seed * 0x9E3779B97F4A7C15) ^ tick)
+        return self.lo + (self.hi - self.lo) * (h / 2.0 ** 64)
 
 
 class Offset(Stimulus):

@@ -177,6 +177,59 @@ class TestPWeak:
         assert _by_class(result, AssocClass.PFIRM) == []
 
 
+class TestCornerCases:
+    def test_use_without_def_on_delayed_port(self):
+        # A floating input port *with a delay* still has no writer: the
+        # delay only inserts initial samples, it defines nothing, so
+        # the port must stay a use-without-def candidate and keep its
+        # placeholder association.
+        class Top(Cluster):
+            def architecture(self):
+                self.a = self.add(Passthrough("a"))
+                self.a.set_timestep(ms(1))
+                self.a.ip.bind(self.signal("floating"))
+                self.a.ip.set_delay(1)
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.a.op, self.sink.ip)
+
+        result = analyze_cluster(Top("top"))
+        assert result.undriven_input_ports == ["a.ip"]
+        assert any(
+            a.var == "ip" and a.def_model == "a" for a in result.associations
+        )
+
+    def test_pweak_through_two_chained_siso_redefinitions(self):
+        # Two gains in series between the defining and the using model:
+        # the redefinition chain collapses to a single netlist-anchored
+        # PWeak pair into the final consumer; the original def's direct
+        # association with that consumer is fully superseded.
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(StimulusSource("src", lambda t: 0.0, ms(1)))
+                self.a = self.add(Passthrough("a"))
+                self.g1 = self.add(GainTdf("g1", 2.0))
+                self.g2 = self.add(GainTdf("g2", 3.0))
+                self.b = self.add(Passthrough("b"))
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.a.ip)
+                self.connect(self.a.op, self.g1.ip)
+                self.connect(self.g1.op, self.g2.ip)
+                self.connect(self.g2.op, self.b.ip)
+                self.connect(self.b.op, self.sink.ip)
+
+        result = analyze_cluster(Top("top"))
+        pweak = _by_class(result, AssocClass.PWEAK)
+        assert len(pweak) == 1
+        assert pweak[0].var == "op"
+        assert pweak[0].def_model == "top"
+        assert pweak[0].use_model == "b"
+        assert _by_class(result, AssocClass.PFIRM) == []
+        assert not any(
+            a.def_model == "a" and a.use_model == "b"
+            for a in result.associations
+        )
+
+
 class TestDiagnostics:
     def test_undriven_inputs_reported(self):
         class Top(Cluster):

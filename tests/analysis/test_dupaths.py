@@ -78,6 +78,26 @@ class TestFirm:
         assert result == {(2, 5): False, (4, 5): True}
 
 
+class TestCorners:
+    def test_def_with_no_use_produces_no_pairs(self):
+        # A def whose value is never read pairs with nothing; it must
+        # not leak a phantom association.
+        assert _classify("x = 1\ny = 2") == {}
+
+    def test_killed_def_has_no_reaching_use(self):
+        # The def at line 2 is killed by line 3 before the only use:
+        # only the reaching def forms a pair, and it is Strong.
+        assert _classify("x = 1\nx = 2\ny = x") == {(3, 4): True}
+
+    def test_partially_killed_def_still_pairs(self):
+        # Killed on one arm only: the def still reaches the use on the
+        # fall-through path, but that path may pass the redefinition,
+        # so the pair is Firm, not Strong.
+        result = _classify("x = 1\nif c:\n    x = 2\nelse:\n    pass\ny = x")
+        assert result[(2, 7)] is False
+        assert result[(4, 7)] is True
+
+
 class TestClosure:
     def test_transitive_closure_excludes_self_without_cycle(self):
         cfg, _, closure = _setup("x = 1\ny = 2")

@@ -10,104 +10,23 @@ hoisted block runs, specialised SISO ops and interpreted fallbacks.
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.instrument import ProbeRuntime, instrument_processing
 from repro.instrument.probes import PortReadEvent, PortWriteEvent, VarEvent
-from repro.tdf import Cluster, Simulator, TdfIn, TdfModule, TdfOut, Tracer, ms
+from repro.tdf import Cluster, Simulator, TdfModule, TdfOut, Tracer, ms
 from repro.tdf.engine import BlockEngine, compile_program, resolve_engine
-from repro.tdf.library import CollectorSink, GainTdf, StimulusSource
+from repro.tdf.library import CollectorSink
 
-
-class Expander(TdfModule):
-    """1 in -> r out per activation (zero-order hold)."""
-
-    def __init__(self, rate, name="up"):
-        super().__init__(name)
-        self.ip = TdfIn()
-        self.op = TdfOut()
-        self._rate = rate
-
-    def set_attributes(self):
-        self.op.set_rate(self._rate)
-
-    def processing(self):
-        value = self.ip.read()
-        for i in range(self.op.rate):
-            self.op.write(value, i)
-
-
-class Decimator(TdfModule):
-    """r in -> 1 out per activation (average)."""
-
-    def __init__(self, rate, name="down"):
-        super().__init__(name)
-        self.ip = TdfIn()
-        self.op = TdfOut()
-        self._rate = rate
-
-    def set_attributes(self):
-        self.ip.set_rate(self._rate)
-
-    def processing(self):
-        total = 0.0
-        for i in range(self.ip.rate):
-            total += self.ip.read(i)
-        self.op.write(total / self.ip.rate)
-
-
-class Accumulator(TdfModule):
-    """Instrumented DUT: branches, member state, augmented assignment."""
-
-    def __init__(self, name="dut"):
-        super().__init__(name)
-        self.ip = TdfIn()
-        self.op = TdfOut()
-        self.m_acc = 0.0
-        self.m_mode = 0
-
-    def processing(self):
-        sample = self.ip.read()
-        if sample > 0.5:
-            self.m_mode = 1
-        elif sample < -0.5:
-            self.m_mode = 0
-        if self.m_mode == 1:
-            self.m_acc += sample
-        else:
-            self.m_acc = self.m_acc * 0.5
-        self.op.write(self.m_acc)
-
-
-#: Source timestep: 6 ms is divisible by every drawn rate (1..3), so
-#: every propagated module timestep stays a whole femtosecond count.
-BASE_MS = 6
-
-
-def _build(values, up_rate, down_rate):
-    samples = list(values)
-
-    class Top(Cluster):
-        def architecture(self):
-            self.src = self.add(StimulusSource(
-                "src",
-                lambda t: samples[
-                    min(int(round(t * 1000 / BASE_MS)), len(samples) - 1)
-                ],
-                ms(BASE_MS),
-            ))
-            self.gain = self.add(GainTdf("gain", 2.0))
-            self.up = self.add(Expander(up_rate))
-            self.dut = self.add(Accumulator())
-            self.down = self.add(Decimator(down_rate))
-            self.sink = self.add(CollectorSink("sink"))
-            self.connect(self.src.op, self.gain.ip)
-            self.connect(self.gain.op, self.up.ip)
-            self.connect(self.up.op, self.dut.ip)
-            self.connect(self.dut.op, self.down.ip)
-            self.connect(self.down.op, self.sink.ip)
-
-    return Top("top")
+# The random multirate cluster shapes live in repro.testing.generate so
+# the mutation fuzzer can reuse them; these tests draw their Hypothesis
+# parameters from the promoted strategies.
+from repro.testing.generate import (
+    BASE_MS,
+    Expander,
+    build_cluster as _build,
+    rate_strategy,
+    values_strategy,
+)
 
 
 def _execute(engine, values, up_rate, down_rate):
@@ -123,11 +42,7 @@ def _execute(engine, values, up_rate, down_rate):
 
 class TestEquivalenceProperties:
     @settings(max_examples=25, deadline=None)
-    @given(
-        st.lists(st.floats(-5.0, 5.0, allow_nan=False), min_size=2, max_size=10),
-        st.integers(1, 3),
-        st.integers(1, 3),
-    )
+    @given(values_strategy(), rate_strategy(), rate_strategy())
     def test_traces_and_probe_streams_identical(self, values, up_rate, down_rate):
         """Sample stream and full probe event streams match event-for-event."""
         trace_i, probe_i = _execute("interp", values, up_rate, down_rate)
@@ -140,11 +55,7 @@ class TestEquivalenceProperties:
         assert probe_b.port_reads == probe_i.port_reads
 
     @settings(max_examples=10, deadline=None)
-    @given(
-        st.lists(st.floats(-5.0, 5.0, allow_nan=False), min_size=2, max_size=8),
-        st.integers(1, 3),
-        st.integers(1, 3),
-    )
+    @given(values_strategy(max_size=8), rate_strategy(), rate_strategy())
     def test_exercised_pairs_identical(self, values, up_rate, down_rate):
         """The full dynamic analysis yields identical coverage per engine."""
         from repro.analysis import analyze_cluster

@@ -75,6 +75,98 @@ class TestEngineFlag:
         assert outputs["interp"] == outputs["block"] == outputs["auto"]
 
 
+class TestMutate:
+    ARGS = ["mutate", "random", "--cluster-seed", "7",
+            "--max-mutants", "8", "--seed", "0"]
+
+    def test_text_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "mutation analysis of random" in out
+        assert "criterion-vs-mutation-score" in out
+
+    def test_json_report_schema(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-dft-mutation/1"
+        assert payload["counts"]["sampled"] == 8
+        assert payload["counts"]["killed"] >= 1
+        assert [row["criterion"] for row in payload["criteria"]][-1] == (
+            "full-suite"
+        )
+
+    def test_output_and_csv_files(self, tmp_path, capsys):
+        out_json = tmp_path / "report.json"
+        out_csv = tmp_path / "report.csv"
+        assert main(self.ARGS + ["--no-criteria", "--output", str(out_json),
+                                 "--csv", str(out_csv)]) == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["schema"] == "repro-dft-mutation/1"
+        assert "criteria" not in payload
+        lines = out_csv.read_text().strip().splitlines()
+        assert len(lines) == 1 + payload["counts"]["sampled"]
+
+    def test_operator_restriction(self, capsys):
+        assert main(self.ARGS + ["--json", "--operators", "gain", "sdl"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["operators"]) == {"gain", "sdl"}
+        assert all(
+            m["operator"] in {"gain", "sdl"} for m in payload["mutants"]
+        )
+
+
+class TestErrorPaths:
+    """Every operator error exits 1 with a one-line message, no traceback."""
+
+    def _fails_cleanly(self, capsys, argv):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-dft: error:")
+        assert "Traceback" not in err
+        return err
+
+    def test_unknown_mutation_operator(self, capsys):
+        err = self._fails_cleanly(
+            capsys, ["mutate", "random", "--operators", "bogus"]
+        )
+        assert "bogus" in err and "available" in err
+
+    def test_unwritable_cache_dir(self, capsys):
+        err = self._fails_cleanly(
+            capsys, ["run", "sensor", "--cache-dir", "/proc/nonexistent/dir"]
+        )
+        assert "--cache-dir" in err
+
+    def test_cache_dir_that_is_a_file(self, tmp_path, capsys):
+        bad = tmp_path / "occupied"
+        bad.write_text("not a directory")
+        err = self._fails_cleanly(
+            capsys, ["run", "sensor", "--cache-dir", str(bad)]
+        )
+        assert "--cache-dir" in err
+
+    def test_malformed_suite_ref(self, capsys):
+        err = self._fails_cleanly(
+            capsys,
+            ["mutate", "sensor", "--suite-ref", "not-a-ref", "--max-mutants", "1"],
+        )
+        assert "not-a-ref" in err
+
+    def test_unimportable_suite_ref(self, capsys):
+        err = self._fails_cleanly(
+            capsys,
+            ["mutate", "sensor", "--suite-ref", "repro.nosuch:thing",
+             "--max-mutants", "1"],
+        )
+        assert "repro.nosuch" in err
+
+    def test_unknown_engine_exits_via_argparse(self):
+        # argparse owns --engine validation: usage error, exit code 2.
+        with pytest.raises(SystemExit) as exc:
+            main(["mutate", "random", "--engine", "jit"])
+        assert exc.value.code == 2
+
+
 class TestAutoWorkers:
     def test_explicit_request_wins(self):
         from repro.cli import _resolve_workers

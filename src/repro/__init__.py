@@ -12,7 +12,11 @@ A from-scratch Python reproduction of *Hassan, Große, Le, Drechsler:
   probes, event matching, parallel-print taps;
 * :mod:`repro.core` — the TDF-specific association classes
   (Strong/Firm/PFirm/PWeak), coverage criteria, coverage computation,
-  reports and the iterative-refinement workflow;
+  reports, the :class:`DftConfig` run configuration and the
+  iterative-refinement / generation workflows;
+* :mod:`repro.generation` — coverage-guided testcase generation:
+  search the stimulus parameter space for testcases that close
+  uncovered def-use associations;
 * :mod:`repro.testing` — stimuli, testcases and suites;
 * :mod:`repro.systems` — the paper's three evaluation vehicles (sensor
   system, car window lifter, buck-boost converter).
@@ -31,6 +35,8 @@ from .core import (
     Association,
     CoverageResult,
     Criterion,
+    DftConfig,
+    GenerationCampaign,
     IterativeCampaign,
     PipelineResult,
     evaluate_all,
@@ -40,6 +46,7 @@ from .core import (
     run_dft,
     satisfied,
 )
+from .generation import GenerationResult, generate_suite
 from .testing import TestCase, TestSuite
 from .tdf import Cluster, ScaTime, Simulator, TdfIn, TdfModule, TdfOut, ms, ns, sec, us
 
@@ -51,6 +58,9 @@ __all__ = [
     "Cluster",
     "CoverageResult",
     "Criterion",
+    "DftConfig",
+    "GenerationCampaign",
+    "GenerationResult",
     "IterativeCampaign",
     "PipelineResult",
     "ScaTime",
@@ -65,6 +75,7 @@ __all__ = [
     "format_iteration_table",
     "format_matrix",
     "format_summary",
+    "generate_suite",
     "ms",
     "ns",
     "run_dft",

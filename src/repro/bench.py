@@ -26,6 +26,10 @@ baselines and emits one machine-readable JSON document (the
 * **mutation** — a capped mutation-analysis run on the seeded random
   cluster (:mod:`repro.mutation`), reporting mutants/second and
   checking the kill matrix is byte-identical across engines.
+* **generation** — the PR-5 headline: coverage-guided testcase
+  generation (:mod:`repro.generation`) on the buck-boost and
+  window-lifter base suites, reporting associations closed per second
+  and per simulation under a fixed simulation budget.
 
 Every section records its own wall-clock seconds, so regressions are
 attributable to a layer, not just "the benchmark got slower".
@@ -40,7 +44,7 @@ import sys
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-from .core import run_dft
+from .core import DftConfig, run_dft
 from .exec import ProcessExecutor, SerialExecutor
 from .testing import TestSuite
 
@@ -123,13 +127,15 @@ def bench_parallel(system: str = "sensor", workers: int = 2) -> Dict[str, Any]:
     suite = TestSuite(system, resolve_ref(refs["suite"])())
 
     serial_result, serial_seconds = _timed(
-        lambda: run_dft(factory, suite, executor=SerialExecutor())
+        lambda: run_dft(factory, suite, DftConfig(executor=SerialExecutor()))
     )
     parallel_result, parallel_seconds = _timed(
         lambda: run_dft(
             factory,
             suite,
-            executor=ProcessExecutor(refs["factory"], refs["suite"], workers),
+            DftConfig(
+                executor=ProcessExecutor(refs["factory"], refs["suite"], workers)
+            ),
         )
     )
     from .core import format_summary
@@ -236,7 +242,7 @@ def bench_engine(system: str = "buck_boost") -> Dict[str, Any]:
 
         def blob(engine: str) -> str:
             suite = TestSuite(name, resolve_ref(refs["suite"])())
-            result = run_dft(factory, suite, engine=engine)
+            result = run_dft(factory, suite, DftConfig(engine=engine))
             return json.dumps(coverage_to_dict(result.coverage), sort_keys=True)
 
         coverage_identical[name] = blob("interp") == blob("block")
@@ -271,11 +277,10 @@ def bench_mutation(
             lambda: run_mutation(
                 "repro.testing.generate:random_cluster_factory",
                 "repro.testing.generate:random_suite",
+                DftConfig(seed=seed, engine=engine),
                 factory_args=(cluster_seed,),
                 suite_args=(cluster_seed,),
-                seed=seed,
                 max_mutants=max_mutants,
-                engine=engine,
             )
         )
 
@@ -299,6 +304,55 @@ def bench_mutation(
     }
 
 
+def bench_generation(
+    budget_simulations: int = 40, seed: int = 0
+) -> Dict[str, Any]:
+    """Coverage-guided generation throughput on both case-study VPs.
+
+    Runs :func:`repro.generation.generate_suite` on each system's *base*
+    suite under a fixed simulation budget and reports the headline
+    numbers: associations closed per executed simulation (search
+    quality) and per wall-clock second (end-to-end throughput,
+    including the baseline and verification pipeline runs).
+    """
+    from .generation import generate_suite
+    from .systems import campaigns
+    from .systems.buck_boost import BuckBoostTop
+    from .systems.window_lifter import WindowLifterTop
+
+    cases = {
+        "buck_boost": (BuckBoostTop, campaigns.buck_boost_base_suite),
+        "window_lifter": (WindowLifterTop, campaigns.window_lifter_base_suite),
+    }
+    cfg = DftConfig(seed=seed, budget_simulations=budget_simulations)
+    systems: Dict[str, Any] = {}
+    for system, (factory, base_builder) in cases.items():
+        base = TestSuite(system, base_builder())
+        result, seconds = _timed(
+            lambda: generate_suite(factory, base, system, cfg)
+        )
+        closed = len(result.closed)
+        systems[system] = {
+            "targets": len(result.targets),
+            "closed": closed,
+            "generated_testcases": len(result.generated),
+            "simulations": result.simulations,
+            "memo_hits": result.memo_hits,
+            "stop_reason": result.stop_reason,
+            "seconds": seconds,
+            "closed_per_second": closed / seconds if seconds else None,
+            "closed_per_simulation": (
+                closed / result.simulations if result.simulations else None
+            ),
+        }
+    return {
+        "seed": seed,
+        "budget_simulations": budget_simulations,
+        "strategy": "mutation",
+        "systems": systems,
+    }
+
+
 def run_benchmarks(
     workers: int = 2,
     campaign_system: str = "buck_boost",
@@ -308,7 +362,7 @@ def run_benchmarks(
     """Run the selected benchmark sections and assemble the JSON payload."""
     wanted = sections or [
         "campaign", "parallel", "static_cache", "schedule_cache", "engine",
-        "mutation",
+        "mutation", "generation",
     ]
     payload: Dict[str, Any] = {
         "benchmark": "repro-dft pipeline performance",
@@ -330,6 +384,8 @@ def run_benchmarks(
         payload["engine"] = bench_engine(campaign_system)
     if "mutation" in wanted:
         payload["mutation"] = bench_mutation()
+    if "generation" in wanted:
+        payload["generation"] = bench_generation()
     return payload
 
 

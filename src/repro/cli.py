@@ -19,6 +19,12 @@ Subcommands:
     joined with the per-criterion coverage (see :mod:`repro.mutation`).
     Accepts ``random`` as the system name to mutate a seeded random
     multirate cluster (``--cluster-seed``).
+``generate <system>``
+    Coverage-guided testcase generation: search the system's stimulus
+    parameter space for testcases that close the associations the
+    bundled suite leaves uncovered (see :mod:`repro.generation`).
+    Fully deterministic for a given ``--seed`` — identical across
+    ``--workers`` counts and ``--engine`` choices.
 ``bench``
     Run the performance benchmark and emit machine-readable JSON
     (see :mod:`repro.bench`).
@@ -46,6 +52,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from .analysis.cache import DEFAULT_CACHE_DIR
 from .core import (
+    DftConfig,
     format_iteration_table,
     format_matrix,
     format_summary,
@@ -134,82 +141,23 @@ SYSTEMS: Dict[str, Dict[str, object]] = {
 }
 
 
-def _campaign(system: str, workers: int = 1, engine: str = "auto"):
+def _campaign(system: str, config: DftConfig):
     from .systems import campaigns
 
     if system == "window_lifter":
-        return campaigns.window_lifter_campaign(workers=workers, engine=engine)
+        return campaigns.window_lifter_campaign(config=config)
     if system == "buck_boost":
-        return campaigns.buck_boost_campaign(workers=workers, engine=engine)
+        return campaigns.buck_boost_campaign(config=config)
     raise SystemExit(f"no campaign defined for system {system!r}")
 
 
 def _resolve_workers(requested: Optional[int], suite_len: int) -> int:
     """``--workers`` heuristic: explicit value wins, ``None`` is *auto*.
 
-    Auto stays serial when the host has a single CPU (a process pool
-    only adds pickling overhead) or the suite has fewer than two
-    testcases (nothing to fan out); otherwise it uses one worker per
-    CPU, capped at the suite size.  The decision is recorded on the
-    ``cli.auto_workers`` telemetry gauge with its reason.
+    Kept as the historical helper name; the logic lives on
+    :meth:`repro.DftConfig.resolved_workers`.
     """
-    if requested is not None:
-        return requested
-    import os
-
-    cpus = os.cpu_count() or 1
-    if cpus <= 1:
-        chosen, reason = 1, "single_cpu"
-    elif suite_len < 2:
-        chosen, reason = 1, "small_suite"
-    else:
-        chosen, reason = min(cpus, suite_len), "one_per_cpu"
-    from .obs import get_telemetry
-
-    tel = get_telemetry()
-    if tel.enabled:
-        tel.metrics.gauge("cli.auto_workers", reason=reason).set(chosen)
-    return chosen
-
-
-def _executor(system: str, workers: int):
-    """The dynamic-stage backend for ``--workers`` (None = serial)."""
-    if workers <= 1:
-        return None
-    from .exec import ProcessExecutor
-
-    entry = SYSTEMS[system]
-    return ProcessExecutor(entry["factory_ref"], entry["suite_ref"], workers)
-
-
-def _configure_static_cache(args) -> None:
-    """Apply ``--cache-dir`` / ``--no-static-cache`` to the default cache.
-
-    The cache layer itself treats disk I/O as best-effort (a broken
-    cache must never break an analysis run), so an unusable
-    ``--cache-dir`` would otherwise be swallowed silently.  The user
-    asked for persistence explicitly — validate here and fail with a
-    one-line error instead.
-    """
-    import os
-
-    from .analysis import get_default_cache
-
-    cache = get_default_cache()
-    if getattr(args, "no_static_cache", False):
-        cache.enabled = False
-    cache_dir = getattr(args, "cache_dir", None)
-    if cache_dir:
-        expanded = os.path.expanduser(cache_dir)
-        try:
-            os.makedirs(expanded, exist_ok=True)
-        except OSError as exc:
-            raise OSError(
-                f"--cache-dir {cache_dir!r} is not usable: {exc}"
-            ) from None
-        if not os.path.isdir(expanded) or not os.access(expanded, os.W_OK):
-            raise OSError(f"--cache-dir {cache_dir!r} is not a writable directory")
-        cache.set_disk_dir(cache_dir)
+    return DftConfig(workers=requested).resolved_workers(suite_len)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -353,6 +301,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", metavar="PATH", help="also write the JSON report to PATH"
     )
 
+    p_generate = sub.add_parser(
+        "generate", help="coverage-guided testcase generation",
+        parents=[telemetry_opts, cache_opts, engine_opts],
+    )
+    p_generate.add_argument(
+        "system", choices=["buck_boost", "sensor", "window_lifter"],
+        help="bundled system with a stimulus parameter space",
+    )
+    p_generate.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="master search seed (default: 0); results are identical "
+             "for any --workers count and --engine choice",
+    )
+    p_generate.add_argument(
+        "--budget-simulations", type=int, default=200, metavar="N",
+        help="stop after N executed candidate simulations (default: 200; "
+             "memoized re-proposals are free)",
+    )
+    p_generate.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="wall-clock budget for the whole search (default: none; "
+             "the only knob that can make otherwise identical runs "
+             "diverge)",
+    )
+    p_generate.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for candidate evaluation (default: 1)",
+    )
+    p_generate.add_argument(
+        "--strategy", choices=["mutation", "random"], default="mutation",
+        help="search strategy (default: mutation — random warm-up, then "
+             "(1+lambda) mutation of the best candidate)",
+    )
+    p_generate.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    p_generate.add_argument(
+        "--output", metavar="PATH", help="also write the JSON report to PATH"
+    )
+
     p_bench = sub.add_parser(
         "bench", help="performance benchmark (machine-readable JSON)",
         parents=[telemetry_opts],
@@ -372,7 +361,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--sections", nargs="+", metavar="NAME",
         choices=["campaign", "parallel", "static_cache", "schedule_cache",
-                 "engine", "mutation"],
+                 "engine", "mutation", "generation"],
         help="run only the named sections (default: all)",
     )
     p_bench.add_argument(
@@ -442,14 +431,14 @@ def _cmd_mutate(args) -> int:
     from .exec import resolve_ref
     from .mutation import (
         ALL_OPERATORS,
-        DEFAULT_BUDGET_SECONDS,
         build_report,
         format_report,
         run_mutation,
         write_csv,
     )
 
-    _configure_static_cache(args)
+    cfg = DftConfig.from_args(args)
+    cfg.apply_static_cache()
     if args.operators:
         unknown = [op for op in args.operators if op not in ALL_OPERATORS]
         if unknown:
@@ -472,23 +461,14 @@ def _cmd_mutate(args) -> int:
         suite_ref = args.suite_ref or entry["suite_ref"]
         suite_args = ()
 
-    budget = (
-        args.budget_seconds
-        if args.budget_seconds is not None
-        else DEFAULT_BUDGET_SECONDS
-    )
     run = run_mutation(
         factory_ref,
         suite_ref,
+        cfg,
         factory_args=factory_args,
         suite_args=suite_args,
         operators=args.operators,
-        seed=args.seed,
         max_mutants=args.max_mutants,
-        tolerance=args.tolerance,
-        workers=args.workers,
-        engine=args.engine,
-        budget_seconds=budget,
     )
 
     coverage = None
@@ -500,7 +480,7 @@ def _cmd_mutate(args) -> int:
         factory = factory_obj(*factory_args) if factory_args else factory_obj
         testcases = list(resolve_ref(suite_ref)(*suite_args))
         suite = TestSuite(args.system, testcases)
-        coverage = run_dft(factory, suite, engine=args.engine).coverage
+        coverage = run_dft(factory, suite, DftConfig(engine=cfg.engine)).coverage
 
     payload = build_report(run, coverage=coverage, system=args.system)
     if args.csv:
@@ -519,6 +499,37 @@ def _cmd_mutate(args) -> int:
     return 0
 
 
+def _cmd_generate(args) -> int:
+    import json
+
+    from .generation import build_report, format_report, generate_suite
+
+    cfg = DftConfig.from_args(args)
+    cfg.apply_static_cache()
+    entry = SYSTEMS[args.system]
+    base = TestSuite(args.system, entry["suite"]())
+    result = generate_suite(
+        entry["factory"],
+        base,
+        args.system,
+        cfg,
+        factory_ref=entry["factory_ref"],
+        suite_ref=entry["suite_ref"],
+        strategy=args.strategy,
+    )
+    payload = build_report(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"generation report written to {args.output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_report(payload))
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "list":
         for name in sorted(SYSTEMS):
@@ -530,7 +541,7 @@ def _dispatch(args) -> int:
         from .analysis import analyze_cluster
         from .obs import get_telemetry
 
-        _configure_static_cache(args)
+        DftConfig.from_args(args).apply_static_cache()
         with get_telemetry().span("static", system=args.system):
             result = analyze_cluster(SYSTEMS[args.system]["factory"]())
         print(f"cluster: {result.cluster}")
@@ -548,15 +559,15 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "run":
-        _configure_static_cache(args)
+        cfg = DftConfig.from_args(args)
+        cfg.apply_static_cache()
         entry = SYSTEMS[args.system]
         suite = TestSuite(args.system, entry["suite"]())
-        workers = _resolve_workers(args.workers, len(suite))
+        executor = cfg.make_executor(
+            entry["factory_ref"], entry["suite_ref"], len(suite)
+        )
         result = run_dft(
-            entry["factory"],
-            suite,
-            executor=_executor(args.system, workers),
-            engine=args.engine,
+            entry["factory"], suite, cfg.replace(executor=executor)
         )
         if args.save_db:
             from .core import CoverageDatabase
@@ -576,18 +587,18 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "campaign":
-        _configure_static_cache(args)
-        suite_len = len(SYSTEMS[args.system]["suite"]())
-        workers = _resolve_workers(args.workers, suite_len)
-        campaign = _campaign(args.system, workers=workers, engine=args.engine)
-        if args.no_result_cache:
-            campaign.reuse_dynamic_results = False
+        cfg = DftConfig.from_args(args)
+        cfg.apply_static_cache()
+        campaign = _campaign(args.system, cfg)
         records = campaign.run()
         print(format_iteration_table(records))
         return 0
 
     if args.command == "mutate":
         return _cmd_mutate(args)
+
+    if args.command == "generate":
+        return _cmd_generate(args)
 
     if args.command == "bench":
         import json

@@ -14,12 +14,13 @@ from .associations import (
     SourceLocation,
     VarScope,
 )
+from .config import DftConfig
 from .coverage import ClassCoverage, CoverageResult
 from .database import CoverageDatabase, coverage_to_dict, universe_fingerprint
 from .criteria import Criterion, CriterionStatus, detailed_status, evaluate_all, satisfied
 from .pipeline import PipelineResult, run_dft
 from .report import format_iteration_table, format_matrix, format_summary
-from .workflow import IterationRecord, IterativeCampaign
+from .workflow import GenerationCampaign, IterationRecord, IterativeCampaign
 
 __all__ = [
     "AssocClass",
@@ -30,6 +31,8 @@ __all__ = [
     "Criterion",
     "CriterionStatus",
     "Definition",
+    "DftConfig",
+    "GenerationCampaign",
     "ExercisedPair",
     "IterationRecord",
     "IterativeCampaign",

@@ -1,0 +1,241 @@
+"""Unified run configuration for the DFT pipeline (:class:`DftConfig`).
+
+PRs 1–4 grew the run-configuration surface one keyword at a time:
+``run_dft`` took ``warn``/``telemetry``/``executor``/``result_cache``/
+``engine``, :class:`~repro.core.workflow.IterativeCampaign` mirrored a
+subset, the mutation executor added ``tolerance``/``budget_seconds``,
+and ``cli.py`` re-plumbed the same flags per subcommand.  This module
+consolidates all of it into one frozen dataclass:
+
+* one object carries the execution engine, the worker fan-out, the
+  cache switches, telemetry, warning behaviour, the oracle tolerance
+  and the search/execution budgets;
+* :meth:`DftConfig.from_args` derives it from an ``argparse`` namespace
+  in a single place — every CLI subcommand shares the same flag
+  plumbing;
+* the legacy keyword arguments remain accepted for one release as thin
+  shims that emit a :class:`DeprecationWarning` and fold into a config
+  (see :func:`fold_legacy_kwargs`).
+
+The dataclass is *frozen*: deriving a variant goes through
+:meth:`DftConfig.replace`, so a config can be shared between a campaign
+and its pipeline runs without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports avoid cycles
+    from ..exec.base import DynamicExecutor
+    from ..exec.cache import DynamicResultCache
+    from ..obs import Telemetry
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``
+#: in the deprecated shims.
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class DftConfig:
+    """Every knob of a DFT pipeline / campaign / mutation / generation run.
+
+    Field groups:
+
+    execution
+        ``engine`` — TDF execution engine (``"auto"``/``"interp"``/
+        ``"block"``; engines are bit-identical).  ``workers`` — dynamic
+        stage fan-out (``None`` = automatic heuristic, ``1`` = serial).
+        ``executor`` — an explicit :class:`~repro.exec.DynamicExecutor`
+        instance; when set it wins over ``workers``.
+    caches
+        ``result_cache`` — an explicit per-testcase
+        :class:`~repro.exec.DynamicResultCache` for ``run_dft``;
+        ``reuse_dynamic_results`` — whether campaigns memoize
+        per-testcase results across iterations; ``static_cache`` /
+        ``cache_dir`` — static-analysis memoization switches.
+    observability
+        ``telemetry`` — an explicit session overriding the globally
+        active one; ``warn`` — surface use-without-def findings as
+        Python warnings.
+    tolerances / budgets
+        ``tolerance`` — absolute trace-divergence tolerance for
+        differential oracles (mutation, generation acceptance);
+        ``budget_seconds`` — wall-clock budget (per mutant, or for a
+        whole generation run); ``budget_simulations`` — simulation-count
+        budget for coverage-guided generation.
+    determinism
+        ``seed`` — the master seed for every seeded decision
+        (mutant sampling, stimulus search).
+    """
+
+    engine: str = "auto"
+    workers: Optional[int] = 1
+    executor: Optional["DynamicExecutor"] = None
+    result_cache: Optional["DynamicResultCache"] = None
+    reuse_dynamic_results: bool = True
+    static_cache: bool = True
+    cache_dir: Optional[str] = None
+    telemetry: Optional["Telemetry"] = None
+    warn: bool = False
+    tolerance: float = 1e-9
+    budget_seconds: Optional[float] = None
+    budget_simulations: Optional[int] = None
+    seed: int = 0
+
+    # -- derivation -----------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "DftConfig":
+        """A copy with ``changes`` applied (the frozen-dataclass idiom)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_args(cls, args: Any, **overrides: Any) -> "DftConfig":
+        """Build a config from an ``argparse`` namespace.
+
+        Reads every recognised attribute that is present on ``args``
+        (subcommands expose different subsets; absent attributes keep
+        the dataclass default), then applies ``overrides``.  This is the
+        single place CLI flags map onto run configuration — adding a
+        flag means adding one line here instead of one per subcommand.
+        """
+        field_map = {
+            "engine": "engine",
+            "workers": "workers",
+            "seed": "seed",
+            "tolerance": "tolerance",
+            "budget_seconds": "budget_seconds",
+            "budget_simulations": "budget_simulations",
+            "cache_dir": "cache_dir",
+            "warn": "warn",
+        }
+        values: dict = {}
+        for attr, fld in field_map.items():
+            if hasattr(args, attr):
+                values[fld] = getattr(args, attr)
+        if getattr(args, "no_static_cache", False):
+            values["static_cache"] = False
+        if getattr(args, "no_result_cache", False):
+            values["reuse_dynamic_results"] = False
+        values.update(overrides)
+        return cls(**values)
+
+    # -- workers / executor resolution ---------------------------------------
+
+    def resolved_workers(self, suite_len: int) -> int:
+        """The effective worker count for a ``suite_len``-testcase run.
+
+        An explicit ``workers`` value wins; ``None`` is *auto*: serial
+        when the host has a single CPU (a process pool only adds
+        pickling overhead) or the suite has fewer than two testcases,
+        else one worker per CPU capped at the suite size.  The auto
+        decision is recorded on the ``cli.auto_workers`` telemetry
+        gauge with its reason.
+        """
+        if self.workers is not None:
+            return self.workers
+        import os
+
+        cpus = os.cpu_count() or 1
+        if cpus <= 1:
+            chosen, reason = 1, "single_cpu"
+        elif suite_len < 2:
+            chosen, reason = 1, "small_suite"
+        else:
+            chosen, reason = min(cpus, suite_len), "one_per_cpu"
+        from ..obs import get_telemetry
+
+        tel = self.telemetry if self.telemetry is not None else get_telemetry()
+        if tel.enabled:
+            tel.metrics.gauge("cli.auto_workers", reason=reason).set(chosen)
+        return chosen
+
+    def make_executor(
+        self,
+        factory_ref: Optional[str],
+        suite_ref: Optional[str],
+        suite_len: int,
+        suite_args: tuple = (),
+    ) -> Optional["DynamicExecutor"]:
+        """The dynamic-stage backend this config implies.
+
+        An explicit ``executor`` wins.  Otherwise ``workers`` (resolved
+        through the auto heuristic) selects a
+        :class:`~repro.exec.ProcessExecutor` built from the importable
+        references — or ``None`` (the serial default) when the count is
+        1 or no references are available.
+        """
+        if self.executor is not None:
+            return self.executor
+        workers = self.resolved_workers(suite_len)
+        if workers <= 1 or not factory_ref or not suite_ref:
+            return None
+        from ..exec import ProcessExecutor
+
+        return ProcessExecutor(
+            factory_ref, suite_ref, workers, suite_args=suite_args
+        )
+
+    # -- cache application ----------------------------------------------------
+
+    def apply_static_cache(self) -> None:
+        """Apply ``static_cache`` / ``cache_dir`` to the process default.
+
+        The cache layer itself treats disk I/O as best-effort (a broken
+        cache must never break an analysis run), so an unusable
+        ``cache_dir`` would otherwise be swallowed silently.  The user
+        asked for persistence explicitly — validate here and fail with
+        a one-line :class:`OSError` instead.
+        """
+        import os
+
+        from ..analysis import get_default_cache
+
+        cache = get_default_cache()
+        if not self.static_cache:
+            cache.enabled = False
+        if self.cache_dir:
+            expanded = os.path.expanduser(self.cache_dir)
+            try:
+                os.makedirs(expanded, exist_ok=True)
+            except OSError as exc:
+                raise OSError(
+                    f"--cache-dir {self.cache_dir!r} is not usable: {exc}"
+                ) from None
+            if not os.path.isdir(expanded) or not os.access(expanded, os.W_OK):
+                raise OSError(
+                    f"--cache-dir {self.cache_dir!r} is not a writable directory"
+                )
+            cache.set_disk_dir(self.cache_dir)
+
+
+def fold_legacy_kwargs(
+    config: Optional[DftConfig],
+    api: str,
+    legacy: Mapping[str, Any],
+    stacklevel: int = 3,
+) -> DftConfig:
+    """Fold deprecated keyword arguments into a :class:`DftConfig`.
+
+    ``legacy`` maps config field names to values, with :data:`_UNSET`
+    marking "not passed".  Passing any set value emits one
+    :class:`DeprecationWarning` naming the replacement; explicit legacy
+    values override the corresponding ``config`` fields (so callers
+    migrating piecemeal keep their behaviour).
+    """
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if not passed:
+        return config if config is not None else DftConfig()
+    names = ", ".join(sorted(passed))
+    warnings.warn(
+        f"{api}: the {names} keyword argument(s) are deprecated; pass a "
+        f"repro.DftConfig via config= instead (will be removed one "
+        f"release after 1.0)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    base = config if config is not None else DftConfig()
+    return base.replace(**passed)

@@ -19,6 +19,7 @@ from typing import Dict, Optional, TYPE_CHECKING
 
 from ..obs import Telemetry, get_telemetry
 from ..testing.testcase import TestSuite
+from .config import DftConfig, _UNSET, fold_legacy_kwargs
 from .coverage import CoverageResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports avoid a cycle
@@ -55,11 +56,13 @@ class PipelineResult:
 def run_dft(
     cluster_factory: "ClusterFactory",
     suite: TestSuite,
-    warn: bool = False,
-    telemetry: Optional[Telemetry] = None,
-    executor: Optional["DynamicExecutor"] = None,
-    result_cache: Optional["DynamicResultCache"] = None,
-    engine: Optional[str] = "auto",
+    config: Optional[DftConfig] = None,
+    *,
+    warn: bool = _UNSET,
+    telemetry: Optional[Telemetry] = _UNSET,
+    executor: Optional["DynamicExecutor"] = _UNSET,
+    result_cache: Optional["DynamicResultCache"] = _UNSET,
+    engine: Optional[str] = _UNSET,
 ) -> PipelineResult:
     """Run the complete data-flow-testing pipeline.
 
@@ -69,26 +72,48 @@ def run_dft(
     :data:`repro.instrument.runner.ClusterFactory`); the pipeline itself
     calls it once more for the static stage, and telemetry accounts for
     every build (``pipeline.cluster_builds`` /
-    ``pipeline.cluster_build_seconds``).  ``warn=True`` turns
-    use-without-def findings into Python warnings in addition to the
-    report entries.  ``telemetry`` overrides the globally active
-    session for this run.
+    ``pipeline.cluster_build_seconds``).
 
-    ``executor`` selects the dynamic-stage backend (serial when omitted;
-    see :mod:`repro.exec`).  ``result_cache`` memoizes per-testcase
-    dynamic results across runs — only testcases missing from the cache
-    are executed; the merged result is identical either way because each
-    testcase runs on its own fresh cluster.
+    ``config`` carries every knob (see :class:`repro.core.DftConfig`):
 
-    ``engine`` selects the TDF execution engine for the dynamic-stage
-    simulations (``"auto"``/``"block"``/``"interp"``; see
-    :mod:`repro.tdf.engine`).  Engines are bit-identical, so coverage
-    reports and cached dynamic results do not depend on the choice.
+    * ``config.warn`` turns use-without-def findings into Python
+      warnings in addition to the report entries;
+    * ``config.telemetry`` overrides the globally active session;
+    * ``config.executor`` selects the dynamic-stage backend (serial
+      when ``None``; see :mod:`repro.exec` — ``config.workers`` is
+      *not* consulted here because building a process executor needs
+      importable references the pipeline does not have; use
+      :meth:`DftConfig.make_executor` or the CLI for that);
+    * ``config.result_cache`` memoizes per-testcase dynamic results
+      across runs — only testcases missing from the cache are executed;
+      the merged result is identical either way because each testcase
+      runs on its own fresh cluster;
+    * ``config.engine`` selects the TDF execution engine for the
+      dynamic-stage simulations (``"auto"``/``"block"``/``"interp"``;
+      see :mod:`repro.tdf.engine`).  Engines are bit-identical, so
+      coverage reports and cached dynamic results do not depend on the
+      choice.
+
+    The individual ``warn``/``telemetry``/``executor``/``result_cache``
+    /``engine`` keyword arguments are deprecated shims: they emit a
+    :class:`DeprecationWarning` and fold into ``config`` (explicit
+    values win), producing identical results for one more release.
     """
     from ..analysis.cluster_analysis import analyze_cluster
     from ..instrument.runner import DynamicAnalyzer
 
-    tel = telemetry if telemetry is not None else get_telemetry()
+    cfg = fold_legacy_kwargs(
+        config,
+        "run_dft",
+        {
+            "warn": warn,
+            "telemetry": telemetry,
+            "executor": executor,
+            "result_cache": result_cache,
+            "engine": engine,
+        },
+    )
+    tel = cfg.telemetry if cfg.telemetry is not None else get_telemetry()
     if not tel.enabled:
         # Private session: stage spans only, for the ``timings`` view.
         # Kernel-level hooks key off the *global* telemetry and stay off.
@@ -108,8 +133,8 @@ def run_dft(
             static = analyze_cluster(counted_factory(), telemetry=tel)
         with tel.span("dynamic") as span_dynamic:
             dynamic = _run_dynamic(
-                counted_factory, static, suite, warn, tel, executor,
-                result_cache, engine,
+                counted_factory, static, suite, cfg.warn, tel, cfg.executor,
+                cfg.result_cache, cfg.engine,
             )
         with tel.span("coverage") as span_coverage:
             coverage = CoverageResult(static, dynamic)

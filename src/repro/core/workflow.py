@@ -13,12 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from ..tdf.errors import TdfError
 from ..testing.testcase import TestCase, TestSuite
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import avoids a cycle
     from ..exec.base import DynamicExecutor
+    from ..generation.generate import GenerationResult
+    from ..generation.space import ParameterSpace
+    from ..generation.search import SearchStrategy
     from ..instrument.runner import ClusterFactory
 from .associations import AssocClass
+from .config import DftConfig, _UNSET, fold_legacy_kwargs
 from .coverage import CoverageResult
 from .criteria import Criterion, evaluate_all
 from .pipeline import PipelineResult, run_dft
@@ -52,23 +57,62 @@ class IterativeCampaign:
         cluster_factory: "ClusterFactory",
         base_suite: Sequence[TestCase],
         name: str = "campaign",
-        executor: Optional["DynamicExecutor"] = None,
-        reuse_dynamic_results: bool = True,
-        engine: Optional[str] = "auto",
+        config: Optional[DftConfig] = None,
+        *,
+        executor: Optional["DynamicExecutor"] = _UNSET,
+        reuse_dynamic_results: bool = _UNSET,
+        engine: Optional[str] = _UNSET,
     ) -> None:
         self.cluster_factory = cluster_factory
         self.name = name
         self._batches: List[List[TestCase]] = [list(base_suite)]
-        #: Dynamic-stage backend handed to every pipeline run (serial
-        #: when None; see :mod:`repro.exec`).
-        self.executor = executor
-        #: Iteration *k* re-runs every testcase of iterations ``0..k-1``
-        #: on a fresh cluster each — deterministic, so their per-testcase
-        #: results are memoized across iterations unless disabled.
-        self.reuse_dynamic_results = reuse_dynamic_results
-        #: TDF execution engine for the dynamic stage (engines are
-        #: bit-identical, so the recorded rows do not depend on it).
-        self.engine = engine
+        #: The unified run configuration (see :class:`repro.DftConfig`).
+        #: The individual ``executor``/``reuse_dynamic_results``/
+        #: ``engine`` keyword arguments are deprecated shims folding
+        #: into it; the same-named properties below stay writable for
+        #: callers that tweak a built campaign.
+        self.config = fold_legacy_kwargs(
+            config,
+            "IterativeCampaign",
+            {
+                "executor": executor,
+                "reuse_dynamic_results": reuse_dynamic_results,
+                "engine": engine,
+            },
+        )
+
+    # -- backward-compatible config views -----------------------------------
+
+    @property
+    def executor(self) -> Optional["DynamicExecutor"]:
+        """Dynamic-stage backend handed to every pipeline run (serial
+        when None; see :mod:`repro.exec`)."""
+        return self.config.executor
+
+    @executor.setter
+    def executor(self, value: Optional["DynamicExecutor"]) -> None:
+        self.config = self.config.replace(executor=value)
+
+    @property
+    def reuse_dynamic_results(self) -> bool:
+        """Iteration *k* re-runs every testcase of iterations ``0..k-1``
+        on a fresh cluster each — deterministic, so their per-testcase
+        results are memoized across iterations unless disabled."""
+        return self.config.reuse_dynamic_results
+
+    @reuse_dynamic_results.setter
+    def reuse_dynamic_results(self, value: bool) -> None:
+        self.config = self.config.replace(reuse_dynamic_results=value)
+
+    @property
+    def engine(self) -> Optional[str]:
+        """TDF execution engine for the dynamic stage (engines are
+        bit-identical, so the recorded rows do not depend on it)."""
+        return self.config.engine
+
+    @engine.setter
+    def engine(self, value: Optional[str]) -> None:
+        self.config = self.config.replace(engine=value)
 
     def add_iteration(self, testcases: Sequence[TestCase]) -> None:
         """Schedule a batch of additional testcases as the next iteration."""
@@ -84,7 +128,10 @@ class IterativeCampaign:
     def suite_for(self, iteration: int) -> TestSuite:
         """The cumulative suite executed at ``iteration``."""
         if not 0 <= iteration < len(self._batches):
-            raise IndexError(f"iteration {iteration} out of range")
+            raise TdfError(
+                f"iteration {iteration} out of range: campaign "
+                f"{self.name!r} has iterations 0..{len(self._batches) - 1}"
+            )
         suite = TestSuite(f"{self.name}-it{iteration}")
         for batch in self._batches[: iteration + 1]:
             suite.extend(batch)
@@ -94,30 +141,98 @@ class IterativeCampaign:
         """Execute every iteration and return the Table-II records."""
         from ..exec.cache import DynamicResultCache
 
-        result_cache = DynamicResultCache() if self.reuse_dynamic_results else None
+        cfg = self.config
+        if cfg.result_cache is None and cfg.reuse_dynamic_results:
+            cfg = cfg.replace(result_cache=DynamicResultCache())
+        elif not cfg.reuse_dynamic_results:
+            cfg = cfg.replace(result_cache=None)
         records: List[IterationRecord] = []
         for index in range(len(self._batches)):
             suite = self.suite_for(index)
-            result: PipelineResult = run_dft(
-                self.cluster_factory,
-                suite,
-                executor=self.executor,
-                result_cache=result_cache,
-                engine=self.engine,
-            )
+            result: PipelineResult = run_dft(self.cluster_factory, suite, cfg)
             coverage = result.coverage
-            records.append(
-                IterationRecord(
-                    index=index,
-                    tests=len(suite),
-                    static_total=coverage.static_total,
-                    exercised_total=coverage.exercised_total,
-                    class_percent={
-                        klass: cc.percent
-                        for klass, cc in coverage.class_coverage().items()
-                    },
-                    criteria=evaluate_all(coverage),
-                    coverage=coverage,
-                )
-            )
+            records.append(_record_for(index, suite, coverage))
         return records
+
+
+def _record_for(
+    index: int, suite: TestSuite, coverage: CoverageResult
+) -> IterationRecord:
+    """One Table-II row from a pipeline run (shared by both campaigns)."""
+    return IterationRecord(
+        index=index,
+        tests=len(suite),
+        static_total=coverage.static_total,
+        exercised_total=coverage.exercised_total,
+        class_percent={
+            klass: cc.percent for klass, cc in coverage.class_coverage().items()
+        },
+        criteria=evaluate_all(coverage),
+        coverage=coverage,
+    )
+
+
+class GenerationCampaign:
+    """One coverage-guided generation run, framed as a campaign.
+
+    The search-based sibling of :class:`IterativeCampaign`: instead of
+    hand-written refinement batches, the "iteration 1" testcases are
+    *synthesized* by :func:`repro.generation.generate_suite`.  The
+    campaign view adds the Table-II record pair (before/after), so
+    generated refinements drop into every report that consumes
+    :class:`IterationRecord` rows.
+    """
+
+    def __init__(
+        self,
+        cluster_factory: "ClusterFactory",
+        base_suite: Sequence[TestCase],
+        system: str,
+        name: str = "generation",
+        config: Optional[DftConfig] = None,
+        *,
+        factory_ref: Optional[str] = None,
+        suite_ref: Optional[str] = None,
+        space: Optional["ParameterSpace"] = None,
+        strategy: "str | SearchStrategy | None" = None,
+        target_classes: Optional[Sequence[AssocClass]] = None,
+    ) -> None:
+        self.cluster_factory = cluster_factory
+        self.base_suite = list(base_suite)
+        self.system = system
+        self.name = name
+        #: The unified run configuration (see :class:`repro.DftConfig`):
+        #: ``seed`` drives the search, ``budget_simulations`` /
+        #: ``budget_seconds`` bound it, ``workers`` fans candidate
+        #: batches out, ``engine`` selects the simulation engine.
+        self.config = config if config is not None else DftConfig()
+        self.factory_ref = factory_ref
+        self.suite_ref = suite_ref
+        self.space = space
+        self.strategy = strategy
+        self.target_classes = target_classes
+        #: The last :class:`~repro.generation.GenerationResult` (after
+        #: :meth:`run`).
+        self.result: Optional["GenerationResult"] = None
+
+    def run(self) -> List[IterationRecord]:
+        """Generate, then return the before/after Table-II record pair."""
+        from ..generation.generate import DEFAULT_TARGET_CLASSES, generate_suite
+
+        kwargs = dict(
+            factory_ref=self.factory_ref,
+            suite_ref=self.suite_ref,
+            space=self.space,
+            strategy=self.strategy,
+        )
+        if self.target_classes is not None:
+            kwargs["target_classes"] = tuple(self.target_classes)
+        base = TestSuite(self.name, self.base_suite)
+        self.result = generate_suite(
+            self.cluster_factory, base, self.system, self.config, **kwargs
+        )
+        before = TestSuite(f"{self.name}-it0", self.base_suite)
+        return [
+            _record_for(0, before, self.result.coverage_before),
+            _record_for(1, self.result.suite, self.result.coverage_after),
+        ]

@@ -59,6 +59,7 @@ class _WorkerJob:
     warn: bool
     record_telemetry: bool
     engine: str = "auto"
+    suite_args: Tuple = ()
 
 
 def _run_worker(job: _WorkerJob) -> Tuple[List[Tuple[str, "MatchResult"]], List[dict], float]:
@@ -69,7 +70,7 @@ def _run_worker(job: _WorkerJob) -> Tuple[List[Tuple[str, "MatchResult"]], List[
 
     t0 = time.perf_counter()
     factory = resolve_ref(job.factory_ref)
-    testcases = {tc.name: tc for tc in resolve_ref(job.suite_ref)()}
+    testcases = {tc.name: tc for tc in resolve_ref(job.suite_ref)(*job.suite_args)}
     missing = [name for name in job.names if name not in testcases]
     if missing:
         raise LookupError(
@@ -97,7 +98,13 @@ def _run_worker(job: _WorkerJob) -> Tuple[List[Tuple[str, "MatchResult"]], List[
 class ProcessExecutor(DynamicExecutor):
     """Fan testcases out across a :class:`concurrent.futures` process pool."""
 
-    def __init__(self, factory_ref: str, suite_ref: str, workers: int) -> None:
+    def __init__(
+        self,
+        factory_ref: str,
+        suite_ref: str,
+        workers: int,
+        suite_args: Sequence = (),
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         # Fail fast, in the parent, on unresolvable references.
@@ -106,6 +113,12 @@ class ProcessExecutor(DynamicExecutor):
         self.factory_ref = factory_ref
         self.suite_ref = suite_ref
         self.workers = workers
+        #: Picklable positional arguments applied to the resolved suite
+        #: callable (``resolve_ref(suite_ref)(*suite_args)``) — how
+        #: synthesized suites (whose testcase closures cannot be
+        #: pickled) travel to workers as plain parameter encodings (see
+        #: :func:`repro.generation.space.decode_candidates`).
+        self.suite_args = tuple(suite_args)
 
     def _shards(self, names: Sequence[str]) -> List[Tuple[str, ...]]:
         """Round-robin striping: balances heterogeneous testcase costs."""
@@ -129,7 +142,7 @@ class ProcessExecutor(DynamicExecutor):
             return result
 
         # Validate up front that the workers will see the same suite.
-        provided = {tc.name for tc in resolve_ref(self.suite_ref)()}
+        provided = {tc.name for tc in resolve_ref(self.suite_ref)(*self.suite_args)}
         unknown = [name for name in names if name not in provided]
         if unknown:
             raise LookupError(
@@ -148,6 +161,7 @@ class ProcessExecutor(DynamicExecutor):
                 warn=warn,
                 record_telemetry=tel.enabled,
                 engine=engine if engine is not None else "auto",
+                suite_args=self.suite_args,
             )
             for shard in shards
         ]

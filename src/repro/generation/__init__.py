@@ -1,0 +1,74 @@
+"""Coverage-guided testcase generation.
+
+Automates the paper's §VI refinement loop: take the ranked
+missed-association report the coverage stage already produces, and
+*search* the stimulus parameter space for testcases that close the
+missed associations — instead of crafting them by hand.
+
+Layers:
+
+* :mod:`~repro.generation.space` — per-system stimulus parameter
+  spaces (sample/mutate/encode, picklable candidate transport);
+* :mod:`~repro.generation.fitness` — per-association distance computed
+  from exercised-pair sets (backend/engine-independent);
+* :mod:`~repro.generation.search` — pluggable strategies (random,
+  (1+λ) mutation);
+* :mod:`~repro.generation.generate` — the loop: rank targets, search,
+  accept closers, stop on coverage/budget/stagnation;
+* :mod:`~repro.generation.report` — ``repro-dft-generation/1`` payload,
+  text rendering, canonical suite bytes for determinism checks.
+"""
+
+from .fitness import Fitness, association_fitness, closed_targets
+from .generate import (
+    DEFAULT_TARGET_CLASSES,
+    GeneratedTest,
+    GenerationResult,
+    TargetOutcome,
+    generate_suite,
+)
+from .report import SCHEMA, build_report, format_report, suite_bytes, write_json
+from .search import (
+    DEFAULT_STRATEGY,
+    STRATEGIES,
+    MutationStrategy,
+    RandomStrategy,
+    SearchStrategy,
+    make_strategy,
+)
+from .space import (
+    SPACES,
+    EncodedParams,
+    Param,
+    ParameterSpace,
+    decode_candidates,
+    space_for,
+)
+
+__all__ = [
+    "DEFAULT_STRATEGY",
+    "DEFAULT_TARGET_CLASSES",
+    "EncodedParams",
+    "Fitness",
+    "GeneratedTest",
+    "GenerationResult",
+    "MutationStrategy",
+    "Param",
+    "ParameterSpace",
+    "RandomStrategy",
+    "SCHEMA",
+    "SPACES",
+    "STRATEGIES",
+    "SearchStrategy",
+    "TargetOutcome",
+    "association_fitness",
+    "build_report",
+    "closed_targets",
+    "decode_candidates",
+    "format_report",
+    "generate_suite",
+    "make_strategy",
+    "space_for",
+    "suite_bytes",
+    "write_json",
+]

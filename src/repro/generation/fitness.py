@@ -1,0 +1,86 @@
+"""Per-association fitness for coverage-guided stimulus search.
+
+Search-based data-flow test generation (Su et al., *Towards Efficient
+Data-flow Test Data Generation*) steers an optimizer with a
+per-association distance: how close did this input come to driving the
+definition's value into the use?  Our observation layer is the probe
+event stream the dynamic analysis already records, joined into
+exercised pairs — so the fitness is computed from a candidate's
+:class:`~repro.instrument.matching.MatchResult` pair set alone.  That
+keeps the signal byte-identical across execution backends, engines and
+the per-testcase result cache (they all agree on the pair set), which
+is what makes the whole search deterministic.
+
+For a target association ``(v, d, dm, u, um)`` the levels are:
+
+``covered``
+    the exact pair was exercised — the testcase closes the association;
+``def_reached``
+    the definition fired and its value flowed to *some* use (a pair
+    with the same ``(v, d, dm)`` definition side exists);
+``use_reached``
+    the use site executed, fed by *some* definition (a pair with the
+    same ``(u, um)`` use side exists);
+``killed_en_route``
+    the use executed reading ``v`` but paired with a *different*
+    definition — the target value was overwritten (redefined) on the
+    way.  The strongest non-covering signal: def and use both live,
+    only the path between them is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set, Tuple
+
+PairKey = Tuple[str, str, int, str, int]
+
+#: Score weights.  ``covered`` is exactly 1.0; the partial levels sum
+#: to strictly less, so "closed" is never aliased by partial progress.
+_W_DEF = 0.4
+_W_USE = 0.3
+_W_KILLED = 0.2
+
+
+@dataclass(frozen=True)
+class Fitness:
+    """Distance signal of one candidate for one target association."""
+
+    score: float
+    covered: bool
+    def_reached: bool
+    use_reached: bool
+    killed_en_route: bool
+
+    def __lt__(self, other: "Fitness") -> bool:
+        return self.score < other.score
+
+
+def association_fitness(target: PairKey, pairs: Set[PairKey]) -> Fitness:
+    """Fitness of a pair set (one candidate's run) for ``target``."""
+    if target in pairs:
+        return Fitness(1.0, True, True, True, False)
+    var, dm, dl, um, ul = target
+    def_reached = False
+    use_reached = False
+    killed = False
+    for p_var, p_dm, p_dl, p_um, p_ul in pairs:
+        if p_var == var and p_dm == dm and p_dl == dl:
+            def_reached = True
+        if p_um == um and p_ul == ul:
+            use_reached = True
+            if p_var == var and (p_dm, p_dl) != (dm, dl):
+                killed = True
+        if def_reached and killed:
+            break
+    score = (
+        _W_DEF * def_reached + _W_USE * use_reached + _W_KILLED * killed
+    )
+    return Fitness(score, False, def_reached, use_reached, killed)
+
+
+def closed_targets(
+    targets: Iterable[PairKey], pairs: Set[PairKey]
+) -> Tuple[PairKey, ...]:
+    """The subset of ``targets`` the pair set covers, in target order."""
+    return tuple(t for t in targets if t in pairs)

@@ -1,0 +1,190 @@
+"""Reporting for coverage-guided generation runs.
+
+The JSON payload carries a ``schema`` tag (``repro-dft-generation/1``)
+so CI jobs can assert on a stable shape; :func:`suite_bytes` produces
+the canonical byte string of the synthesized suite used to check that
+``--workers 1/2`` and ``--engine interp/block`` runs agree exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO
+
+from ..core.associations import AssocClass
+from ..core.criteria import detailed_status
+from .generate import GenerationResult
+
+#: JSON payload schema tag; bump on any incompatible shape change.
+SCHEMA = "repro-dft-generation/1"
+
+_CLASS_ORDER = [
+    AssocClass.STRONG, AssocClass.FIRM, AssocClass.PFIRM, AssocClass.PWEAK
+]
+
+
+def _class_rows(coverage) -> List[dict]:
+    classes = coverage.class_coverage()
+    return [
+        {
+            "class": klass.value,
+            "covered": classes[klass].covered,
+            "total": classes[klass].total,
+        }
+        for klass in _CLASS_ORDER
+    ]
+
+
+def _criteria_rows(coverage) -> List[dict]:
+    return [
+        {
+            "criterion": str(row.criterion),
+            "satisfied": row.satisfied,
+            "covered": row.covered,
+            "total": row.total,
+        }
+        for row in detailed_status(coverage)
+    ]
+
+
+def build_report(result: GenerationResult) -> dict:
+    """The machine-readable report (schema ``repro-dft-generation/1``)."""
+    closed = result.closed
+    wall = result.wall_seconds
+    return {
+        "schema": SCHEMA,
+        "system": result.system,
+        "seed": result.seed,
+        "strategy": result.strategy,
+        "stop_reason": result.stop_reason,
+        "counts": {
+            "targets": len(result.targets),
+            "closed": len(closed),
+            "open": len(result.targets) - len(closed),
+            "generated_testcases": len(result.generated),
+            "candidates": result.candidates,
+            "simulations": result.simulations,
+            "memo_hits": result.memo_hits,
+        },
+        "throughput": {
+            "wall_seconds": round(wall, 6),
+            # The bench headline numbers: how fast the search turns
+            # simulations (and wall time) into closed associations.
+            "closed_per_second": round(len(closed) / wall, 6) if wall > 0 else 0.0,
+            "closed_per_simulation": (
+                round(len(closed) / result.simulations, 6)
+                if result.simulations else 0.0
+            ),
+        },
+        "targets": [
+            {
+                "key": list(t.key),
+                "class": t.klass,
+                "status": t.status,
+                "rounds": t.rounds,
+                "best_score": round(t.best_score, 6),
+                "closed_by": t.closed_by,
+            }
+            for t in result.targets
+        ],
+        "generated": [
+            {
+                "name": g.name,
+                "params": [[name, value] for name, value in g.params],
+                "closed": [list(k) for k in g.closed],
+                "sought": list(g.sought),
+            }
+            for g in result.generated
+        ],
+        "coverage": {
+            "before": _class_rows(result.coverage_before),
+            "after": _class_rows(result.coverage_after),
+        },
+        "criteria": {
+            "before": _criteria_rows(result.coverage_before),
+            "after": _criteria_rows(result.coverage_after),
+        },
+    }
+
+
+def suite_bytes(result: GenerationResult) -> bytes:
+    """Canonical bytes of the synthesized suite.
+
+    One ``[name, [[param, value], ...], [closed keys...]]`` row per
+    generated testcase in acceptance order.  Timing never enters, so
+    serial/parallel and interp/block runs of the same seed must produce
+    identical bytes.
+    """
+    rows = [
+        [g.name, [[n, v] for n, v in g.params], [list(k) for k in g.closed]]
+        for g in result.generated
+    ]
+    return json.dumps(rows, separators=(",", ":"), sort_keys=True).encode("ascii")
+
+
+def format_report(payload: dict) -> str:
+    """Human-readable text rendering of a report payload."""
+    lines: List[str] = []
+    counts = payload["counts"]
+    thr = payload["throughput"]
+    lines.append(
+        f"coverage-guided generation for {payload['system']} "
+        f"(seed {payload['seed']}, strategy {payload['strategy']})"
+    )
+    lines.append(
+        f"  targets: {counts['targets']} missed associations, "
+        f"{counts['closed']} closed, {counts['open']} still open "
+        f"(stopped: {payload['stop_reason']})"
+    )
+    lines.append(
+        f"  search: {counts['candidates']} candidates = "
+        f"{counts['simulations']} simulations + {counts['memo_hits']} memo hits "
+        f"-> {counts['generated_testcases']} accepted testcase(s)"
+    )
+    lines.append(
+        f"  throughput: {thr['closed_per_simulation']:.3f} closed/simulation, "
+        f"{thr['closed_per_second']:.3f} closed/s "
+        f"({thr['wall_seconds']:.2f}s wall)"
+    )
+    lines.append("")
+    lines.append("  coverage (covered/total per class):")
+    before = {row["class"]: row for row in payload["coverage"]["before"]}
+    after = {row["class"]: row for row in payload["coverage"]["after"]}
+    for klass in _CLASS_ORDER:
+        b, a = before[klass.value], after[klass.value]
+        marker = "  +%d" % (a["covered"] - b["covered"]) if a["covered"] > b["covered"] else ""
+        lines.append(
+            f"    {klass.value:7s} {b['covered']:3d}/{b['total']:<3d} -> "
+            f"{a['covered']:3d}/{a['total']:<3d}{marker}"
+        )
+    newly = [
+        row["criterion"]
+        for b_row, row in zip(payload["criteria"]["before"], payload["criteria"]["after"])
+        if row["satisfied"] and not b_row["satisfied"]
+    ]
+    if newly:
+        lines.append(f"  newly satisfied criteria: {', '.join(newly)}")
+    if payload["generated"]:
+        lines.append("")
+        lines.append("  generated testcases:")
+        for g in payload["generated"]:
+            lines.append(f"    {g['name']}: closes {len(g['closed'])} association(s)")
+    still_open = [t for t in payload["targets"] if t["status"] not in ("closed", "pre_closed")]
+    if still_open:
+        lines.append("")
+        lines.append(f"  still open ({len(still_open)}):")
+        for t in still_open[:10]:
+            key = t["key"]
+            lines.append(
+                f"    [{t['class']}] ({key[0]}, {key[2]}, {key[1]}, {key[4]}, {key[3]})"
+                f" — {t['status']} (best {t['best_score']:.2f})"
+            )
+        if len(still_open) > 10:
+            lines.append(f"    ... and {len(still_open) - 10} more")
+    return "\n".join(lines)
+
+
+def write_json(payload: dict, stream: TextIO) -> None:
+    """Write the payload as stable, sorted JSON."""
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")

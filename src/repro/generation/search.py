@@ -1,0 +1,174 @@
+"""Search strategies over stimulus parameter spaces.
+
+A strategy proposes candidate parameter vectors and learns from their
+fitness (see :mod:`repro.generation.fitness`).  The protocol is
+deliberately tiny — ``reset`` / ``ask`` / ``tell`` — so alternative
+optimizers (simulated annealing, CMA-ES, grammar-based generators) plug
+in without touching the generation loop.
+
+Bundled strategies:
+
+* :class:`RandomStrategy` — pure random sampling, the baseline every
+  search paper compares against;
+* :class:`MutationStrategy` — random warm-up followed by a (1+λ)
+  evolution strategy: keep the best vector seen, propose λ mutants of
+  it per round, adapt the mutation step with a 1/5th-style success
+  rule.  The default.
+
+Strategies own no randomness: the loop hands them a seeded
+``random.Random`` at reset, so runs are deterministic for a given
+(master seed, target) and independent of worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..tdf.errors import TdfError
+from .space import ParameterSpace
+
+Params = Dict[str, float]
+
+
+@runtime_checkable
+class SearchStrategy(Protocol):
+    """The pluggable strategy protocol.
+
+    Lifecycle: one ``reset`` per target association, then alternating
+    ``ask`` (propose up to ``count`` vectors) and ``tell`` (evaluated
+    ``(params, fitness_score)`` feedback, one entry per proposal that
+    actually ran).
+    """
+
+    #: Stable name (used in reports and the CLI ``--strategy`` flag).
+    name: str
+
+    def reset(self, space: ParameterSpace, rng: random.Random) -> None:
+        """Start a fresh search over ``space`` seeded by ``rng``."""
+        ...
+
+    def ask(self, count: int) -> List[Params]:
+        """Up to ``count`` new parameter vectors to evaluate."""
+        ...
+
+    def tell(self, evaluated: Sequence[Tuple[Params, float]]) -> None:
+        """Feedback for vectors returned by the last ``ask``."""
+        ...
+
+
+class RandomStrategy:
+    """Uniform random sampling (no learning)."""
+
+    name = "random"
+
+    def __init__(self) -> None:
+        self._space: Optional[ParameterSpace] = None
+        self._rng: Optional[random.Random] = None
+
+    def reset(self, space: ParameterSpace, rng: random.Random) -> None:
+        self._space = space
+        self._rng = rng
+
+    def ask(self, count: int) -> List[Params]:
+        assert self._space is not None and self._rng is not None
+        return [self._space.sample(self._rng) for _ in range(count)]
+
+    def tell(self, evaluated: Sequence[Tuple[Params, float]]) -> None:
+        pass
+
+
+class MutationStrategy:
+    """(1+λ) mutation search with random warm-up.
+
+    Until ``warmup`` vectors have been evaluated the strategy samples
+    uniformly; afterwards every ``ask`` proposes mutants of the best
+    vector seen so far.  The mutation scale follows a success rule:
+    grow on improvement (explore further while it works), shrink on a
+    failed round (home in), clamped to ``[min_scale, max_scale]``.
+    """
+
+    name = "mutation"
+
+    def __init__(
+        self,
+        warmup: int = 6,
+        scale: float = 0.15,
+        min_scale: float = 0.02,
+        max_scale: float = 0.5,
+    ) -> None:
+        self.warmup = warmup
+        self._initial_scale = scale
+        self.min_scale = min_scale
+        self.max_scale = max_scale
+        self._space: Optional[ParameterSpace] = None
+        self._rng: Optional[random.Random] = None
+        self._best: Optional[Params] = None
+        self._best_score = -1.0
+        self._seen = 0
+        self.scale = scale
+
+    def reset(self, space: ParameterSpace, rng: random.Random) -> None:
+        self._space = space
+        self._rng = rng
+        self._best = None
+        self._best_score = -1.0
+        self._seen = 0
+        self.scale = self._initial_scale
+
+    def ask(self, count: int) -> List[Params]:
+        assert self._space is not None and self._rng is not None
+        proposals: List[Params] = []
+        for _ in range(count):
+            if self._best is None or self._seen + len(proposals) < self.warmup:
+                proposals.append(self._space.sample(self._rng))
+            else:
+                proposals.append(
+                    self._space.mutate(self._rng, self._best, self.scale)
+                )
+        return proposals
+
+    def tell(self, evaluated: Sequence[Tuple[Params, float]]) -> None:
+        improved = False
+        for params, score in evaluated:
+            self._seen += 1
+            # Strict improvement keeps the incumbent on ties — the
+            # earliest best vector wins, which is what makes re-runs
+            # (and different worker counts) reproduce the same parent.
+            if score > self._best_score:
+                self._best = dict(params)
+                self._best_score = score
+                improved = True
+        if self._best is not None and self._seen >= self.warmup:
+            factor = 1.3 if improved else 0.75
+            self.scale = min(max(self.scale * factor, self.min_scale), self.max_scale)
+
+
+#: Strategy registry: name -> zero-arg factory.
+STRATEGIES: Dict[str, Callable[[], SearchStrategy]] = {
+    RandomStrategy.name: RandomStrategy,
+    MutationStrategy.name: MutationStrategy,
+}
+
+#: The default strategy name.
+DEFAULT_STRATEGY = MutationStrategy.name
+
+
+def make_strategy(strategy: "str | SearchStrategy | None") -> SearchStrategy:
+    """Resolve a strategy name (or pass an instance through)."""
+    if strategy is None:
+        strategy = DEFAULT_STRATEGY
+    if isinstance(strategy, str):
+        try:
+            return STRATEGIES[strategy]()
+        except KeyError:
+            raise TdfError(
+                f"unknown search strategy {strategy!r} "
+                f"(available: {', '.join(sorted(STRATEGIES))})"
+            ) from None
+    if not isinstance(strategy, SearchStrategy):
+        raise TdfError(
+            f"{strategy!r} does not implement the SearchStrategy protocol "
+            f"(reset/ask/tell)"
+        )
+    return strategy

@@ -32,8 +32,11 @@ import random
 import time
 from concurrent.futures import ProcessPoolExecutor as _Pool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only import avoids a cycle
+    from ..core.config import DftConfig
+from ..core.config import _UNSET
 from ..exec.base import round_robin_shards
 from ..exec.refs import resolve_ref
 from ..obs import Telemetry, get_telemetry, telemetry_session
@@ -354,18 +357,19 @@ def _mutation_worker(job: _MutationJob) -> Tuple[List[Tuple[int, MutantOutcome]]
 def run_mutation(
     factory_ref: str,
     suite_ref: str,
+    config: Optional["DftConfig"] = None,
     *,
     factory_args: Sequence = (),
     suite_args: Sequence = (),
     operators: Optional[Sequence[str]] = None,
-    seed: int = 0,
     max_mutants: Optional[int] = None,
-    tolerance: float = 1e-9,
-    workers: int = 1,
-    engine: str = "auto",
     oracle_signals: Optional[Sequence[str]] = None,
-    budget_seconds: Optional[float] = DEFAULT_BUDGET_SECONDS,
-    telemetry: Optional[Telemetry] = None,
+    seed: int = _UNSET,
+    tolerance: float = _UNSET,
+    workers: int = _UNSET,
+    engine: str = _UNSET,
+    budget_seconds: Optional[float] = _UNSET,
+    telemetry: Optional[Telemetry] = _UNSET,
 ) -> MutationRun:
     """Run a full mutation analysis and return the kill matrix.
 
@@ -375,8 +379,39 @@ def run_mutation(
     to obtain the actual factory/suite (the seeded random cluster uses
     this).  Both serial and parallel paths build everything from the
     references, so the kill matrix cannot depend on the backend.
+
+    ``config`` carries seed / tolerance / workers / engine /
+    budget_seconds / telemetry (see :class:`repro.core.DftConfig`); a
+    ``budget_seconds`` of ``None`` (the config default) means the
+    standard :data:`DEFAULT_BUDGET_SECONDS` per-mutant budget — pass
+    ``float("inf")`` for an unbounded run.  The individual keyword
+    arguments are deprecated shims that fold into ``config`` with a
+    :class:`DeprecationWarning` for one release.
     """
-    tel = telemetry if telemetry is not None else get_telemetry()
+    from ..core.config import fold_legacy_kwargs
+
+    cfg = fold_legacy_kwargs(
+        config,
+        "run_mutation",
+        {
+            "seed": seed,
+            "tolerance": tolerance,
+            "workers": workers,
+            "engine": engine,
+            "budget_seconds": budget_seconds,
+            "telemetry": telemetry,
+        },
+    )
+    seed = cfg.seed
+    tolerance = cfg.tolerance
+    workers = cfg.workers if cfg.workers is not None else 1
+    engine = cfg.engine
+    budget_seconds = (
+        cfg.budget_seconds
+        if cfg.budget_seconds is not None
+        else DEFAULT_BUDGET_SECONDS
+    )
+    tel = cfg.telemetry if cfg.telemetry is not None else get_telemetry()
     factory = _resolve_factory(factory_ref, factory_args)
     testcases = _resolve_suite(suite_ref, suite_args)
     if workers < 1:

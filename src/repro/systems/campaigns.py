@@ -9,8 +9,9 @@ the ranked report surfaces (window lifter: +3/+3/+3 to 26; buck-boost:
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
+from ..core.config import DftConfig
 from ..core.workflow import IterativeCampaign
 from ..tdf import ms, sec
 from ..testing import Pulse, Pwl, Step, TestCase
@@ -166,37 +167,46 @@ def window_lifter_all_testcases() -> List[TestCase]:
 
 
 def window_lifter_campaign(
-    workers: int = 1, engine: str = "auto"
+    workers: int = 1, engine: str = "auto",
+    config: Optional[DftConfig] = None,
 ) -> IterativeCampaign:
     """The full §VI-A campaign (Table II, upper half).
 
-    ``workers > 1`` fans the dynamic stage out across a process pool;
-    ``engine`` selects the TDF execution engine.  The reported rows are
-    identical for any worker count and either engine.
+    ``config`` (see :class:`repro.DftConfig`) carries the run knobs;
+    the ``workers``/``engine`` conveniences build one when it is not
+    given.  ``workers > 1`` fans the dynamic stage out across a process
+    pool.  The reported rows are identical for any worker count and
+    either engine.
     """
-    campaign = IterativeCampaign(
+    return _build_campaign(
+        config if config is not None else DftConfig(workers=workers, engine=engine),
         lambda: WindowLifterTop(),
         window_lifter_base_suite(),
+        window_lifter_iteration_batches(),
         name="window_lifter",
-        executor=_campaign_executor(
-            "repro.systems.window_lifter:WindowLifterTop",
-            "repro.systems.campaigns:window_lifter_all_testcases",
-            workers,
-        ),
-        engine=engine,
+        factory_ref="repro.systems.window_lifter:WindowLifterTop",
+        suite_ref="repro.systems.campaigns:window_lifter_all_testcases",
     )
-    for batch in window_lifter_iteration_batches():
+
+
+def _build_campaign(
+    cfg: DftConfig,
+    factory,
+    base_suite: List[TestCase],
+    batches: List[List[TestCase]],
+    name: str,
+    factory_ref: str,
+    suite_ref: str,
+) -> IterativeCampaign:
+    """Assemble a campaign from a config (shared by both case studies)."""
+    suite_len = len(base_suite) + sum(len(b) for b in batches)
+    executor = cfg.make_executor(factory_ref, suite_ref, suite_len)
+    campaign = IterativeCampaign(
+        factory, base_suite, name=name, config=cfg.replace(executor=executor)
+    )
+    for batch in batches:
         campaign.add_iteration(batch)
     return campaign
-
-
-def _campaign_executor(factory_ref: str, suite_ref: str, workers: int):
-    """A ProcessExecutor for ``workers > 1``, else the serial default."""
-    if workers <= 1:
-        return None
-    from ..exec import ProcessExecutor
-
-    return ProcessExecutor(factory_ref, suite_ref, workers)
 
 
 # ---------------------------------------------------------------------------
@@ -297,20 +307,16 @@ def buck_boost_all_testcases() -> List[TestCase]:
 
 
 def buck_boost_campaign(
-    workers: int = 1, engine: str = "auto"
+    workers: int = 1, engine: str = "auto",
+    config: Optional[DftConfig] = None,
 ) -> IterativeCampaign:
     """The full §VI-B campaign (Table II, lower half)."""
-    campaign = IterativeCampaign(
+    return _build_campaign(
+        config if config is not None else DftConfig(workers=workers, engine=engine),
         lambda: BuckBoostTop(),
         buck_boost_base_suite(),
+        buck_boost_iteration_batches(),
         name="buck_boost",
-        executor=_campaign_executor(
-            "repro.systems.buck_boost:BuckBoostTop",
-            "repro.systems.campaigns:buck_boost_all_testcases",
-            workers,
-        ),
-        engine=engine,
+        factory_ref="repro.systems.buck_boost:BuckBoostTop",
+        suite_ref="repro.systems.campaigns:buck_boost_all_testcases",
     )
-    for batch in buck_boost_iteration_batches():
-        campaign.add_iteration(batch)
-    return campaign

@@ -1,0 +1,124 @@
+"""Tests for the unified run configuration (repro.core.config)."""
+
+import argparse
+import dataclasses
+
+import pytest
+
+from repro import DftConfig
+from repro.core.config import _UNSET, fold_legacy_kwargs
+from repro.exec import ProcessExecutor, SerialExecutor
+
+
+class TestDefaults:
+    def test_frozen(self):
+        cfg = DftConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.engine = "block"
+
+    def test_replace_returns_new_instance(self):
+        cfg = DftConfig()
+        other = cfg.replace(engine="block", seed=7)
+        assert (other.engine, other.seed) == ("block", 7)
+        assert (cfg.engine, cfg.seed) == ("auto", 0)
+
+    def test_defaults(self):
+        cfg = DftConfig()
+        assert cfg.engine == "auto"
+        assert cfg.workers == 1
+        assert cfg.static_cache is True
+        assert cfg.reuse_dynamic_results is True
+        assert cfg.budget_seconds is None
+        assert cfg.budget_simulations is None
+
+
+class TestFromArgs:
+    def test_reads_present_attributes_only(self):
+        args = argparse.Namespace(engine="block", seed=5)
+        cfg = DftConfig.from_args(args)
+        assert cfg.engine == "block"
+        assert cfg.seed == 5
+        assert cfg.workers == 1  # absent on args: dataclass default
+
+    def test_cache_negation_flags(self):
+        args = argparse.Namespace(no_static_cache=True, no_result_cache=True)
+        cfg = DftConfig.from_args(args)
+        assert cfg.static_cache is False
+        assert cfg.reuse_dynamic_results is False
+
+    def test_overrides_win(self):
+        args = argparse.Namespace(engine="block")
+        cfg = DftConfig.from_args(args, engine="interp", workers=3)
+        assert cfg.engine == "interp"
+        assert cfg.workers == 3
+
+
+class TestResolvedWorkers:
+    def test_explicit_workers_win(self):
+        assert DftConfig(workers=4).resolved_workers(suite_len=2) == 4
+
+    def test_auto_single_cpu_is_serial(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert DftConfig(workers=None).resolved_workers(suite_len=10) == 1
+
+    def test_auto_small_suite_is_serial(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert DftConfig(workers=None).resolved_workers(suite_len=1) == 1
+
+    def test_auto_caps_at_suite_size(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert DftConfig(workers=None).resolved_workers(suite_len=3) == 3
+
+
+class TestMakeExecutor:
+    REFS = ("repro.systems.sensor:SenseTop",
+            "repro.systems.sensor:paper_testcases")
+
+    def test_explicit_executor_wins(self):
+        executor = SerialExecutor()
+        cfg = DftConfig(executor=executor, workers=8)
+        assert cfg.make_executor(*self.REFS, suite_len=10) is executor
+
+    def test_serial_returns_none(self):
+        assert DftConfig(workers=1).make_executor(*self.REFS, suite_len=10) is None
+
+    def test_missing_refs_force_serial(self):
+        cfg = DftConfig(workers=4)
+        assert cfg.make_executor(None, None, suite_len=10) is None
+
+    def test_parallel_builds_process_executor(self):
+        cfg = DftConfig(workers=2)
+        executor = cfg.make_executor(*self.REFS, suite_len=10)
+        assert isinstance(executor, ProcessExecutor)
+
+
+class TestFoldLegacyKwargs:
+    def test_nothing_passed_returns_config_unwarned(self, recwarn):
+        cfg = DftConfig(engine="block")
+        out = fold_legacy_kwargs(cfg, "api", {"engine": _UNSET})
+        assert out is cfg
+        assert not recwarn.list
+
+    def test_nothing_passed_without_config_gives_defaults(self):
+        assert fold_legacy_kwargs(None, "api", {"engine": _UNSET}) == DftConfig()
+
+    def test_passed_kwargs_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning, match="api: the engine, seed"):
+            out = fold_legacy_kwargs(
+                None, "api", {"engine": "block", "seed": 9}
+            )
+        assert out.engine == "block"
+        assert out.seed == 9
+
+    def test_legacy_values_override_config_fields(self):
+        cfg = DftConfig(engine="interp", seed=1)
+        with pytest.warns(DeprecationWarning):
+            out = fold_legacy_kwargs(cfg, "api", {"engine": "block"})
+        assert out.engine == "block"
+        assert out.seed == 1  # untouched fields come from the config

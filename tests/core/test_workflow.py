@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import AssocClass, IterativeCampaign
 from repro.tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
+from repro.tdf.errors import TdfError
 from repro.tdf.library import CollectorSink, StimulusSource
 from repro.testing import TestCase
 
@@ -58,7 +59,7 @@ class TestCampaign:
         assert campaign.suite_for(2).names() == ["lo", "mid", "hi"]
 
     def test_suite_for_out_of_range(self):
-        with pytest.raises(IndexError):
+        with pytest.raises(TdfError, match="iteration 5 out of range"):
             self._campaign().suite_for(5)
 
     def test_monotone_coverage_growth(self):

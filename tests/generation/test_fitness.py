@@ -1,0 +1,64 @@
+"""Tests for the per-association fitness (repro.generation.fitness)."""
+
+import pytest
+
+from repro.generation import Fitness, association_fitness, closed_targets
+
+TARGET = ("v", "def_mod", 3, "use_mod", 8)
+
+
+class TestAssociationFitness:
+    def test_covered_scores_exactly_one(self):
+        fit = association_fitness(TARGET, {TARGET})
+        assert fit.covered
+        assert fit.score == 1.0
+
+    def test_empty_pairs_score_zero(self):
+        fit = association_fitness(TARGET, set())
+        assert fit.score == 0.0
+        assert not (fit.def_reached or fit.use_reached or fit.killed_en_route)
+
+    def test_def_reached_only(self):
+        # Same (var, def) side, different use: the definition fired.
+        fit = association_fitness(TARGET, {("v", "def_mod", 3, "other", 1)})
+        assert fit.def_reached and not fit.use_reached
+        assert fit.score == 0.4
+
+    def test_use_reached_via_other_variable(self):
+        # Same use site fed by a different variable: no kill recorded.
+        fit = association_fitness(TARGET, {("w", "m", 1, "use_mod", 8)})
+        assert fit.use_reached and not fit.killed_en_route
+        assert fit.score == 0.3
+
+    def test_killed_en_route(self):
+        # The use read v, but paired with a different definition.
+        fit = association_fitness(TARGET, {("v", "other_mod", 9, "use_mod", 8)})
+        assert fit.use_reached and fit.killed_en_route and not fit.def_reached
+        assert fit.score == 0.5
+
+    def test_partial_levels_never_alias_covered(self):
+        pairs = {
+            ("v", "def_mod", 3, "other", 1),      # def reached
+            ("v", "other_mod", 9, "use_mod", 8),  # use reached + killed
+        }
+        fit = association_fitness(TARGET, pairs)
+        assert not fit.covered
+        assert fit.score == pytest.approx(0.9)
+        assert fit.score < 1.0
+
+    def test_ordering_follows_score(self):
+        low = association_fitness(TARGET, set())
+        high = association_fitness(TARGET, {TARGET})
+        assert low < high
+        assert isinstance(low, Fitness)
+
+
+class TestClosedTargets:
+    def test_preserves_target_order(self):
+        t1 = ("a", "m", 1, "n", 2)
+        t2 = ("b", "m", 3, "n", 4)
+        t3 = ("c", "m", 5, "n", 6)
+        assert closed_targets([t1, t2, t3], {t3, t1}) == (t1, t3)
+
+    def test_empty(self):
+        assert closed_targets([], set()) == ()

@@ -1,0 +1,91 @@
+"""Tests for generation reporting (repro.generation.report)."""
+
+import io
+import json
+
+import pytest
+
+from repro import DftConfig, TestSuite
+from repro.generation import (
+    SCHEMA,
+    build_report,
+    format_report,
+    generate_suite,
+    suite_bytes,
+    write_json,
+)
+from repro.systems.sensor import SenseTop, paper_testcases
+
+
+@pytest.fixture(scope="module")
+def result():
+    return generate_suite(
+        lambda: SenseTop(),
+        TestSuite("sensor_base", paper_testcases()[:1]),
+        "sensor",
+        DftConfig(seed=0, budget_simulations=30),
+    )
+
+
+class TestBuildReport:
+    def test_schema_tag(self, result):
+        assert build_report(result)["schema"] == "repro-dft-generation/1"
+        assert SCHEMA == "repro-dft-generation/1"
+
+    def test_counts_match_result(self, result):
+        payload = build_report(result)
+        counts = payload["counts"]
+        assert counts["targets"] == len(result.targets)
+        assert counts["closed"] == len(result.closed)
+        assert counts["open"] == counts["targets"] - counts["closed"]
+        assert counts["generated_testcases"] == len(result.generated)
+        assert counts["simulations"] == result.simulations
+        assert counts["memo_hits"] == result.memo_hits
+
+    def test_throughput_section(self, result):
+        thr = build_report(result)["throughput"]
+        assert thr["wall_seconds"] > 0
+        assert thr["closed_per_simulation"] == pytest.approx(
+            len(result.closed) / result.simulations, abs=1e-6
+        )
+        assert thr["closed_per_second"] > 0
+
+    def test_coverage_sections_have_all_classes(self, result):
+        payload = build_report(result)
+        for section in ("before", "after"):
+            rows = payload["coverage"][section]
+            assert [r["class"] for r in rows] == [
+                "Strong", "Firm", "PFirm", "PWeak"
+            ]
+        assert payload["criteria"]["before"] and payload["criteria"]["after"]
+
+    def test_payload_is_json_serializable(self, result):
+        json.dumps(build_report(result))
+
+
+class TestSuiteBytes:
+    def test_stable_across_identical_runs(self, result):
+        rerun = generate_suite(
+            lambda: SenseTop(),
+            TestSuite("sensor_base", paper_testcases()[:1]),
+            "sensor",
+            DftConfig(seed=0, budget_simulations=30),
+        )
+        assert suite_bytes(result) == suite_bytes(rerun)
+
+    def test_bytes_cover_every_generated_testcase(self, result):
+        rows = json.loads(suite_bytes(result))
+        assert [row[0] for row in rows] == [g.name for g in result.generated]
+
+
+class TestRendering:
+    def test_format_report_headlines(self, result):
+        text = format_report(build_report(result))
+        assert "coverage-guided generation for sensor" in text
+        assert "targets:" in text
+        assert "closed/simulation" in text
+
+    def test_write_json_round_trips(self, result):
+        buf = io.StringIO()
+        write_json(build_report(result), buf)
+        assert json.loads(buf.getvalue())["schema"] == SCHEMA

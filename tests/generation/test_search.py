@@ -1,0 +1,116 @@
+"""Tests for the search strategies (repro.generation.search)."""
+
+import random
+
+import pytest
+
+from repro.generation import (
+    DEFAULT_STRATEGY,
+    MutationStrategy,
+    RandomStrategy,
+    STRATEGIES,
+    SearchStrategy,
+    make_strategy,
+    space_for,
+)
+from repro.tdf.errors import TdfError
+
+
+def _reset(strategy, seed=0):
+    space = space_for("sensor")
+    strategy.reset(space, random.Random(seed))
+    return space
+
+
+class TestRandomStrategy:
+    def test_ask_returns_full_vectors(self):
+        strat = RandomStrategy()
+        space = _reset(strat)
+        batch = strat.ask(4)
+        assert len(batch) == 4
+        for vec in batch:
+            assert set(vec) == {p.name for p in space.params}
+
+    def test_deterministic_for_a_seed(self):
+        a = RandomStrategy()
+        b = RandomStrategy()
+        _reset(a, seed=5)
+        _reset(b, seed=5)
+        assert a.ask(6) == b.ask(6)
+
+    def test_tell_is_a_no_op(self):
+        strat = RandomStrategy()
+        _reset(strat)
+        strat.tell([(strat.ask(1)[0], 0.5)])  # must not raise
+
+
+class TestMutationStrategy:
+    def test_warmup_samples_then_mutates_best(self):
+        strat = MutationStrategy(warmup=2)
+        _reset(strat)
+        warm = strat.ask(2)
+        best = warm[0]
+        strat.tell([(best, 0.9), (warm[1], 0.1)])
+        mutants = strat.ask(4)
+        # Post-warmup proposals are perturbations of the incumbent:
+        # every mutant shares at least one gene with it (per-gene
+        # mutation rate is 1/n), and none equals it exactly.
+        for m in mutants:
+            assert m != best
+            assert any(m[k] == best[k] for k in best)
+
+    def test_strict_improvement_keeps_earliest_best(self):
+        strat = MutationStrategy(warmup=1)
+        _reset(strat)
+        first = strat.ask(1)[0]
+        strat.tell([(first, 0.5)])
+        tied = strat.ask(1)[0]
+        strat.tell([(tied, 0.5)])  # tie: incumbent must survive
+        assert strat._best == first
+
+    def test_scale_adapts_by_success_rule(self):
+        strat = MutationStrategy(warmup=1, scale=0.2)
+        _reset(strat)
+        strat.tell([(strat.ask(1)[0], 0.5)])
+        grown = strat.scale
+        assert grown == pytest.approx(0.2 * 1.3)
+        strat.tell([(strat.ask(1)[0], 0.1)])  # no improvement: shrink
+        assert strat.scale == pytest.approx(grown * 0.75)
+
+    def test_scale_clamped(self):
+        strat = MutationStrategy(warmup=1, scale=0.45, max_scale=0.5)
+        _reset(strat)
+        strat.tell([(strat.ask(1)[0], 0.5)])
+        assert strat.scale <= 0.5
+
+    def test_reset_clears_learned_state(self):
+        strat = MutationStrategy(warmup=1)
+        _reset(strat)
+        strat.tell([(strat.ask(1)[0], 0.8)])
+        assert strat._best is not None
+        _reset(strat)
+        assert strat._best is None
+        assert strat.scale == pytest.approx(strat._initial_scale)
+
+
+class TestMakeStrategy:
+    def test_none_resolves_to_default(self):
+        assert make_strategy(None).name == DEFAULT_STRATEGY
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_names_resolve(self, name):
+        strat = make_strategy(name)
+        assert strat.name == name
+        assert isinstance(strat, SearchStrategy)
+
+    def test_instance_passes_through(self):
+        strat = RandomStrategy()
+        assert make_strategy(strat) is strat
+
+    def test_unknown_name_raises_one_line_tdferror(self):
+        with pytest.raises(TdfError, match="unknown search strategy"):
+            make_strategy("annealing")
+
+    def test_non_protocol_object_rejected(self):
+        with pytest.raises(TdfError, match="SearchStrategy protocol"):
+            make_strategy(object())

@@ -1,0 +1,148 @@
+"""Tests for the stimulus parameter spaces (repro.generation.space)."""
+
+import random
+
+import pytest
+
+from repro.generation import (
+    EncodedParams,
+    Param,
+    ParameterSpace,
+    SPACES,
+    decode_candidates,
+    space_for,
+)
+from repro.tdf.errors import TdfError
+
+
+class TestParam:
+    def test_float_sample_in_range(self):
+        p = Param("x", -1.0, 2.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert -1.0 <= p.sample(rng) <= 2.0
+
+    def test_int_sample_is_integral(self):
+        p = Param("n", 2, 9, kind="int")
+        rng = random.Random(0)
+        for _ in range(50):
+            v = p.sample(rng)
+            assert v == int(v)
+            assert 2 <= v <= 9
+
+    def test_log_sample_in_range(self):
+        p = Param("r", 0.1, 1000.0, kind="log")
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 0.1 <= p.sample(rng) <= 1000.0
+
+    def test_mutate_stays_in_range(self):
+        rng = random.Random(1)
+        for p in (
+            Param("x", 0.0, 1.0),
+            Param("n", 0, 5, kind="int"),
+            Param("r", 0.5, 50.0, kind="log"),
+        ):
+            v = p.sample(rng)
+            for _ in range(50):
+                v = p.mutate(rng, v, scale=0.3)
+                assert p.lo <= v <= p.hi
+
+    def test_quantize_is_candidate_identity(self):
+        p = Param("x", 0.0, 1.0)
+        assert p.quantize(0.1234567894) == p.quantize(0.1234567891)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown param kind"):
+            Param("x", 0.0, 1.0, kind="gamma")
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError, match="lo"):
+            Param("x", 2.0, 1.0)
+
+    def test_log_needs_positive_lo(self):
+        with pytest.raises(ValueError, match="log range"):
+            Param("x", 0.0, 1.0, kind="log")
+
+
+def _toy_space() -> ParameterSpace:
+    def build(name, params):  # pragma: no cover - never simulated here
+        raise AssertionError("toy space does not build")
+
+    return ParameterSpace(
+        system="toy",
+        builder=build,
+        params=(Param("a", 0.0, 1.0), Param("b", 0, 3, kind="int")),
+    )
+
+
+class TestParameterSpace:
+    def test_sample_covers_all_params(self):
+        space = _toy_space()
+        vec = space.sample(random.Random(0))
+        assert set(vec) == {"a", "b"}
+
+    def test_mutate_changes_at_least_one_gene(self):
+        # Float-only space: a gaussian nudge essentially never rounds
+        # back to the incumbent value (int genes may resample equal).
+        space = ParameterSpace(
+            system="floaty", builder=lambda n, p: None,
+            params=(Param("a", 0.0, 1.0), Param("b", -2.0, 2.0)),
+        )
+        rng = random.Random(0)
+        vec = space.sample(rng)
+        for _ in range(20):
+            assert space.mutate(rng, vec, scale=0.2) != vec
+
+    def test_encode_is_sorted_and_canonical(self):
+        space = _toy_space()
+        enc = space.encode({"b": 2.0, "a": 0.5})
+        assert enc == (("a", 0.5), ("b", 2.0))
+
+    def test_encode_rejects_missing_params(self):
+        with pytest.raises(ValueError, match="missing param"):
+            _toy_space().encode({"a": 0.5})
+
+    def test_duplicate_param_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate param names"):
+            ParameterSpace(
+                system="dup", builder=lambda n, p: None,
+                params=(Param("a", 0.0, 1.0), Param("a", 0.0, 2.0)),
+            )
+
+    def test_candidate_name_deterministic(self):
+        space = _toy_space()
+        params = {"a": 0.25, "b": 1.0}
+        name = space.candidate_name(params)
+        assert name == space.candidate_name(dict(params))
+        assert name.startswith("gen_toy_")
+
+    def test_candidate_name_depends_on_values(self):
+        space = _toy_space()
+        assert space.candidate_name({"a": 0.25, "b": 1.0}) != space.candidate_name(
+            {"a": 0.25, "b": 2.0}
+        )
+
+
+class TestBundledSpaces:
+    @pytest.mark.parametrize("system", sorted(SPACES))
+    def test_space_builds_a_testcase(self, system):
+        space = space_for(system)
+        assert space.system == system
+        vec = space.sample(random.Random(0))
+        tc = space.build(vec)
+        assert tc.name == space.candidate_name(vec)
+        assert tc.duration.to_seconds() > 0
+
+    def test_decode_candidates_round_trip(self):
+        space = space_for("sensor")
+        rng = random.Random(7)
+        encoded = [space.encode(space.sample(rng)) for _ in range(3)]
+        rebuilt = decode_candidates("sensor", encoded)
+        assert [tc.name for tc in rebuilt] == [
+            space.candidate_name(dict(enc)) for enc in encoded
+        ]
+
+    def test_unknown_system_raises_one_line_tdferror(self):
+        with pytest.raises(TdfError, match="no stimulus parameter space"):
+            space_for("toaster")

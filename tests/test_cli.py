@@ -295,3 +295,55 @@ class TestImportFailures:
         assert main(["static", "sensor"]) == 0  # static doesn't need the suite
         assert main(["run", "sensor"]) == 1
         assert "cannot import" in capsys.readouterr().err
+
+
+class TestGenerate:
+    ARGS = ["generate", "sensor", "--seed", "0", "--budget-simulations", "25"]
+
+    def test_text_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "coverage-guided generation for sensor" in out
+        assert "targets:" in out
+        assert "accepted testcase(s)" in out
+
+    def test_json_report_schema(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-dft-generation/1"
+        assert payload["counts"]["closed"] >= 1
+        assert payload["counts"]["simulations"] <= 25
+        assert payload["seed"] == 0
+        assert payload["strategy"] == "mutation"
+
+    def test_output_file(self, tmp_path, capsys):
+        out_json = tmp_path / "generation.json"
+        assert main(self.ARGS + ["--output", str(out_json)]) == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["schema"] == "repro-dft-generation/1"
+        assert capsys.readouterr().err.strip().endswith(str(out_json))
+
+    def test_deterministic_json_across_worker_counts(self, capsys):
+        payloads = []
+        for workers in ("1", "2"):
+            assert main(self.ARGS + ["--json", "--workers", workers]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            del payload["throughput"]  # wall-clock timing may differ
+            payloads.append(payload)
+        assert payloads[0] == payloads[1]
+
+    def test_random_strategy_flag(self, capsys):
+        assert main(self.ARGS + ["--json", "--strategy", "random"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"] == "random"
+
+    def test_unknown_strategy_exits_via_argparse(self):
+        with pytest.raises(SystemExit) as exc:
+            main(self.ARGS + ["--strategy", "simulated-annealing"])
+        assert exc.value.code == 2
+
+    def test_riscv_has_no_space_yet(self):
+        # The riscv platform has no bundled stimulus space: argparse
+        # rejects it at the subcommand level rather than mid-run.
+        with pytest.raises(SystemExit):
+            main(["generate", "riscv_platform"])

@@ -1,11 +1,50 @@
 """Smoke tests for the package-level public API."""
 
+import pytest
+
 import repro
+
+#: The full package-level contract.  A name added to (or dropped from)
+#: ``repro.__all__`` is an API change and must update this list.
+EXPECTED_ALL = [
+    "AssocClass",
+    "Association",
+    "Cluster",
+    "CoverageResult",
+    "Criterion",
+    "DftConfig",
+    "GenerationCampaign",
+    "GenerationResult",
+    "IterativeCampaign",
+    "PipelineResult",
+    "ScaTime",
+    "Simulator",
+    "TdfIn",
+    "TdfModule",
+    "TdfOut",
+    "TestCase",
+    "TestSuite",
+    "__version__",
+    "evaluate_all",
+    "format_iteration_table",
+    "format_matrix",
+    "format_summary",
+    "generate_suite",
+    "ms",
+    "ns",
+    "run_dft",
+    "satisfied",
+    "sec",
+    "us",
+]
 
 
 class TestPublicApi:
     def test_version(self):
         assert repro.__version__ == "1.0.0"
+
+    def test_all_matches_the_contract(self):
+        assert sorted(repro.__all__) == EXPECTED_ALL
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -14,6 +53,7 @@ class TestPublicApi:
     def test_subpackage_all_exports_resolve(self):
         import repro.analysis
         import repro.core
+        import repro.generation
         import repro.instrument
         import repro.rv32
         import repro.tdf
@@ -21,11 +61,57 @@ class TestPublicApi:
         import repro.testing
 
         for module in [
-            repro.analysis, repro.core, repro.instrument, repro.rv32,
-            repro.tdf, repro.tdf.library, repro.testing,
+            repro.analysis, repro.core, repro.generation, repro.instrument,
+            repro.rv32, repro.tdf, repro.tdf.library, repro.testing,
         ]:
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
 
     def test_headline_workflow_importable_from_root(self):
-        from repro import TestSuite, run_dft  # noqa: F401
+        from repro import DftConfig, TestSuite, generate_suite, run_dft  # noqa: F401
+
+
+class TestDeprecatedKwargShims:
+    """The legacy keyword arguments stay for one release as shims that
+    warn and fold into a :class:`repro.DftConfig` — producing the exact
+    result the config path produces."""
+
+    def test_run_dft_engine_kwarg_matches_config(self):
+        from repro import DftConfig, TestSuite, run_dft
+        from repro.systems.sensor import SenseTop, paper_testcases
+
+        via_config = run_dft(
+            lambda: SenseTop(),
+            TestSuite("paper", paper_testcases()),
+            DftConfig(engine="interp"),
+        )
+        with pytest.warns(DeprecationWarning, match="engine.*deprecated"):
+            via_kwarg = run_dft(
+                lambda: SenseTop(),
+                TestSuite("paper", paper_testcases()),
+                engine="interp",
+            )
+        assert (
+            via_kwarg.coverage.overall_percent
+            == via_config.coverage.overall_percent
+        )
+        assert (
+            via_kwarg.coverage.exercised_total
+            == via_config.coverage.exercised_total
+        )
+        assert {a.key for a in via_kwarg.coverage.missed()} == {
+            a.key for a in via_config.coverage.missed()
+        }
+
+    def test_config_path_does_not_warn(self, recwarn):
+        from repro import DftConfig, TestSuite, run_dft
+        from repro.systems.sensor import SenseTop, paper_testcases
+
+        run_dft(
+            lambda: SenseTop(),
+            TestSuite("paper", paper_testcases()),
+            DftConfig(),
+        )
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]

@@ -29,7 +29,22 @@ Subcommands:
     Run the performance benchmark and emit machine-readable JSON
     (see :mod:`repro.bench`).
 ``telemetry-report <file>``
-    Pretty-print a telemetry JSONL file saved with ``--telemetry``.
+    Pretty-print a telemetry JSONL file saved with ``--telemetry``
+    (malformed lines are skipped and counted, not fatal).
+``history {list,diff,trend}``
+    Query the persistent run-history ledger: list recorded runs, diff
+    two records field by field (defaults to the latest two), or print
+    / export (``--export file.csv|.jsonl``) the per-class coverage
+    trend (see :mod:`repro.obs.store.history`).
+
+``run``, ``campaign``, ``mutate`` and ``generate`` append one record
+per invocation to the history ledger under the cache directory
+(``--history-dir`` overrides the location, ``--no-history`` opts out);
+``mutate`` and ``generate`` accept ``--warm-start`` to reuse verdicts
+/ seeds from the most recent matching record.  ``run``, ``campaign``
+and ``generate`` accept ``--probe-store columnar`` (with
+``--store-chunk-size`` / ``--store-dir``) to record probe events
+through the spilling columnar store instead of in-memory lists.
 
 ``static``, ``run`` and ``campaign`` accept ``--telemetry PATH`` (save
 a JSON-lines event log) and ``--trace-events PATH`` (save a Chrome /
@@ -46,6 +61,7 @@ heuristic that stays serial on single-CPU hosts and tiny suites),
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
@@ -196,6 +212,35 @@ def _build_parser() -> argparse.ArgumentParser:
              "bit-identical either way",
     )
 
+    history_opts = argparse.ArgumentParser(add_help=False)
+    history_opts.add_argument(
+        "--history-dir", metavar="PATH",
+        help="append the run record to the history ledger under PATH "
+             "(default: <cache-dir>/history)",
+    )
+    history_opts.add_argument(
+        "--no-history", action="store_true",
+        help="do not record this invocation in the run-history ledger",
+    )
+
+    store_opts = argparse.ArgumentParser(add_help=False)
+    store_opts.add_argument(
+        "--probe-store", choices=["memory", "columnar"], default="memory",
+        help="probe-event recording backend: in-memory lists (default) "
+             "or the columnar store with chunked disk spillover "
+             "(O(1) memory in simulation length; identical coverage)",
+    )
+    store_opts.add_argument(
+        "--store-chunk-size", type=int, default=None, metavar="N",
+        help="rows per columnar chunk before spilling to disk "
+             "(default: 65536)",
+    )
+    store_opts.add_argument(
+        "--store-dir", metavar="PATH",
+        help="directory for columnar spill files (default: the "
+             "platform temp dir; files are deleted after each testcase)",
+    )
+
     sub.add_parser("list", help="list bundled systems")
 
     p_static = sub.add_parser(
@@ -206,7 +251,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser(
         "run", help="full DFT pipeline",
-        parents=[telemetry_opts, cache_opts, engine_opts],
+        parents=[telemetry_opts, cache_opts, engine_opts, store_opts,
+                 history_opts],
     )
     p_run.add_argument("system", choices=sorted(SYSTEMS))
     p_run.add_argument(
@@ -229,7 +275,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_campaign = sub.add_parser(
         "campaign", help="iterative refinement (Table II)",
-        parents=[telemetry_opts, cache_opts, engine_opts],
+        parents=[telemetry_opts, cache_opts, engine_opts, store_opts,
+                 history_opts],
     )
     p_campaign.add_argument("system", choices=["window_lifter", "buck_boost"])
     p_campaign.add_argument(
@@ -245,7 +292,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_mutate = sub.add_parser(
         "mutate", help="mutation analysis (kill matrix + criterion join)",
-        parents=[telemetry_opts, cache_opts, engine_opts],
+        parents=[telemetry_opts, cache_opts, engine_opts, history_opts],
+    )
+    p_mutate.add_argument(
+        "--warm-start", action="store_true",
+        help="reuse per-mutant verdicts from the most recent matching "
+             "history record (same design, config and suite)",
     )
     p_mutate.add_argument(
         "system", choices=sorted(SYSTEMS) + ["random"],
@@ -303,7 +355,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_generate = sub.add_parser(
         "generate", help="coverage-guided testcase generation",
-        parents=[telemetry_opts, cache_opts, engine_opts],
+        parents=[telemetry_opts, cache_opts, engine_opts, store_opts,
+                 history_opts],
+    )
+    p_generate.add_argument(
+        "--warm-start", action="store_true",
+        help="re-evaluate the accepted candidates of the most recent "
+             "matching history record before searching fresh",
     )
     p_generate.add_argument(
         "system", choices=["buck_boost", "sensor", "window_lifter"],
@@ -361,7 +419,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--sections", nargs="+", metavar="NAME",
         choices=["campaign", "parallel", "static_cache", "schedule_cache",
-                 "engine", "mutation", "generation"],
+                 "engine", "mutation", "generation", "store"],
         help="run only the named sections (default: all)",
     )
     p_bench.add_argument(
@@ -377,7 +435,102 @@ def _build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--no-metrics", action="store_true", help="show only the span tree"
     )
+
+    p_history = sub.add_parser(
+        "history",
+        help="query the persistent run-history ledger (list / diff / trend)",
+    )
+    p_history.add_argument(
+        "action", choices=["list", "diff", "trend"],
+        help="list records, diff two records, or show the coverage trend",
+    )
+    p_history.add_argument(
+        "runs", nargs="*", metavar="RUN_ID",
+        help="for diff: two run-id prefixes (default: the latest two "
+             "matching records)",
+    )
+    p_history.add_argument(
+        "--history-dir", metavar="PATH",
+        help="history ledger directory (default: <cache-dir>/history)",
+    )
+    p_history.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="cache directory the default ledger lives under",
+    )
+    p_history.add_argument(
+        "--system", metavar="NAME", help="only records for this system"
+    )
+    p_history.add_argument(
+        "--kind", choices=["run", "campaign", "mutation", "generation"],
+        help="only records of this kind",
+    )
+    p_history.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only the most recent N matching records",
+    )
+    p_history.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
+    p_history.add_argument(
+        "--export", metavar="PATH",
+        help="for trend: also write the rows to PATH "
+             "(.csv -> CSV, anything else -> JSON-lines)",
+    )
     return parser
+
+
+def _validate_output_paths(args) -> None:
+    """Fail fast when a requested output file cannot be written.
+
+    The same up-front contract as ``--cache-dir``: the analysis may run
+    for minutes while the telemetry/trace write only happens at the
+    end, so an unusable path must be a one-line error *before* the run,
+    not a traceback after it.
+    """
+    for flag, attr in (("--telemetry", "telemetry"),
+                       ("--trace-events", "trace_events")):
+        path = getattr(args, attr, None)
+        if not path:
+            continue
+        expanded = os.path.expanduser(path)
+        parent = os.path.dirname(expanded) or "."
+        try:
+            os.makedirs(parent, exist_ok=True)
+        except OSError as exc:
+            raise OSError(f"{flag} {path!r} is not usable: {exc}") from None
+        if os.path.isdir(expanded) or not os.access(parent, os.W_OK):
+            raise OSError(f"{flag} {path!r} is not a writable file path")
+
+
+def _resolve_history(args, cfg: DftConfig) -> DftConfig:
+    """Fold the ``--history-dir`` / ``--no-history`` flags into ``cfg``.
+
+    History is on by default, living under the cache directory; an
+    *explicitly* requested directory is validated up front (like
+    ``--cache-dir``), while the implicit default stays best-effort —
+    the ledger being unwritable must never fail an analysis run the
+    user did not ask to record.
+    """
+    if getattr(args, "no_history", False):
+        return cfg.replace(history_dir=None)
+    explicit = getattr(args, "history_dir", None)
+    if explicit:
+        expanded = os.path.expanduser(explicit)
+        try:
+            os.makedirs(expanded, exist_ok=True)
+        except OSError as exc:
+            raise OSError(
+                f"--history-dir {explicit!r} is not usable: {exc}"
+            ) from None
+        if not os.access(expanded, os.W_OK):
+            raise OSError(
+                f"--history-dir {explicit!r} is not a writable directory"
+            )
+        return cfg.replace(history_dir=explicit)
+    from .obs.store import default_history_dir
+
+    return cfg.replace(history_dir=default_history_dir(cfg.cache_dir))
 
 
 @contextmanager
@@ -412,6 +565,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     args = _build_parser().parse_args(argv)
     try:
+        _validate_output_paths(args)
         with _maybe_telemetry(args):
             return _dispatch(args)
     except ImportError as exc:
@@ -437,7 +591,7 @@ def _cmd_mutate(args) -> int:
         write_csv,
     )
 
-    cfg = DftConfig.from_args(args)
+    cfg = _resolve_history(args, DftConfig.from_args(args))
     cfg.apply_static_cache()
     if args.operators:
         unknown = [op for op in args.operators if op not in ALL_OPERATORS]
@@ -504,7 +658,7 @@ def _cmd_generate(args) -> int:
 
     from .generation import build_report, format_report, generate_suite
 
-    cfg = DftConfig.from_args(args)
+    cfg = _resolve_history(args, DftConfig.from_args(args))
     cfg.apply_static_cache()
     entry = SYSTEMS[args.system]
     base = TestSuite(args.system, entry["suite"]())
@@ -527,6 +681,77 @@ def _cmd_generate(args) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(format_report(payload))
+    return 0
+
+
+def _cmd_history(args) -> int:
+    import json
+
+    from .obs.store import (
+        RunHistory,
+        default_history_dir,
+        diff_records,
+        format_diff,
+        format_history_table,
+        format_trend,
+        trend_rows,
+    )
+
+    directory = args.history_dir or default_history_dir(args.cache_dir)
+    history = RunHistory(directory)
+    records = history.records(
+        system=args.system, kind=args.kind, limit=args.limit
+    )
+
+    if args.action == "diff":
+        if args.runs:
+            if len(args.runs) != 2:
+                raise ValueError(
+                    "history diff takes exactly two run ids "
+                    "(or none for the latest two matching records)"
+                )
+            pair = []
+            for run_id in args.runs:
+                record = history.get(run_id)
+                if record is None:
+                    raise ValueError(
+                        f"run id {run_id!r} not found in {history.path}"
+                    )
+                pair.append(record)
+        else:
+            if len(records) < 2:
+                raise ValueError(
+                    f"history diff needs two recorded runs; the ledger at "
+                    f"{history.path} has {len(records)} matching"
+                )
+            pair = records[-2:]
+        diff = diff_records(pair[0], pair[1])
+        if args.json:
+            print(json.dumps(diff, indent=2))
+        else:
+            print(format_diff(diff))
+        return 0
+
+    if args.action == "trend":
+        rows = trend_rows(records)
+        if args.export:
+            from .obs import write_trend_csv, write_trend_jsonl
+
+            if args.export.endswith(".csv"):
+                write_trend_csv(rows, args.export)
+            else:
+                write_trend_jsonl(rows, args.export)
+            print(f"trend export written to {args.export}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(format_trend(rows))
+        return 0
+
+    if args.json:
+        print(json.dumps(records, indent=2))
+    else:
+        print(format_history_table(records))
     return 0
 
 
@@ -559,7 +784,7 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "run":
-        cfg = DftConfig.from_args(args)
+        cfg = _resolve_history(args, DftConfig.from_args(args))
         cfg.apply_static_cache()
         entry = SYSTEMS[args.system]
         suite = TestSuite(args.system, entry["suite"]())
@@ -587,7 +812,7 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "campaign":
-        cfg = DftConfig.from_args(args)
+        cfg = _resolve_history(args, DftConfig.from_args(args))
         cfg.apply_static_cache()
         campaign = _campaign(args.system, cfg)
         records = campaign.run()
@@ -621,8 +846,27 @@ def _dispatch(args) -> int:
     if args.command == "telemetry-report":
         from .obs import format_tree, read_jsonl
 
-        print(format_tree(read_jsonl(args.file), metrics=not args.no_metrics))
+        run = read_jsonl(args.file, strict=False)
+        if run["skipped_lines"]:
+            # Tolerate a corrupted tail or foreign records, but a file
+            # with *no* valid telemetry lines is the wrong file, not a
+            # damaged one.
+            if not (run["meta"] or run["spans"] or run["metrics"]):
+                raise ValueError(
+                    f"{args.file} is not a telemetry event log (unknown "
+                    f"telemetry record type on every line; "
+                    f"{run['skipped_lines']} line(s) skipped)"
+                )
+            print(
+                f"repro-dft: warning: skipped {run['skipped_lines']} "
+                f"malformed line(s) in {args.file}",
+                file=sys.stderr,
+            )
+        print(format_tree(run, metrics=not args.no_metrics))
         return 0
+
+    if args.command == "history":
+        return _cmd_history(args)
 
     return 2  # pragma: no cover - argparse enforces commands
 

@@ -70,6 +70,13 @@ class DftConfig:
     determinism
         ``seed`` — the master seed for every seeded decision
         (mutant sampling, stimulus search).
+    recording / history
+        ``probe_store`` — the probe recording backend (``"memory"`` or
+        ``"columnar"``; coverage results are identical either way);
+        ``store_chunk_size`` / ``store_dir`` — columnar spill tuning;
+        ``history_dir`` — when set, every run appends one record to the
+        run-history ledger there; ``warm_start`` — let mutation and
+        generation seed from the latest matching history record.
     """
 
     engine: str = "auto"
@@ -85,6 +92,11 @@ class DftConfig:
     budget_seconds: Optional[float] = None
     budget_simulations: Optional[int] = None
     seed: int = 0
+    probe_store: str = "memory"
+    store_chunk_size: Optional[int] = None
+    store_dir: Optional[str] = None
+    history_dir: Optional[str] = None
+    warm_start: bool = False
 
     # -- derivation -----------------------------------------------------------
 
@@ -111,6 +123,10 @@ class DftConfig:
             "budget_simulations": "budget_simulations",
             "cache_dir": "cache_dir",
             "warn": "warn",
+            "probe_store": "probe_store",
+            "store_chunk_size": "store_chunk_size",
+            "store_dir": "store_dir",
+            "warm_start": "warm_start",
         }
         values: dict = {}
         for attr, fld in field_map.items():
@@ -210,6 +226,54 @@ class DftConfig:
                     f"--cache-dir {self.cache_dir!r} is not a writable directory"
                 )
             cache.set_disk_dir(self.cache_dir)
+
+    # -- recording / history ---------------------------------------------------
+
+    def config_hash(self) -> str:
+        """Short stable hash of the result-shaping knobs.
+
+        Only fields that can change a run's *outcome* participate
+        (engine choice, warning mode, oracle tolerance, budgets, seed);
+        fan-out and cache switches don't — two runs differing only in
+        ``workers`` hash identically, and history diffs treat them as
+        the same configuration.
+        """
+        import hashlib
+
+        payload = "|".join(
+            str(v)
+            for v in (
+                self.engine,
+                self.warn,
+                self.tolerance,
+                self.budget_seconds,
+                self.budget_simulations,
+                self.seed,
+            )
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+    def probe_store_spec(self):
+        """The :class:`~repro.obs.store.ProbeStoreSpec` this config
+        implies, or ``None`` for the in-memory default."""
+        if self.probe_store == "memory":
+            return None
+        from ..obs.store import ProbeStoreSpec
+
+        return ProbeStoreSpec(
+            kind=self.probe_store,
+            chunk_size=self.store_chunk_size,
+            spill_dir=self.store_dir,
+        )
+
+    def run_history(self):
+        """The :class:`~repro.obs.store.RunHistory` ledger this config
+        points at, or ``None`` when history recording is off."""
+        if not self.history_dir:
+            return None
+        from ..obs.store import RunHistory
+
+        return RunHistory(self.history_dir)
 
 
 def fold_legacy_kwargs(

@@ -134,13 +134,13 @@ def run_dft(
         with tel.span("dynamic") as span_dynamic:
             dynamic = _run_dynamic(
                 counted_factory, static, suite, cfg.warn, tel, cfg.executor,
-                cfg.result_cache, cfg.engine,
+                cfg.result_cache, cfg.engine, cfg.probe_store_spec(),
             )
         with tel.span("coverage") as span_coverage:
             coverage = CoverageResult(static, dynamic)
             # Touch the aggregate numbers so the 'coverage' timing is honest.
             coverage.class_coverage()
-    return PipelineResult(
+    result = PipelineResult(
         static=static,
         dynamic=dynamic,
         coverage=coverage,
@@ -151,6 +151,37 @@ def run_dft(
         },
         telemetry=tel,
     )
+    _record_history(cfg, suite, result)
+    return result
+
+
+def _record_history(
+    cfg: DftConfig, suite: TestSuite, result: PipelineResult
+) -> None:
+    """Append one ``run`` record to the history ledger (best-effort).
+
+    History is an observability side channel: an unwritable ledger must
+    never fail the analysis run itself, so I/O errors are swallowed
+    (the CLI validates explicitly requested history dirs up front).
+    """
+    history = cfg.run_history()
+    if history is None:
+        return
+    from ..obs.store import build_record
+
+    record = build_record(
+        "run",
+        system=suite.name,
+        fingerprint=result.static.fingerprint,
+        config_hash=cfg.config_hash(),
+        suite_names=[tc.name for tc in suite],
+        coverage=result.coverage,
+        telemetry=result.telemetry,
+    )
+    try:
+        history.append(record)
+    except OSError:
+        pass
 
 
 def _run_dynamic(
@@ -162,6 +193,7 @@ def _run_dynamic(
     executor: Optional["DynamicExecutor"],
     result_cache: Optional["DynamicResultCache"],
     engine: Optional[str] = "auto",
+    probe_store=None,
 ) -> "DynamicResult":
     """Execute the dynamic stage through the chosen backend and cache.
 
@@ -193,7 +225,7 @@ def _run_dynamic(
         pending_suite = TestSuite(suite.name, pending)
         fresh = executor.run_suite(
             cluster_factory, static, pending_suite, warn=warn, telemetry=tel,
-            engine=engine,
+            engine=engine, probe_store=probe_store,
         )
     else:
         fresh = DynamicResult()

@@ -146,13 +146,61 @@ class IterativeCampaign:
             cfg = cfg.replace(result_cache=DynamicResultCache())
         elif not cfg.reuse_dynamic_results:
             cfg = cfg.replace(result_cache=None)
+        # One canonical history record for the whole campaign; the inner
+        # pipeline runs must not each add a "run" entry of their own.
+        inner_cfg = cfg.replace(history_dir=None)
         records: List[IterationRecord] = []
+        result: Optional[PipelineResult] = None
+        suite: Optional[TestSuite] = None
         for index in range(len(self._batches)):
             suite = self.suite_for(index)
-            result: PipelineResult = run_dft(self.cluster_factory, suite, cfg)
+            result = run_dft(self.cluster_factory, suite, inner_cfg)
             coverage = result.coverage
             records.append(_record_for(index, suite, coverage))
+        self._record_history(cfg, suite, result, records)
         return records
+
+    def _record_history(
+        self,
+        cfg: DftConfig,
+        suite: Optional[TestSuite],
+        result: Optional[PipelineResult],
+        records: List[IterationRecord],
+    ) -> None:
+        """Append one ``campaign`` record (final-iteration coverage plus
+        the per-iteration trajectory) to the history ledger."""
+        history = cfg.run_history()
+        if history is None or result is None or suite is None:
+            return
+        from ..obs.store import build_record
+
+        record = build_record(
+            "campaign",
+            system=self.name,
+            fingerprint=result.static.fingerprint,
+            config_hash=cfg.config_hash(),
+            suite_names=[tc.name for tc in suite],
+            coverage=result.coverage,
+            telemetry=result.telemetry,
+            extra={
+                "campaign": {
+                    "iterations": len(records),
+                    "trajectory": [
+                        {
+                            "index": rec.index,
+                            "tests": rec.tests,
+                            "exercised": rec.exercised_total,
+                            "percent": round(rec.overall_percent, 2),
+                        }
+                        for rec in records
+                    ],
+                }
+            },
+        )
+        try:
+            history.append(record)
+        except OSError:
+            pass
 
 
 def _record_for(

@@ -60,6 +60,9 @@ class _WorkerJob:
     record_telemetry: bool
     engine: str = "auto"
     suite_args: Tuple = ()
+    #: Optional probe-store spec (frozen dataclass of primitives, so it
+    #: pickles to every worker; each worker builds its own stores).
+    probe_store: Optional[Any] = None
 
 
 def _run_worker(job: _WorkerJob) -> Tuple[List[Tuple[str, "MatchResult"]], List[dict], float]:
@@ -87,7 +90,7 @@ def _run_worker(job: _WorkerJob) -> Tuple[List[Tuple[str, "MatchResult"]], List[
         analyzer = DynamicAnalyzer(
             factory, static, warn=job.warn,
             telemetry=tel if job.record_telemetry else None,
-            engine=job.engine,
+            engine=job.engine, probe_store=job.probe_store,
         )
         for name in job.names:
             results.append((name, analyzer.run_testcase(testcases[name])))
@@ -132,6 +135,7 @@ class ProcessExecutor(DynamicExecutor):
         warn: bool = False,
         telemetry: Optional[Telemetry] = None,
         engine: Optional[str] = "auto",
+        probe_store=None,
     ) -> "DynamicResult":
         from ..instrument.runner import DynamicResult
 
@@ -162,6 +166,7 @@ class ProcessExecutor(DynamicExecutor):
                 record_telemetry=tel.enabled,
                 engine=engine if engine is not None else "auto",
                 suite_args=self.suite_args,
+                probe_store=probe_store,
             )
             for shard in shards
         ]

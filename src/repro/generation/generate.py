@@ -248,6 +248,7 @@ class _Evaluator:
             dynamic = executor.run_suite(
                 self.cluster_factory, self.static, suite,
                 warn=self.cfg.warn, telemetry=self.tel, engine=self.cfg.engine,
+                probe_store=self.cfg.probe_store_spec(),
             )
             for name, _ in pending:
                 match = dynamic.per_testcase[name]
@@ -296,7 +297,10 @@ def generate_suite(
     space = space if space is not None else space_for(system)
     strat = make_strategy(strategy)
     cache = cfg.result_cache if cfg.result_cache is not None else DynamicResultCache()
-    run_cfg = cfg.replace(result_cache=cache, telemetry=tel)
+    # Inner pipeline runs must not add history entries of their own —
+    # the whole generation run appends exactly one record at the end.
+    run_cfg = cfg.replace(result_cache=cache, telemetry=tel, history_dir=None)
+    history = cfg.run_history()
     t0 = time.perf_counter()
 
     with tel.span(
@@ -324,6 +328,49 @@ def generate_suite(
         generated: List[GeneratedTest] = []
         outcomes: List[TargetOutcome] = []
         accepted_names: Set[str] = set()
+
+        # -- warm start from the history ledger ----------------------------
+        # Candidates accepted by the most recent matching run (same base
+        # suite, fingerprint and config hash) are re-evaluated first —
+        # usually straight from the result cache — so the search only
+        # works on targets the previous run did not already close.
+        if cfg.warm_start and history is not None and targets:
+            from ..obs.store import suite_sha as _suite_sha
+
+            prior = history.latest(
+                kind="generation",
+                system=system,
+                fingerprint=baseline.static.fingerprint,
+                config_hash=cfg.config_hash(),
+                suite=_suite_sha([tc.name for tc in base_suite]),
+            )
+            payload = (prior or {}).get("generation") or {}
+            seeds: List[Dict[str, float]] = []
+            if payload.get("space_version") == space.version:
+                for entry in payload.get("accepted") or []:
+                    params = entry.get("params") or []
+                    try:
+                        seeds.append({str(k): float(v) for k, v in params})
+                    except (TypeError, ValueError):
+                        continue
+            if seeds:
+                reused = 0
+                for name, encoded, match in evaluator.run(seeds, budget):
+                    newly = tuple(
+                        sorted(k for k in open_keys if k in match.pairs)
+                    )
+                    if newly and name not in accepted_names:
+                        accepted_names.add(name)
+                        generated.append(GeneratedTest(
+                            name=name, system=system, params=encoded,
+                            closed=newly, sought=newly[0],
+                        ))
+                        reused += 1
+                        for k in newly:
+                            open_keys.discard(k)
+                            closed_by[k] = name
+                if tel.enabled and reused:
+                    tel.metrics.counter("generation.warm_reused").inc(reused)
 
         # -- search, strongest class first --------------------------------
         for assoc in targets:
@@ -420,6 +467,43 @@ def generate_suite(
             stop_reason = budget.exhausted_by
         else:
             stop_reason = "exhausted"
+
+    if history is not None:
+        from ..obs.store import build_record
+
+        record = build_record(
+            "generation",
+            system=system,
+            # Keyed by the *input* suite, so a later warm start with the
+            # same base suite finds this record; the grown suite lives
+            # in the generation payload.
+            fingerprint=baseline.static.fingerprint,
+            config_hash=cfg.config_hash(),
+            suite_names=[tc.name for tc in base_suite],
+            coverage=final.coverage,
+            telemetry=final.telemetry,
+            extra={
+                "generation": {
+                    "space_version": space.version,
+                    "strategy": strat.name,
+                    "accepted": [
+                        {"name": g.name, "params": [[k, v] for k, v in g.params]}
+                        for g in generated
+                    ],
+                    "closed": sum(
+                        1 for t in outcomes if t.status in ("closed", "pre_closed")
+                    ),
+                    "targets": len(targets),
+                    "simulations": budget.simulations,
+                    "stop_reason": stop_reason,
+                    "final_tests": len(final_suite),
+                }
+            },
+        )
+        try:
+            history.append(record)
+        except OSError:
+            pass
 
     return GenerationResult(
         system=system,

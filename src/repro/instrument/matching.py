@@ -80,9 +80,16 @@ def match_events(
     result = MatchResult(testcase=testcase)
     buf = getattr(probe, "_buf", None)
     if buf is not None:
-        # Batched probe: consume the flat tuple buffer directly (it is
-        # already in sequence order) without materialising dataclasses.
-        _match_batched(buf, model_start_lines, result, warn)
+        if getattr(buf, "streaming", False):
+            # Columnar store: two passes over the (re-iterable) stream;
+            # decoded tuples are transient, so nothing here may key on
+            # object identity or retain events.
+            _match_streaming(buf, model_start_lines, result, warn)
+        else:
+            # Batched probe: consume the flat tuple buffer directly (it
+            # is already in sequence order) without materialising
+            # dataclasses.
+            _match_batched(buf, model_start_lines, result, warn)
         return result
     _match_var_events(probe.var_events, result)
     _match_port_events(
@@ -205,6 +212,148 @@ def _match_batched(
             add_pair((ev[3], ev[4], start, ev[5], ev[6]))
         else:
             add_pair((w[3], w[4], w[5], ev[5], ev[6]))
+
+
+class _SignalWrites:
+    """Run-length compressed per-signal write index for streaming.
+
+    The batched matcher keeps one dict entry per written token; for a
+    streamed million-event run that is exactly the O(events) footprint
+    the store removes, so this index compresses the common shape —
+    consecutive token indices written by the same source site — into
+    ``(start, end, site)`` runs, with a small exception dict for
+    out-of-order or re-written tokens.  Periodic single-site writers
+    (every bundled system) collapse to a handful of runs regardless of
+    simulation length.
+
+    Last-by-sequence semantics are preserved structurally: a run entry
+    at token ``t`` is only ever created while the frontier (greatest
+    token seen) is below ``t``, whereas an exception at ``t`` is
+    created at or behind the frontier — i.e. strictly later in the
+    stream — so on a floor query an exception shadows a run entry at
+    the same token, and dict assignment keeps the last exception.
+    """
+
+    __slots__ = (
+        "run_starts", "run_ends", "run_sites",
+        "exceptions", "_exc_sorted", "_exc_dirty",
+    )
+
+    def __init__(self) -> None:
+        self.run_starts: List[int] = []
+        self.run_ends: List[int] = []
+        self.run_sites: List[tuple] = []
+        self.exceptions: Dict[int, tuple] = {}
+        self._exc_sorted: List[int] = []
+        self._exc_dirty = False
+
+    def add(self, token: int, site: tuple) -> None:
+        ends = self.run_ends
+        if ends:
+            frontier = ends[-1]
+            if token == frontier + 1 and site == self.run_sites[-1]:
+                ends[-1] = token
+                return
+            if token <= frontier:
+                self.exceptions[token] = site
+                self._exc_dirty = True
+                return
+        self.run_starts.append(token)
+        ends.append(token)
+        self.run_sites.append(site)
+
+    def floor(self, token: int) -> Optional[tuple]:
+        """Site of the last-by-seq write at the greatest index <= token."""
+        best_token = -1
+        best: Optional[tuple] = None
+        pos = bisect.bisect_right(self.run_starts, token) - 1
+        if pos >= 0:
+            best_token = min(token, self.run_ends[pos])
+            best = self.run_sites[pos]
+        if self.exceptions:
+            if self._exc_dirty:
+                self._exc_sorted = sorted(self.exceptions)
+                self._exc_dirty = False
+            epos = bisect.bisect_right(self._exc_sorted, token) - 1
+            if epos >= 0:
+                exc_token = self._exc_sorted[epos]
+                if exc_token >= best_token:  # >=: exceptions are later-seq
+                    return self.exceptions[exc_token]
+        return best
+
+
+def _match_streaming(
+    buf,
+    model_start_lines: Dict[str, int],
+    result: MatchResult,
+    warn: bool,
+) -> None:
+    """Two-pass matcher over a streaming (columnar) probe store.
+
+    Pass 1 pairs var events inline (they only depend on earlier events)
+    and folds port writes into :class:`_SignalWrites` indexes; pass 2
+    re-iterates the stream and resolves port reads against the complete
+    write index — the same all-writes-before-any-read order the batched
+    matcher imposes by collecting reads into a list.  Produces exactly
+    the pair set of :func:`_match_batched` without ever holding the
+    event stream in memory.
+    """
+    last_def: Dict[Tuple[str, str], int] = {}
+    last_def_get = last_def.get
+    add_pair = result.pairs.add
+    per_signal: Dict[str, _SignalWrites] = {}
+    for ev in buf:
+        tag = ev[0]
+        if tag == 0:  # TAG_USE: (tag, var, model, line)
+            def_line = last_def_get((ev[2], ev[1]))
+            if def_line is not None:
+                add_pair((ev[1], ev[2], def_line, ev[2], ev[3]))
+        elif tag == 1:  # TAG_DEF: (tag, var, model, line)
+            last_def[(ev[2], ev[1])] = ev[3]
+        elif tag == 2:  # TAG_PW: (tag, signal, token_index, var, model, line, kind)
+            writes = per_signal.get(ev[1])
+            if writes is None:
+                writes = per_signal[ev[1]] = _SignalWrites()
+            writes.add(ev[2], (ev[3], ev[4], ev[5], ev[6]))
+
+    per_signal_get = per_signal.get
+    testbench = WriterKind.TESTBENCH
+    start_lines_get = model_start_lines.get
+    warned: Set[str] = set()
+    for ev in buf:
+        # (tag, signal, token_index, port, reader_model,
+        #  anchor_model, anchor_line, undriven)
+        if ev[0] != 3:
+            continue
+        if ev[7]:  # undriven
+            desc = f"{ev[4]}.{ev[3]}"
+            if desc not in warned:
+                warned.add(desc)
+                result.use_without_def.append(desc)
+                if warn:
+                    warnings.warn(
+                        f"use of port {desc} without any definition "
+                        f"(signal {ev[1]!r} has no driver): undefined "
+                        f"behaviour per the SystemC-AMS standard",
+                        UseWithoutDefWarning,
+                        stacklevel=2,
+                    )
+            continue
+        if ev[2] < 0:
+            continue
+        writes = per_signal_get(ev[1])
+        if writes is None:
+            continue
+        site = writes.floor(ev[2])
+        if site is None:
+            continue
+        if site[3] is testbench:
+            start = start_lines_get(ev[4])
+            if start is None:
+                continue
+            add_pair((ev[3], ev[4], start, ev[5], ev[6]))
+        else:
+            add_pair((site[0], site[1], site[2], ev[5], ev[6]))
 
 
 def _match_var_events(events: List[VarEvent], result: MatchResult) -> None:

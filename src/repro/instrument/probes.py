@@ -111,12 +111,20 @@ class ProbeRuntime:
       raw buffer directly and never pays for materialisation).
     """
 
-    def __init__(self, cluster_name: str, batched: bool = False) -> None:
+    def __init__(
+        self,
+        cluster_name: str,
+        batched: bool = False,
+        store: Optional[Any] = None,
+    ) -> None:
         self.cluster_name = cluster_name
-        self.batched = batched
+        self.batched = batched or store is not None
         self._seq = 0
-        if batched:
-            self._buf: Optional[List[tuple]] = []
+        if self.batched:
+            # ``store`` (e.g. repro.obs.store.ColumnarProbeStore) stands
+            # in for the flat list buffer: the closures below only call
+            # ``.append`` on it, the matcher only iterates it.
+            self._buf: Optional[Any] = [] if store is None else store
             self._mat_len = -1
             self._mat: Tuple[list, list, list] = ([], [], [])
             self._install_batched()
@@ -183,6 +191,9 @@ class ProbeRuntime:
         """(var, write, read) event counts without materialising."""
         if self._buf is None:
             return len(self.var_events), len(self.port_writes), len(self.port_reads)
+        counts = getattr(self._buf, "event_counts", None)
+        if counts is not None:  # columnar store tracks tags at flush time
+            return counts()
         # One C-level pass (map + list.count) instead of a Python loop.
         tags = list(map(_tag_of, self._buf))
         nw = tags.count(TAG_PW)

@@ -78,6 +78,7 @@ class DynamicAnalyzer:
         warn: bool = False,
         telemetry=None,
         engine: Optional[str] = "auto",
+        probe_store=None,
     ) -> None:
         self.cluster_factory = cluster_factory
         self.static = static
@@ -88,6 +89,10 @@ class DynamicAnalyzer:
         #: *semantics* (event content and order) are identical; only the
         #: storage format changes.
         self.engine = resolve_engine(engine)
+        #: Optional :class:`~repro.obs.store.ProbeStoreSpec` selecting
+        #: the recording backend; each testcase gets a fresh store so
+        #: spill files never outlive their match.
+        self.probe_store = probe_store
 
     # -- single testcase ------------------------------------------------------
 
@@ -104,43 +109,54 @@ class DynamicAnalyzer:
             f"dynamic.testcase[{testcase.name}]", testcase=testcase.name
         ) as tc_span:
             cluster = self.cluster_factory()
-            probe = ProbeRuntime(cluster.name, batched=self.engine == "block")
-            self._instrument(cluster, probe)
-            self._install_hooks(cluster, probe)
-            testcase.apply(cluster)
-            simulator = Simulator(cluster, engine=self.engine)
-            with tel.span("dynamic.simulate", testcase=testcase.name):
-                simulator.run(testcase.duration)
-                simulator.finish()
-            initial_tokens = {
-                sig.name: (sig.driver.delay if sig.driver is not None else 0)
-                for sig in cluster.signals
-            }
-            with tel.span("dynamic.match", testcase=testcase.name):
-                match = match_events(
-                    probe,
-                    testcase.name,
-                    self.static.model_start_lines,
-                    initial_tokens,
-                    warn=self.warn,
+            store = (
+                self.probe_store.make(tel) if self.probe_store is not None else None
+            )
+            try:
+                probe = ProbeRuntime(
+                    cluster.name,
+                    batched=self.engine == "block",
+                    store=store,
                 )
-            if tel.enabled:
-                nv, nw, nr = probe.event_counts()
-                events = {
-                    "var_events": nv,
-                    "port_writes": nw,
-                    "port_reads": nr,
+                self._instrument(cluster, probe)
+                self._install_hooks(cluster, probe)
+                testcase.apply(cluster)
+                simulator = Simulator(cluster, engine=self.engine)
+                with tel.span("dynamic.simulate", testcase=testcase.name):
+                    simulator.run(testcase.duration)
+                    simulator.finish()
+                initial_tokens = {
+                    sig.name: (sig.driver.delay if sig.driver is not None else 0)
+                    for sig in cluster.signals
                 }
-                for kind, count in events.items():
-                    tc_span.set_attribute(kind, count)
+                with tel.span("dynamic.match", testcase=testcase.name):
+                    match = match_events(
+                        probe,
+                        testcase.name,
+                        self.static.model_start_lines,
+                        initial_tokens,
+                        warn=self.warn,
+                    )
+                if tel.enabled:
+                    nv, nw, nr = probe.event_counts()
+                    events = {
+                        "var_events": nv,
+                        "port_writes": nw,
+                        "port_reads": nr,
+                    }
+                    for kind, count in events.items():
+                        tc_span.set_attribute(kind, count)
+                        tel.metrics.counter(
+                            f"instrument.{kind}", cluster=cluster.name
+                        ).inc(count)
+                    tc_span.set_attribute("exercised_pairs", len(match.pairs))
                     tel.metrics.counter(
-                        f"instrument.{kind}", cluster=cluster.name
-                    ).inc(count)
-                tc_span.set_attribute("exercised_pairs", len(match.pairs))
-                tel.metrics.counter(
-                    "instrument.testcases", cluster=cluster.name
-                ).inc()
-            return match
+                        "instrument.testcases", cluster=cluster.name
+                    ).inc()
+                return match
+            finally:
+                if store is not None:
+                    store.close()
 
     def run_suite(self, suite: TestSuite) -> DynamicResult:
         """Run every testcase of ``suite`` in order."""

@@ -427,20 +427,59 @@ def run_mutation(
             tel.metrics.counter("mutation.generated").inc(len(all_specs))
             tel.metrics.counter("mutation.sampled").inc(len(specs))
 
-        if workers <= 1 or len(specs) < 2:
+        suite_names = [tc.name for tc in testcases]
+        history = cfg.run_history()
+        fingerprint: Optional[str] = None
+        if history is not None:
+            from ..analysis.cache import fingerprint_cluster
+
+            fingerprint = fingerprint_cluster(factory())
+        # Warm start: verdicts are pure functions of (cluster, suite,
+        # spec, engine, tolerance), so outcomes recorded by an earlier
+        # run with the same fingerprint / config hash / suite can be
+        # replayed from the history kill matrix instead of re-executed.
+        reused: Dict[int, MutantOutcome] = {}
+        if cfg.warm_start and history is not None:
+            from ..obs.store import suite_sha as _suite_sha
+
+            prior = history.latest(
+                kind="mutation",
+                fingerprint=fingerprint,
+                config_hash=cfg.config_hash(),
+                suite=_suite_sha(suite_names),
+            )
+            payload = (prior or {}).get("mutation") or {}
+            if payload.get("oracle") == list(oracle):
+                matrix = payload.get("kill_matrix") or {}
+                for index, spec in enumerate(specs):
+                    entry = matrix.get(spec.mutant_id)
+                    if entry and entry.get("status"):
+                        reused[index] = MutantOutcome(
+                            spec,
+                            entry["status"],
+                            tuple(entry.get("killed_by") or ()),
+                            False,
+                            0.0,
+                        )
+            if tel.enabled and reused:
+                tel.metrics.counter("mutation.warm_reused").inc(len(reused))
+        pending = [i for i in range(len(specs)) if i not in reused]
+
+        by_index: Dict[int, MutantOutcome] = dict(reused)
+        if not pending:
+            pass
+        elif workers <= 1 or len(pending) < 2:
             with tel.span("mutation.baseline", testcases=len(testcases)):
                 baselines = compute_baselines(factory, testcases, oracle, engine)
-            outcomes = []
-            for spec in specs:
+            for index in pending:
+                spec = specs[index]
                 with tel.span("mutation.mutant", mutant=spec.mutant_id):
-                    outcomes.append(
-                        run_mutant(
-                            spec, factory, testcases, baselines, oracle,
-                            engine, tolerance, budget_seconds,
-                        )
+                    by_index[index] = run_mutant(
+                        spec, factory, testcases, baselines, oracle,
+                        engine, tolerance, budget_seconds,
                     )
         else:
-            shards = round_robin_shards(range(len(specs)), workers)
+            shards = round_robin_shards(pending, workers)
             jobs = [
                 _MutationJob(
                     factory_ref=factory_ref,
@@ -459,8 +498,7 @@ def run_mutation(
                 )
                 for shard in shards
             ]
-            by_index: Dict[int, MutantOutcome] = {}
-            with tel.span("mutation.parallel", workers=len(jobs), mutants=len(specs)):
+            with tel.span("mutation.parallel", workers=len(jobs), mutants=len(pending)):
                 with _Pool(max_workers=len(jobs)) as pool:
                     results = list(pool.map(_mutation_worker, jobs))
                 for worker, (entries, payload, wall) in enumerate(results):
@@ -472,7 +510,7 @@ def run_mutation(
                         tel.metrics.counter(
                             "mutation.worker_mutants", worker=worker
                         ).inc(len(entries))
-            outcomes = [by_index[i] for i in range(len(specs))]
+        outcomes = [by_index[i] for i in range(len(specs))]
 
         if tel.enabled:
             tel.metrics.counter("mutation.viable").inc(
@@ -485,7 +523,7 @@ def run_mutation(
                 sum(1 for o in outcomes if o.timed_out)
             )
 
-    return MutationRun(
+    run = MutationRun(
         factory_ref=factory_ref,
         suite_ref=suite_ref,
         operators=op_names if op_names else list(ALL_OPERATORS),
@@ -499,3 +537,39 @@ def run_mutation(
         testcase_names=[tc.name for tc in testcases],
         oracle_signals=list(oracle),
     )
+    if history is not None:
+        from ..obs.store import build_record
+
+        record = build_record(
+            "mutation",
+            system=factory_ref,
+            fingerprint=fingerprint,
+            config_hash=cfg.config_hash(),
+            suite_names=suite_names,
+            telemetry=tel if tel.enabled else None,
+            extra={
+                "mutation": {
+                    "score": round(run.mutation_score, 4),
+                    "generated": run.generated,
+                    "sampled": len(specs),
+                    "killed": run.killed,
+                    "survived": run.survived,
+                    "nonviable": run.nonviable,
+                    "total": run.viable,
+                    "reused": len(reused),
+                    "oracle": list(oracle),
+                    "kill_matrix": {
+                        outcome.spec.mutant_id: {
+                            "status": outcome.status,
+                            "killed_by": list(outcome.killed_by),
+                        }
+                        for outcome in outcomes
+                    },
+                }
+            },
+        )
+        try:
+            history.append(record)
+        except OSError:
+            pass
+    return run

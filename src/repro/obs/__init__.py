@@ -29,6 +29,8 @@ from .export import (
     read_jsonl,
     write_chrome_trace,
     write_jsonl,
+    write_trend_csv,
+    write_trend_jsonl,
 )
 
 __all__ = [
@@ -48,4 +50,6 @@ __all__ = [
     "telemetry_session",
     "write_chrome_trace",
     "write_jsonl",
+    "write_trend_csv",
+    "write_trend_jsonl",
 ]

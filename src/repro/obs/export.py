@@ -50,25 +50,45 @@ def write_jsonl(telemetry: Any, target: PathOrIO) -> None:
             stream.close()
 
 
-def read_jsonl(target: PathOrIO) -> Dict[str, Any]:
-    """Load a saved JSONL session back into the ``to_run()`` structure."""
+def read_jsonl(target: PathOrIO, strict: bool = True) -> Dict[str, Any]:
+    """Load a saved JSONL session back into the ``to_run()`` structure.
+
+    With ``strict=False``, lines that are not valid JSON objects or
+    carry an unknown ``type`` are skipped instead of raising; the
+    number of skipped lines is returned as ``run["skipped_lines"]``
+    (present only in non-strict mode; 0 when the file was clean).
+    Telemetry files are
+    append-streamed by live processes, so a truncated final line or a
+    foreign record must not take down reporting.
+    """
     stream, owned = _open_for(target, "r")
     try:
         run: Dict[str, Any] = {"meta": {}, "spans": [], "metrics": []}
+        skipped = 0
         for line in stream:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            kind = record.get("type")
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if strict:
+                    raise
+                skipped += 1
+                continue
+            kind = record.get("type") if isinstance(record, dict) else None
             if kind == "meta":
                 run["meta"] = record
             elif kind == "span":
                 run["spans"].append(record)
             elif kind == "metric":
                 run["metrics"].append(record)
-            else:
+            elif strict:
                 raise ValueError(f"unknown telemetry record type: {kind!r}")
+            else:
+                skipped += 1
+        if not strict:
+            run["skipped_lines"] = skipped
         return run
     finally:
         if owned:
@@ -157,7 +177,57 @@ def format_tree(run: Any, metrics: bool = True) -> str:
         if derived:
             lines.append("derived:")
             lines.extend(derived)
+    if run.get("skipped_lines"):
+        lines.append(f"skipped: {run['skipped_lines']} malformed line(s) ignored")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Cross-run coverage-trend export (see repro.obs.store.history)
+# ---------------------------------------------------------------------------
+
+#: Column order for trend exports; matches ``history.trend_rows`` keys.
+TREND_FIELDS = (
+    "run_id",
+    "recorded_at",
+    "kind",
+    "system",
+    "fingerprint",
+    "config_hash",
+    "suite_sha",
+    "tests",
+    "class",
+    "total",
+    "covered",
+    "percent",
+)
+
+
+def write_trend_jsonl(rows: List[Dict[str, Any]], target: PathOrIO) -> None:
+    """Write coverage-trend rows as JSON-lines, one row per line."""
+    stream, owned = _open_for(target, "w")
+    try:
+        for row in rows:
+            stream.write(json.dumps({k: row.get(k) for k in TREND_FIELDS}) + "\n")
+    finally:
+        if owned:
+            stream.close()
+
+
+def write_trend_csv(rows: List[Dict[str, Any]], target: PathOrIO) -> None:
+    """Write coverage-trend rows as CSV with a header row."""
+    import csv
+
+    stream, owned = _open_for(target, "w")
+    try:
+        writer = csv.DictWriter(stream, fieldnames=list(TREND_FIELDS),
+                                extrasaction="ignore", lineterminator="\n")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    finally:
+        if owned:
+            stream.close()
 
 
 # ---------------------------------------------------------------------------

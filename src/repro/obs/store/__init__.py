@@ -1,0 +1,39 @@
+"""Streaming columnar probe store + persistent run history.
+
+Split from :mod:`repro.obs` proper so the telemetry layer stays
+import-light; import :mod:`repro.obs.store` explicitly to use the
+store.  See :mod:`.probe_store` for the O(1)-memory event recorder and
+:mod:`.history` for the cross-run ledger.
+"""
+
+from .history import (
+    FORMAT as HISTORY_FORMAT,
+    RunHistory,
+    build_record,
+    default_history_dir,
+    diff_records,
+    format_diff,
+    format_history_table,
+    format_trend,
+    span_percentiles,
+    suite_sha,
+    trend_rows,
+)
+from .probe_store import DEFAULT_CHUNK_SIZE, ColumnarProbeStore, ProbeStoreSpec
+
+__all__ = [
+    "HISTORY_FORMAT",
+    "RunHistory",
+    "build_record",
+    "default_history_dir",
+    "diff_records",
+    "format_diff",
+    "format_history_table",
+    "format_trend",
+    "span_percentiles",
+    "suite_sha",
+    "trend_rows",
+    "DEFAULT_CHUNK_SIZE",
+    "ColumnarProbeStore",
+    "ProbeStoreSpec",
+]

@@ -1,0 +1,161 @@
+"""Flat-array columnar encoding of probe-event chunks.
+
+The probe event stream is a sequence of heterogeneous tuples (see
+:mod:`repro.instrument.probes`): var uses/defs, port writes and port
+reads, discriminated by a small integer tag in slot 0.  This module
+packs a *chunk* (a slice of that stream) into flat integer columns:
+
+* every string field (variable, model, signal, port names — and the
+  :class:`~repro.instrument.probes.WriterKind` value) is
+  dictionary-encoded through a store-global string table, so a column
+  is just ``int`` ids;
+* the remaining fields (token indices, source lines, the undriven
+  flag) are ints already;
+* the per-row tag stream plus seven unified payload columns
+  (``a``..``g``) hold every event kind — unused slots stay 0.
+
+Columns are ``numpy`` ``int64`` arrays when numpy is importable and
+:mod:`array` ``'q'`` arrays otherwise (numpy-optional by design: the
+core package must not grow a hard dependency).  A packed chunk is a
+plain picklable tuple, so spilling is one :func:`pickle.dump` and a
+chunk on disk costs ~9 bytes/row instead of the ~200 bytes a live
+Python tuple of boxed ints and strings occupies.
+
+Decoding is the exact inverse: :func:`decode_chunk` yields tuples that
+compare equal to the originals (``WriterKind`` round-trips to the same
+enum singleton, the undriven flag back to ``bool``), which is what the
+byte-identity guarantee of the columnar store rests on.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly on numpy-equipped hosts
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy-less fallback
+    _np = None
+    HAVE_NUMPY = False
+
+#: Event tags, mirroring :mod:`repro.instrument.probes` (kept literal
+#: here so the low-level obs layer does not import the instrument
+#: package at module load; the values are frozen by the probe ABI).
+TAG_USE = 0
+TAG_DEF = 1
+TAG_PW = 2
+TAG_PR = 3
+
+#: Number of unified payload columns (besides the tag stream).
+PAYLOAD_COLUMNS = 7
+
+#: Version stamp inside every pickled chunk payload.
+CHUNK_FORMAT = "repro-store-chunk/1"
+
+
+def _make_column(values: List[int]):
+    """One flat int64 column from a Python int list."""
+    if HAVE_NUMPY:
+        return _np.asarray(values, dtype=_np.int64)
+    return array("q", values)
+
+
+def encode_chunk(
+    events: Sequence[tuple],
+    string_ids: Dict[str, int],
+    strings: List[str],
+) -> Tuple:
+    """Pack ``events`` into the columnar chunk payload.
+
+    ``string_ids`` / ``strings`` are the store-global dictionary (name
+    to id and its inverse); new strings are interned into both.  The
+    returned payload is ``(CHUNK_FORMAT, n_rows, tags_bytes, columns)``
+    with ``columns`` a 7-tuple of flat int arrays.
+    """
+    tags = bytearray()
+    cols: List[List[int]] = [[] for _ in range(PAYLOAD_COLUMNS)]
+    a, b, c, d, e, f, g = cols
+    sid = string_ids
+
+    def intern(name: str) -> int:
+        key = sid.get(name)
+        if key is None:
+            key = sid[name] = len(strings)
+            strings.append(name)
+        return key
+
+    for ev in events:
+        tag = ev[0]
+        tags.append(tag)
+        if tag <= TAG_DEF:
+            # (tag, var, model, line)
+            a.append(intern(ev[1]))
+            b.append(intern(ev[2]))
+            c.append(ev[3])
+            d.append(0)
+            e.append(0)
+            f.append(0)
+            g.append(0)
+        elif tag == TAG_PW:
+            # (tag, signal, token_index, var, model, line, kind)
+            a.append(intern(ev[1]))
+            b.append(ev[2])
+            c.append(intern(ev[3]))
+            d.append(intern(ev[4]))
+            e.append(ev[5])
+            f.append(intern(ev[6].value))
+            g.append(0)
+        else:
+            # (tag, signal, token_index, port, reader_model,
+            #  anchor_model, anchor_line, undriven)
+            a.append(intern(ev[1]))
+            b.append(ev[2])
+            c.append(intern(ev[3]))
+            d.append(intern(ev[4]))
+            e.append(intern(ev[5]))
+            f.append(ev[6])
+            g.append(1 if ev[7] else 0)
+    return (
+        CHUNK_FORMAT,
+        len(tags),
+        bytes(tags),
+        tuple(_make_column(col) for col in cols),
+    )
+
+
+def chunk_tag_counts(payload: Tuple) -> Tuple[int, int, int]:
+    """(var, write, read) event counts of a packed chunk."""
+    tags = payload[2]
+    nw = tags.count(TAG_PW)
+    nr = tags.count(TAG_PR)
+    return len(tags) - nw - nr, nw, nr
+
+
+def decode_chunk(payload: Tuple, strings: Sequence[str]) -> Iterator[tuple]:
+    """Yield the original event tuples of a packed chunk, in order.
+
+    ``strings`` is the store-global string table the chunk was encoded
+    against (the table only grows, so ids stay valid across chunks).
+    """
+    from ...instrument.probes import WriterKind
+
+    fmt, count, tags, (a, b, c, d, e, f, g) = payload
+    if fmt != CHUNK_FORMAT:
+        raise ValueError(f"unknown probe-store chunk format: {fmt!r}")
+    kind_of = WriterKind  # enum lookup by value returns the singleton
+    for i in range(count):
+        tag = tags[i]
+        if tag <= TAG_DEF:
+            yield (tag, strings[a[i]], strings[b[i]], int(c[i]))
+        elif tag == TAG_PW:
+            yield (
+                tag, strings[a[i]], int(b[i]), strings[c[i]],
+                strings[d[i]], int(e[i]), kind_of(strings[f[i]]),
+            )
+        else:
+            yield (
+                tag, strings[a[i]], int(b[i]), strings[c[i]],
+                strings[d[i]], strings[e[i]], int(f[i]), bool(g[i]),
+            )

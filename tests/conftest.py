@@ -31,6 +31,24 @@ def _fresh_static_cache():
     get_default_cache().clear()
 
 
+@pytest.fixture(autouse=True)
+def _isolated_history(tmp_path, monkeypatch):
+    """Point the default run-history ledger at a per-test directory.
+
+    CLI invocations record history under the cache dir by default;
+    without isolation, tests would append to (and read back from) the
+    developer's real ledger.
+    """
+    import repro.obs.store as store
+
+    monkeypatch.setattr(
+        store,
+        "default_history_dir",
+        lambda cache_dir=None: str(tmp_path / "history"),
+    )
+    yield
+
+
 @pytest.fixture
 def passthrough_cluster():
     """source -> passthrough -> sink, 1 ms timestep."""

@@ -347,3 +347,160 @@ class TestGenerate:
         # rejects it at the subcommand level rather than mid-run.
         with pytest.raises(SystemExit):
             main(["generate", "riscv_platform"])
+
+
+class TestOutputPathValidation:
+    def test_bad_telemetry_path_fails_before_running(self, capsys):
+        assert main([
+            "run", "sensor", "--telemetry", "/proc/nonexistent/t.jsonl",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-dft: error: --telemetry")
+        assert "Traceback" not in err
+
+    def test_bad_trace_events_path_fails_before_running(self, capsys):
+        assert main([
+            "run", "sensor", "--trace-events", "/proc/nonexistent/t.json",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-dft: error: --trace-events")
+
+    def test_directory_as_telemetry_path_rejected(self, tmp_path, capsys):
+        assert main(["run", "sensor", "--telemetry", str(tmp_path)]) == 1
+        assert "not a writable file path" in capsys.readouterr().err
+
+    def test_parent_directory_is_created(self, tmp_path, capsys):
+        target = tmp_path / "new" / "dir" / "run.jsonl"
+        assert main(["run", "sensor", "--telemetry", str(target)]) == 0
+        assert target.is_file()
+
+
+class TestTelemetryReportTolerance:
+    def test_malformed_lines_skipped_with_warning(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        assert main(["run", "sensor", "--telemetry", str(jsonl)]) == 0
+        with open(jsonl, "a") as handle:
+            handle.write("{truncated json\n")
+            handle.write('{"type": "mystery"}\n')
+        capsys.readouterr()
+        assert main(["telemetry-report", str(jsonl)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 2 malformed line(s)" in captured.err
+        assert "skipped: 2 malformed line(s) ignored" in captured.out
+        assert "pipeline" in captured.out
+
+
+class TestHistoryCli:
+    def _run_twice(self, tmp_path):
+        hist = tmp_path / "ledger"
+        for _ in range(2):
+            assert main([
+                "run", "sensor", "--history-dir", str(hist),
+            ]) == 0
+        return hist
+
+    def test_list_shows_both_runs(self, tmp_path, capsys):
+        hist = self._run_twice(tmp_path)
+        capsys.readouterr()
+        assert main(["history", "list", "--history-dir", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("run ") >= 2 or out.count("sensor") >= 2
+
+    def test_diff_defaults_to_latest_two_and_is_identical(self, tmp_path, capsys):
+        hist = self._run_twice(tmp_path)
+        capsys.readouterr()
+        assert main(["history", "diff", "--history-dir", str(hist)]) == 0
+        assert "history diff: identical" in capsys.readouterr().out
+
+    def test_diff_by_run_id_prefix(self, tmp_path, capsys):
+        from repro.obs.store import RunHistory
+
+        hist = self._run_twice(tmp_path)
+        ids = [r["run_id"] for r in RunHistory(str(hist)).records()]
+        capsys.readouterr()
+        assert main([
+            "history", "diff", ids[0][:8], ids[1][:8],
+            "--history-dir", str(hist),
+        ]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_needs_two_records(self, tmp_path, capsys):
+        assert main([
+            "history", "diff", "--history-dir", str(tmp_path / "empty"),
+        ]) == 1
+        assert "needs two recorded runs" in capsys.readouterr().err
+
+    def test_trend_table_and_csv_export(self, tmp_path, capsys):
+        hist = self._run_twice(tmp_path)
+        export = tmp_path / "trend.csv"
+        capsys.readouterr()
+        assert main([
+            "history", "trend", "--history-dir", str(hist),
+            "--export", str(export),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overall" in out and "Strong" in out
+        header = export.read_text().splitlines()[0]
+        assert header.startswith("run_id,")
+
+    def test_history_json_output(self, tmp_path, capsys):
+        hist = self._run_twice(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "history", "list", "--history-dir", str(hist), "--json",
+        ]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert records[0]["system"] == "sensor"
+
+    def test_no_history_writes_nothing(self, tmp_path, capsys, monkeypatch):
+        import repro.obs.store as store
+
+        target = tmp_path / "default-ledger"
+        monkeypatch.setattr(
+            store, "default_history_dir", lambda cache_dir=None: str(target)
+        )
+        assert main(["run", "sensor", "--no-history"]) == 0
+        assert not target.exists()
+
+    def test_default_ledger_used_without_flags(self, tmp_path, capsys, monkeypatch):
+        import repro.obs.store as store
+
+        target = tmp_path / "default-ledger"
+        monkeypatch.setattr(
+            store, "default_history_dir", lambda cache_dir=None: str(target)
+        )
+        assert main(["run", "sensor"]) == 0
+        from repro.obs.store import RunHistory
+
+        assert len(RunHistory(str(target)).records()) == 1
+
+    def test_unwritable_history_dir_is_one_line_error(self, tmp_path, capsys):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("file in the way")
+        assert main([
+            "run", "sensor", "--history-dir", str(blocker),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-dft: error: --history-dir")
+        assert "Traceback" not in err
+
+
+class TestProbeStoreCli:
+    def test_columnar_run_matches_memory_run(self, tmp_path, capsys):
+        assert main(["run", "sensor", "--json", "--no-history"]) == 0
+        baseline = capsys.readouterr().out
+        assert main([
+            "run", "sensor", "--json", "--no-history",
+            "--probe-store", "columnar", "--store-chunk-size", "16",
+            "--store-dir", str(tmp_path / "spill"),
+        ]) == 0
+        assert capsys.readouterr().out == baseline
+        # Spill files are cleaned up after every testcase.
+        spill = tmp_path / "spill"
+        assert not spill.exists() or not list(spill.iterdir())
+
+    def test_unknown_store_kind_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "sensor", "--probe-store", "parquet"])
+        assert exc.value.code == 2

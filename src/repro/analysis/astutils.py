@@ -82,6 +82,13 @@ class SourceInfo:
         return ast_lineno + self.line_offset
 
 
+#: ``code object -> (dedented source text, start line, filename)``.
+#: Only the raw text is cached: every :func:`get_source_info` call
+#: parses a fresh AST, because callers (the mutation operators) mutate
+#: the returned tree in place.
+_SOURCE_TEXT_CACHE: dict = {}
+
+
 def get_source_info(fn: Callable) -> SourceInfo:
     """Parse the source of ``fn`` into a :class:`SourceInfo`.
 
@@ -93,9 +100,16 @@ def get_source_info(fn: Callable) -> SourceInfo:
     underlying = inspect.unwrap(fn)
     if inspect.ismethod(underlying):
         underlying = underlying.__func__
-    source, start_line = inspect.getsourcelines(underlying)
-    filename = inspect.getsourcefile(underlying) or "<unknown>"
-    text = textwrap.dedent("".join(source))
+    code = getattr(underlying, "__code__", None)
+    cached = _SOURCE_TEXT_CACHE.get(code) if code is not None else None
+    if cached is not None:
+        text, start_line, filename = cached
+    else:
+        source, start_line = inspect.getsourcelines(underlying)
+        filename = inspect.getsourcefile(underlying) or "<unknown>"
+        text = textwrap.dedent("".join(source))
+        if code is not None:
+            _SOURCE_TEXT_CACHE[code] = (text, start_line, filename)
     tree = ast.parse(text)
     func = None
     for node in tree.body:

@@ -50,7 +50,11 @@ class DftConfig:
         ``"block"``; engines are bit-identical).  ``workers`` — dynamic
         stage fan-out (``None`` = automatic heuristic, ``1`` = serial).
         ``executor`` — an explicit :class:`~repro.exec.DynamicExecutor`
-        instance; when set it wins over ``workers``.
+        instance; when set it wins over ``workers``.  ``batch_size`` —
+        lockstep multi-testcase batching in the block engine (``None``
+        = off, ``"auto"`` = population-capped heuristic, ``N`` =
+        explicit lockstep width); batched results are byte-identical to
+        serial, so like ``workers`` it never enters the config hash.
     caches
         ``result_cache`` — an explicit per-testcase
         :class:`~repro.exec.DynamicResultCache` for ``run_dft``;
@@ -81,6 +85,7 @@ class DftConfig:
 
     engine: str = "auto"
     workers: Optional[int] = 1
+    batch_size: Any = None
     executor: Optional["DynamicExecutor"] = None
     result_cache: Optional["DynamicResultCache"] = None
     reuse_dynamic_results: bool = True
@@ -117,6 +122,7 @@ class DftConfig:
         field_map = {
             "engine": "engine",
             "workers": "workers",
+            "batch_size": "batch_size",
             "seed": "seed",
             "tolerance": "tolerance",
             "budget_seconds": "budget_seconds",

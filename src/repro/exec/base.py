@@ -60,6 +60,7 @@ class DynamicExecutor(abc.ABC):
         telemetry: Optional[Telemetry] = None,
         engine: Optional[str] = "auto",
         probe_store=None,
+        batch_size: Optional[int] = None,
     ) -> "DynamicResult":
         """Run every testcase of ``suite`` and merge the results.
 
@@ -70,7 +71,10 @@ class DynamicExecutor(abc.ABC):
         the simulations (see :mod:`repro.tdf.engine`); ``probe_store``
         is an optional :class:`~repro.obs.store.ProbeStoreSpec`
         selecting the probe recording backend (results are identical
-        whichever backend records).
+        whichever backend records).  ``batch_size`` (block engine only)
+        runs up to that many testcases in lockstep per simulation batch
+        — again with byte-identical results (see
+        :meth:`~repro.instrument.runner.DynamicAnalyzer.run_suite_batched`).
         """
 
 
@@ -88,6 +92,7 @@ class SerialExecutor(DynamicExecutor):
         telemetry: Optional[Telemetry] = None,
         engine: Optional[str] = "auto",
         probe_store=None,
+        batch_size: Optional[int] = None,
     ) -> "DynamicResult":
         from ..instrument.runner import DynamicAnalyzer
 
@@ -95,4 +100,6 @@ class SerialExecutor(DynamicExecutor):
             cluster_factory, static, warn=warn, telemetry=telemetry,
             engine=engine, probe_store=probe_store,
         )
+        if batch_size is not None and batch_size > 1:
+            return analyzer.run_suite_batched(suite, batch_size)
         return analyzer.run_suite(suite)

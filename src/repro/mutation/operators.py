@@ -121,6 +121,25 @@ class MutationOperator:
     def points(self, cluster: Cluster) -> List[MutationPoint]:
         raise NotImplementedError
 
+    def point_at(self, cluster: Cluster, site: int) -> Optional[MutationPoint]:
+        """The point with global index ``site`` (None when out of range).
+
+        Default implementation enumerates everything; operators with an
+        expensive :meth:`points` override this with a scoped lookup.
+        """
+        pts = self.points(cluster)
+        if 0 <= site < len(pts):
+            return pts[site]
+        return None
+
+
+#: ``(operator name, underlying processing fn)`` -> node-point count.
+#: Lets :meth:`_AstOperator.point_at` skip re-parsing the source of
+#: every module that cannot own the requested site — ``apply_mutant``
+#: runs once per (mutant, testcase) pair, and without this each call
+#: re-walked the AST of all mutable modules just to index one point.
+_POINT_COUNT_CACHE: Dict[tuple, int] = {}
+
 
 class _AstOperator(MutationOperator):
     """AST operators share the enumerate/mutate/compile/install plumbing."""
@@ -135,9 +154,48 @@ class _AstOperator(MutationOperator):
         pts: List[MutationPoint] = []
         for module, info in _ast_modules(cluster):
             base = len(pts)
-            for offset, (detail, mutate) in enumerate(self.node_points(module, info)):
+            node_pts = self.node_points(module, info)
+            _POINT_COUNT_CACHE[(self.name, _underlying(module))] = len(node_pts)
+            for offset, (detail, mutate) in enumerate(node_pts):
                 pts.append(self._point(module, info, base + offset, detail, mutate))
         return pts
+
+    def point_at(self, cluster: Cluster, site: int) -> Optional[MutationPoint]:
+        """Scoped lookup: only the module owning ``site`` is parsed.
+
+        Site indices are assigned module-major in cluster order (see
+        :meth:`points`), so known per-module counts let the scan skip
+        straight to the owner; the counts are a pure function of the
+        underlying processing source, hence cacheable across clusters.
+        """
+        if site < 0:
+            return None
+        base = 0
+        for module in cluster.modules:
+            if module.TESTBENCH or module.REDEFINING:
+                continue
+            if (
+                module._processing_fn is None
+                and type(module).processing is TdfModule.processing
+            ):
+                continue
+            key = (self.name, _underlying(module))
+            count = _POINT_COUNT_CACHE.get(key)
+            if count is not None and site >= base + count:
+                base += count
+                continue
+            try:
+                info = get_source_info(module.resolved_processing())
+            except (OSError, TypeError, ValueError):
+                _POINT_COUNT_CACHE[key] = 0
+                continue
+            node_pts = self.node_points(module, info)
+            _POINT_COUNT_CACHE[key] = len(node_pts)
+            if site < base + len(node_pts):
+                detail, mutate = node_pts[site - base]
+                return self._point(module, info, site, detail, mutate)
+            base += len(node_pts)
+        return None
 
     def _point(
         self,
@@ -548,10 +606,11 @@ def apply_mutant(cluster: Cluster, spec: MutantSpec) -> None:
     op = ALL_OPERATORS.get(spec.operator)
     if op is None:
         raise MutantNotApplicable(f"unknown operator {spec.operator!r}")
-    points = op.points(cluster)
-    if spec.site >= len(points) or points[spec.site].target != spec.target:
+    point = op.point_at(cluster, spec.site)
+    if point is None or point.target != spec.target:
         raise MutantNotApplicable(
             f"mutant {spec.mutant_id} does not exist on cluster "
-            f"{cluster.name!r} ({len(points)} {spec.operator} points)"
+            f"{cluster.name!r} ({len(op.points(cluster))} "
+            f"{spec.operator} points)"
         )
-    points[spec.site].apply()
+    point.apply()

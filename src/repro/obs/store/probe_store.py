@@ -66,6 +66,26 @@ class ProbeStoreSpec:
             telemetry=telemetry,
         )
 
+    def make_batched(self, telemetry: Any = None) -> Optional["ColumnarProbeStore"]:
+        """Build one *shared* store for a lockstep batch.
+
+        Like :meth:`make`, but the columnar store carries the member
+        column so one spill stream can record every lane of a
+        :class:`~repro.instrument.probes.BatchProbeBuffer` and still
+        demux exactly per testcase.  ``None`` for in-memory (the batch
+        buffer then uses its plain tagged list).
+        """
+        if self.kind == "memory":
+            return None
+        if self.kind != "columnar":
+            raise ValueError(f"unknown probe store kind: {self.kind!r}")
+        return ColumnarProbeStore(
+            chunk_size=self.chunk_size or DEFAULT_CHUNK_SIZE,
+            spill_dir=self.spill_dir,
+            telemetry=telemetry,
+            member_column=True,
+        )
+
 
 class ColumnarProbeStore:
     """Append-only probe-event buffer with columnar disk spillover."""
@@ -78,6 +98,7 @@ class ColumnarProbeStore:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         spill_dir: Optional[str] = None,
         telemetry: Any = None,
+        member_column: bool = False,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1 (got {chunk_size})")
@@ -87,6 +108,11 @@ class ColumnarProbeStore:
         self._file: Any = None
         self._tel = telemetry
         self._tail: List[tuple] = []
+        #: When recording a lockstep batch, every event carries the
+        #: member (testcase) index in a parallel column so the shared
+        #: stream demuxes after spilling (see ``iter_member``).
+        self.member_column = member_column
+        self._member_tail: Optional[List[int]] = [] if member_column else None
         self._chunks = 0
         self._spilled_rows = 0
         self._spilled_counts = (0, 0, 0)  # (var, write, read) on disk
@@ -104,11 +130,24 @@ class ColumnarProbeStore:
         if len(tail) >= self.chunk_size:
             self._flush()
 
+    def append_member(self, member: int, event: tuple) -> None:
+        """Record one event tagged with its lockstep member index."""
+        assert self._member_tail is not None, "store built without member_column"
+        self._tail.append(event)
+        self._member_tail.append(member)
+        if len(self._tail) >= self.chunk_size:
+            self._flush()
+
     def _flush(self) -> None:
         if not self._tail:
             return
         started = time.perf_counter()
-        payload = encode_chunk(self._tail, self._string_ids, self._strings)
+        base = encode_chunk(self._tail, self._string_ids, self._strings)
+        if self._member_tail is not None:
+            payload: Any = (base, tuple(self._member_tail))
+            self._member_tail.clear()
+        else:
+            payload = base
         handle = self._file
         if handle is None:
             if self._spill_root is not None:
@@ -122,7 +161,7 @@ class ColumnarProbeStore:
         size = handle.tell() - before
         self._chunks += 1
         self._spilled_rows += len(self._tail)
-        nv, nw, nr = chunk_tag_counts(payload)
+        nv, nw, nr = chunk_tag_counts(base)
         ov, ow, orr = self._spilled_counts
         self._spilled_counts = (ov + nv, ow + nw, orr + nr)
         self._spill_bytes += size
@@ -155,10 +194,35 @@ class ColumnarProbeStore:
             with open(self._path, "rb") as reader:
                 for _ in range(self._chunks):
                     payload = pickle.load(reader)
+                    if self._member_tail is not None:
+                        payload = payload[0]
                     for event in decode_chunk(payload, self._strings):
                         yield event
         for event in self._tail:
             yield event
+
+    def iter_member(self, member: int) -> Iterator[tuple]:
+        """Replay one lockstep member's events, in recording order.
+
+        Only available on a ``member_column=True`` store; this is what
+        a :class:`~repro.instrument.probes.BatchProbeBuffer` lane
+        iterates to hand the matcher a demuxed per-testcase stream.
+        """
+        members_tail = self._member_tail
+        assert members_tail is not None, "store built without member_column"
+        if self._chunks:
+            self._file.flush()
+            with open(self._path, "rb") as reader:
+                for _ in range(self._chunks):
+                    base, members = pickle.load(reader)
+                    for event, owner in zip(
+                        decode_chunk(base, self._strings), members
+                    ):
+                        if owner == member:
+                            yield event
+        for event, owner in zip(self._tail, members_tail):
+            if owner == member:
+                yield event
 
     def event_counts(self) -> tuple:
         """``(var, write, read)`` event counts without materialising
@@ -180,6 +244,8 @@ class ColumnarProbeStore:
     def clear(self) -> None:
         """Drop all recorded events, in place (closures keep working)."""
         self._tail.clear()
+        if self._member_tail is not None:
+            self._member_tail.clear()
         if self._file is not None:
             self._file.seek(0)
             self._file.truncate()

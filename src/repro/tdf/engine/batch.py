@@ -1,0 +1,679 @@
+"""Lockstep batch executor: many testcases through one firing program.
+
+Campaign workloads (mutation kill matrices, generation ask() rounds)
+run *many* stimuli through structurally identical clusters.  This
+module executes a whole batch of such simulations in lockstep windows:
+
+* **Members** — each :class:`BatchMember` owns an independent
+  elaborated cluster + :class:`~repro.tdf.simulator.Simulator`; the
+  batch shares one ScaTime memo and (per alignment group) one windowed
+  driver loop.
+* **Alignment groups** — members whose compiled programs have the same
+  *shape* (same op-kind sequence — i.e. the same schedule signature)
+  advance window-by-window together; members whose schedules diverge
+  (dynamic TDF, rate mutants) regroup every round and keep running,
+  just without cross-member fusion.
+* **SoA pre lane** — hoisted (pre) slots whose module class defines
+  ``processing_block_batch`` fire all members through one
+  :class:`~repro.tdf.engine.blocks.BatchBlock` call: member-major 2-D
+  sample arrays, one numpy broadcast per slot when bit-safe.
+* **Core lane** — per-period ops run member-major (each member's ops in
+  its own program order) so an exception in one member's mutated
+  ``processing()`` retires only that member, never its groupmates.
+* **Early-exit masks** — after every window the consumer's
+  ``on_window`` hook may retire a member (e.g. a mutant whose oracle
+  trace already diverged beyond tolerance — its verdict is monotone,
+  so the remaining periods cannot change it).
+* **Deferred traces** — :class:`DeferredTraces` replaces write
+  observers (which force every traced driver onto the interpreted
+  slow path) with post-window reconstruction of the exact
+  ``(time, value)`` rows from committed token buffers.
+
+The hard invariant everywhere: a batched run produces byte-identical
+observable results (trace rows, probe streams, kill matrices) to the
+serial block engine, at every batch size.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...obs import get_telemetry
+from ..errors import SimulationError
+from ..time import ScaTime
+from .blocks import BatchBlock, FiringBlock, produce_block
+from .compiler import CompiledProgram, _WindowRollback, compile_program, program_signature
+from .executor import BlockEngine
+
+#: Upper bound of the ``--batch-size auto`` heuristic: beyond this the
+#: shared-memo / shared-loop wins flatten out while peak memory (one
+#: live cluster per member) keeps growing.
+AUTO_BATCH_MAX = 32
+
+
+def resolve_batch_size(request, population: Optional[int] = None) -> Optional[int]:
+    """Map a ``--batch-size`` request onto a concrete size.
+
+    ``None`` disables batching; ``"auto"`` picks ``min(population,
+    AUTO_BATCH_MAX)`` (or :data:`AUTO_BATCH_MAX` when the population is
+    unknown); a positive int is used as-is.
+    """
+    if request is None:
+        return None
+    if request == "auto":
+        if population is None:
+            return AUTO_BATCH_MAX
+        return max(1, min(population, AUTO_BATCH_MAX))
+    size = int(request)
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {request!r}")
+    return size
+
+
+# -- deferred tracing ----------------------------------------------------------
+
+
+class _TraceEntry:
+    __slots__ = ("name", "signal", "rows", "watermark", "params", "base_fs")
+
+    def __init__(self, name, signal) -> None:
+        self.name = name
+        self.signal = signal
+        self.rows: List[tuple] = []
+        self.watermark = 0
+        self.params: Optional[tuple] = None
+        self.base_fs = 0
+
+
+class DeferredTraces:
+    """Observer-free signal tracing for batched runs.
+
+    A :class:`~repro.tdf.trace.Tracer` records rows through write
+    observers, which (a) cost a callback per sample and (b) force the
+    traced driver module off every compiled fast path
+    (``traced_signal`` fallback).  This class records nothing during
+    execution: after each committed window it reads the new tokens
+    straight out of the signal buffer and *reconstructs* their
+    timestamps from the static schedule — the same
+    ``activation_time + offset × port_timestep`` arithmetic the
+    interpreter's slow path performs per sample, evaluated once per
+    token at window end.  Rows are identical (ScaTime compares by
+    femtoseconds; values are the kernel's own tokens).
+
+    Signals keep their tokens until capture via
+    ``Signal._retain_from``, so garbage collection never outruns the
+    capture watermark.
+    """
+
+    def __init__(self, cluster, names: Sequence[str], time_memo=None) -> None:
+        self._order = list(names)
+        self._entries: List[_TraceEntry] = []
+        self._memo: Dict[int, ScaTime] = {} if time_memo is None else time_memo
+        for name in names:
+            signal = cluster._signals[name]
+            signal._retain_from = 0
+            self._entries.append(_TraceEntry(name, signal))
+
+    def begin_window(self, schedule, base_fs: int) -> None:
+        """Snapshot the reconstruction parameters of the window about to
+        run (they change at dynamic-TDF swaps, so per window)."""
+        reps = schedule.repetitions
+        ts_map = schedule.module_timesteps
+        period_fs = schedule.period_fs
+        for entry in self._entries:
+            driver = entry.signal.driver
+            if driver is None:
+                entry.params = None
+                continue
+            mod_name = driver.module.name
+            ts_p = (
+                driver.timestep.femtoseconds
+                if driver.timestep is not None
+                else None
+            )
+            entry.params = (
+                driver.delay,
+                driver.rate,
+                reps[mod_name],
+                ts_map[mod_name].femtoseconds,
+                ts_p,
+                period_fs,
+            )
+            entry.base_fs = base_fs
+
+    def capture(self) -> None:
+        """Reconstruct rows for every token committed since the last
+        capture.  Call after the window's rollback has been applied and
+        *before* the garbage-collection sweep."""
+        from_fs = ScaTime.from_femtoseconds
+        memo = self._memo
+        for entry in self._entries:
+            signal = entry.signal
+            wc = signal._write_count
+            w = entry.watermark
+            if wc <= w:
+                continue
+            tokens = signal._tokens
+            base_index = signal._base_index
+            rows = entry.rows
+            if entry.params is None:
+                # Undriven signal written outside the engine: no schedule
+                # params to reconstruct from (cannot happen through the
+                # window loop — writes require an activation).
+                for idx in range(w, wc):
+                    rows.append((None, tokens[idx - base_index]))
+            else:
+                delay, rate, q, ts_m, ts_p, period_fs = entry.params
+                window_base = entry.base_fs
+                start = w if w > delay else delay
+                for idx in range(w, wc):
+                    value = tokens[idx - base_index]
+                    if idx < delay:
+                        # Output-port delay priming: written with no
+                        # timestamp (Signal.prime_output_delay).
+                        rows.append((None, value))
+                        continue
+                    local = idx - start
+                    firing, k = divmod(local, rate)
+                    period, fidx = divmod(firing, q)
+                    t_fs = window_base + period * period_fs + fidx * ts_m
+                    if ts_p is not None:
+                        t_fs += k * ts_p
+                    t = memo.get(t_fs)
+                    if t is None:
+                        t = from_fs(t_fs)
+                        memo[t_fs] = t
+                    rows.append((t, value))
+            entry.watermark = wc
+            signal._retain_from = wc
+
+    # -- Tracer-compatible access -------------------------------------------
+
+    def names(self) -> List[str]:
+        return list(self._order)
+
+    def samples(self, name: str) -> List[tuple]:
+        for entry in self._entries:
+            if entry.name == name:
+                return list(entry.rows)
+        raise KeyError(name)
+
+    def trace_map(self) -> Dict[str, List[tuple]]:
+        """``{name: rows}`` over the *live* row lists (no copies)."""
+        return {entry.name: entry.rows for entry in self._entries}
+
+
+# -- batch members -------------------------------------------------------------
+
+
+class BatchMember:
+    """One lockstep simulation: an initialized simulator plus status.
+
+    ``status`` moves ``running`` → ``done`` (stop time reached) /
+    ``retired`` (consumer early-exit) / ``error`` (an op raised —
+    ``error`` holds the exception).  ``payload`` is free for consumer
+    bookkeeping (mutant index, testcase, divergence state, ...).
+    """
+
+    __slots__ = (
+        "key", "sim", "traces", "stop_fs", "status", "error",
+        "seconds", "windows", "payload", "_validated", "_engine", "_program",
+    )
+
+    def __init__(self, key, sim, stop: ScaTime, traces=None, payload=None) -> None:
+        self.key = key
+        self.sim = sim
+        self.traces = traces
+        self.stop_fs = stop.femtoseconds
+        self.status = "running"
+        self.error: Optional[BaseException] = None
+        self.seconds = 0.0
+        self.windows = 0
+        self.payload = payload if payload is not None else {}
+        self._validated: Dict[int, CompiledProgram] = {}
+        self._engine = BlockEngine(sim)
+        self._program: Optional[CompiledProgram] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.status == "running"
+
+    def retire(self, status: str, error: Optional[BaseException] = None) -> None:
+        self.status = status
+        self.error = error
+
+
+def _batch_consistent(cls: type) -> bool:
+    """Whether ``cls``'s ``processing_block_batch`` describes its
+    effective block behaviour (mirrors the compiler's
+    ``_block_consistent`` MRO walk)."""
+    for klass in cls.__mro__:
+        d = klass.__dict__
+        if "processing_block_batch" in d:
+            return True
+        if "processing_block" in d or "processing" in d:
+            return False
+    return False
+
+
+def _program_shape(program: CompiledProgram) -> tuple:
+    """Alignment key: two programs with equal shapes execute the same
+    op-kind sequence, so their members can share one window loop (the
+    shape is a function of the schedule signature plus instrumentation,
+    which is exactly what "mutants sharing a schedule signature"
+    means)."""
+    if program.batch_shape is None:
+        program.batch_shape = (
+            tuple(type(op.module) for op in program.pre_ops),
+            tuple(
+                slot.kind if slot is not None else None
+                for slot in program.core_meta
+            ),
+            len(program.core_ops),
+            len(program.post_ops),
+            program.full_dynamic,
+        )
+    return program.batch_shape
+
+
+# -- the lockstep executor -----------------------------------------------------
+
+
+class BatchExecutor:
+    """Drives a batch of members window-by-window until all complete.
+
+    Sits beside the windowed :class:`~repro.tdf.engine.executor
+    .BlockEngine` (which it reuses per member for program compilation
+    caching and the slow full-dynamic path).  ``on_window(member)`` is
+    the consumer's early-exit hook: called after every committed window
+    (traces captured); returning ``False`` retires the member.
+
+    ``raise_errors=False`` records a member's exception on the member
+    (``status == "error"``) instead of propagating — the mutation
+    consumer maps that to *killed*, matching the serial path's
+    runtime-crash semantics.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[BatchMember],
+        *,
+        on_window: Optional[Callable[[BatchMember], Optional[bool]]] = None,
+        raise_errors: bool = True,
+        time_memo: Optional[Dict[int, ScaTime]] = None,
+        label: str = "",
+    ) -> None:
+        self.members = list(members)
+        self.on_window = on_window
+        self.raise_errors = raise_errors
+        self.time_memo: Dict[int, ScaTime] = {} if time_memo is None else time_memo
+        self.label = label
+        self.windows_run = 0
+        self.vector_fires = 0
+        self.member_fires = 0
+        self.early_exits: Dict[str, int] = {}
+
+    # -- programs ----------------------------------------------------------
+
+    def _program_for(self, member: BatchMember, schedule) -> CompiledProgram:
+        """Per-member compiled program with the batch's shared time memo.
+
+        Cached under ``schedule._engine_batch_program`` — deliberately a
+        *different* attribute from the serial engine's cache, so a batch
+        program (whose generic ops close over the batch memo) never
+        leaks into serial runs on the same schedule object.
+        """
+        program = member._validated.get(id(schedule))
+        if program is not None:
+            return program
+        program = getattr(schedule, "_engine_batch_program", None)
+        if program is None or program.signature != program_signature(member.sim):
+            program = compile_program(member.sim, schedule, self.time_memo)
+            schedule._engine_batch_program = program
+        member._validated[id(schedule)] = program
+        return program
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self) -> None:
+        """Run every member to completion (or retirement)."""
+        tel = get_telemetry()
+        alive = [m for m in self.members if m.alive]
+        if tel.enabled:
+            with tel.span(
+                "tdf.simulate_batch", label=self.label, members=len(self.members)
+            ):
+                self._drive(alive)
+        else:
+            self._drive(alive)
+        if tel.enabled:
+            self._record_telemetry(tel)
+
+    def _drive(self, alive: List[BatchMember]) -> None:
+        while alive:
+            rounds = self._group(alive)
+            for group in rounds:
+                if group[0]._program is None:  # pragma: no cover - guard
+                    continue
+                self._run_group_window(group)
+            next_alive = []
+            for member in alive:
+                if member.alive and member.sim.now.femtoseconds >= member.stop_fs:
+                    member.retire("done")
+                if member.alive:
+                    next_alive.append(member)
+            alive = next_alive
+
+    def _group(self, alive: List[BatchMember]) -> List[List[BatchMember]]:
+        """Partition the alive members into alignment groups for one
+        round, resolving each member's current program on the way."""
+        groups: Dict[tuple, List[BatchMember]] = {}
+        order: List[tuple] = []
+        for member in alive:
+            sim = member.sim
+            schedule = sim.schedule
+            if schedule.period_fs <= 0:
+                exc = SimulationError(
+                    f"cluster {sim.cluster.name!r} has a zero-length period; "
+                    f"check timestep assignments"
+                )
+                self._fail(member, exc)
+                continue
+            try:
+                program = self._program_for(member, schedule)
+            except Exception as exc:  # compilation inspects user modules
+                self._fail(member, exc)
+                continue
+            member._program = program
+            slow = program.full_dynamic or bool(sim._period_hooks)
+            key = ("slow", id(member)) if slow else _program_shape(program)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(member)
+        return [groups[key] for key in order]
+
+    def _fail(self, member: BatchMember, exc: BaseException) -> None:
+        if self.raise_errors:
+            raise exc
+        member.retire("error", exc)
+
+    # -- one group window --------------------------------------------------
+
+    def _run_group_window(self, group: List[BatchMember]) -> None:
+        t0 = _time.perf_counter()
+        programs = [m._program for m in group]
+        program0 = programs[0]
+        if program0.full_dynamic or group[0].sim._period_hooks:
+            self._run_slow(group[0])
+        elif len(group) == 1:
+            self._run_single(group[0])
+        else:
+            self._run_lockstep(group, programs)
+        dt = (_time.perf_counter() - t0) / len(group)
+        for member in group:
+            member.seconds += dt
+            member.windows += 1
+        self.windows_run += 1
+
+    def _begin(self, member: BatchMember) -> int:
+        base_fs = member.sim.now.femtoseconds
+        if member.traces is not None:
+            member.traces.begin_window(member.sim.schedule, base_fs)
+        return base_fs
+
+    def _commit(self, member: BatchMember) -> None:
+        """Post-window bookkeeping: capture deferred traces *before* the
+        GC sweep (capture advances each signal's retention floor), then
+        sweep, then let the consumer's early-exit hook look at the
+        fresh rows."""
+        if member.traces is not None:
+            member.traces.capture()
+        for signal in member.sim.cluster.signals:
+            signal._collect_garbage()
+        if member.alive and self.on_window is not None:
+            if self.on_window(member) is False:
+                member.retire("retired")
+                self.early_exits["on_window"] = (
+                    self.early_exits.get("on_window", 0) + 1
+                )
+
+    def _remaining(self, member: BatchMember, program: CompiledProgram) -> int:
+        period_fs = program.period_fs
+        left = member.stop_fs - member.sim.now.femtoseconds
+        by_time = -(-left // period_fs)
+        # Grow the window geometrically (one program window up to 8×)
+        # as a member keeps running: the first windows stay short so a
+        # consumer's early-exit check retires diverging members
+        # cheaply, while long-running members amortize the fixed
+        # per-window cost (begin/commit, trace capture bookkeeping,
+        # divergence scan) over ever larger strides.  Results are
+        # window-size independent — only the exit granularity changes.
+        window = program.window << (member.windows if member.windows < 3 else 3)
+        return min(window, by_time)
+
+    def _run_slow(self, member: BatchMember) -> None:
+        """Full-dynamic / period-hook member: one period at a time with
+        the interpreter's complete end-of-period protocol."""
+        base_fs = self._begin(member)
+        try:
+            member._engine._run_one(member._program, base_fs)
+        except Exception as exc:
+            self._fail(member, exc)
+            return
+        self._commit(member)
+
+    def _run_single(self, member: BatchMember) -> None:
+        """Singleton group: reuse the serial engine's window executor."""
+        program = member._program
+        n = self._remaining(member, program)
+        base_fs = self._begin(member)
+        try:
+            member._engine._run_window(program, base_fs, n)
+        except Exception as exc:
+            self._fail(member, exc)
+            return
+        self.member_fires += n * len(program.core_ops)
+        self._commit(member)
+
+    def _run_lockstep(self, group: List[BatchMember], programs) -> None:
+        """The aligned multi-member window."""
+        n = min(self._remaining(m, p) for m, p in zip(group, programs))
+        bases = []
+        rollbacks = []
+        for member, program in zip(group, programs):
+            bases.append(self._begin(member))
+            for port, cell in program.event_cells:
+                cell[0] = port._flushed
+            rollbacks.append(_WindowRollback() if n > 1 else None)
+
+        # Pre lane, slot-major: every program in the group has the same
+        # pre module type at each slot (part of the shape key).
+        in_window = [True] * len(group)
+        for j in range(len(programs[0].pre_ops)):
+            ops = [p.pre_ops[j] for p in programs]
+            self._fire_pre_slot(group, ops, n, bases, rollbacks, in_window)
+
+        # Core lane, one member's *whole window* at a time: members are
+        # independent (own cluster, own probe lane), so nothing requires
+        # per-period interleaving — and running each member contiguously
+        # keeps one cluster's working set hot in cache instead of
+        # touching every member's signals every period.  An exception
+        # retires only the raising member; groupmates are untouched.
+        period_fs = [p.period_fs for p in programs]
+        completed = [0] * len(group)
+        p_base = list(bases)
+        pending = [False] * len(group)
+        for k, member in enumerate(group):
+            if not in_window[k]:
+                continue
+            core_ops = programs[k].core_ops
+            watch = programs[k].dynamic_watch
+            pfs = period_fs[k]
+            base = p_base[k]
+            done = 0
+            try:
+                while done < n:
+                    for op in core_ops:
+                        op(base)
+                    done += 1
+                    base += pfs
+                    stop = False
+                    for module in watch:
+                        if module.has_pending_attribute_requests:
+                            pending[k] = True
+                            stop = True
+                            break
+                    if stop:
+                        in_window[k] = False
+                        break
+            except Exception as exc:
+                in_window[k] = False
+                completed[k] = done
+                self._fail(member, exc)
+                continue
+            completed[k] = done
+            p_base[k] = base
+        self.member_fires += sum(
+            done * len(p.core_ops) for done, p in zip(completed, programs)
+        )
+
+        from_fs = ScaTime.from_femtoseconds
+        for k, member in enumerate(group):
+            if member.status == "error":
+                continue
+            program = programs[k]
+            done = completed[k]
+            try:
+                for op in program.post_ops:
+                    op.fire(done, bases[k], None)
+            except Exception as exc:
+                self._fail(member, exc)
+                continue
+            if rollbacks[k] is not None:
+                rollbacks[k].apply(n, done)
+            sim = member.sim
+            sim.now = from_fs(bases[k] + done * period_fs[k])
+            sim.periods_run += done
+            if pending[k]:
+                for module in sim.cluster.modules:
+                    if module.has_pending_attribute_requests:
+                        module.consume_attribute_requests()
+                sim._swap_schedule()
+            self._commit(member)
+
+    def _fire_pre_slot(self, group, ops, n, bases, rollbacks, in_window) -> None:
+        """One hoisted slot for the whole group: a single
+        ``processing_block_batch`` call when the module class provides
+        one, per-member ``fire()`` otherwise."""
+        cls = type(ops[0].module)
+        batch_fn = getattr(cls, "processing_block_batch", None)
+        if batch_fn is not None and _batch_consistent(cls) and all(in_window):
+            blocks = []
+            cursor_snapshot = []
+            for op, base_fs, rollback in zip(ops, bases, rollbacks):
+                blocks.append(FiringBlock(n * op.q, op.module, base_fs, op.ts_fs))
+                cursor_snapshot.append(
+                    [
+                        (port.signal, id(port), port.signal._cursors[id(port)])
+                        for port in op.ins
+                    ]
+                )
+            try:
+                batch_fn(BatchBlock(blocks))
+            except Exception:
+                # Restore the consumed cursors and retry member-major so
+                # one member's failure cannot poison its groupmates.
+                for snapshot in cursor_snapshot:
+                    for signal, key, cursor in snapshot:
+                        signal._cursors[key] = cursor
+            else:
+                for op, block, rollback in zip(ops, blocks, rollbacks):
+                    if rollback is not None:
+                        q = op.q
+                        for port in op.ins:
+                            rollback.ins.append((port.signal, id(port), q))
+                        rollback.mods.append((op.module, q))
+                        for port, values in block.writes:
+                            rollback.outs.append(
+                                (port, q, values, port._last_value)
+                            )
+                    for port, values in block.writes:
+                        produce_block(port, values)
+                    object.__setattr__(
+                        op.module,
+                        "activation_count",
+                        op.module.activation_count + block.n,
+                    )
+                self.vector_fires += len(group) * n * ops[0].q
+                return
+        for k, (member, op) in enumerate(zip(group, ops)):
+            if not in_window[k]:
+                continue
+            try:
+                op.fire(n, bases[k], rollbacks[k])
+            except Exception as exc:
+                in_window[k] = False
+                self._fail(member, exc)
+            else:
+                self.member_fires += n * op.q
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _record_telemetry(self, tel) -> None:
+        metrics = tel.metrics
+        label = self.label or "batch"
+        total = len(self.members)
+        metrics.counter("tdf.engine_batch_runs", label=label).inc()
+        metrics.counter("tdf.engine_batch_members", label=label).inc(total)
+        metrics.histogram("tdf.engine_batch_size", label=label).observe(total)
+        metrics.counter("tdf.engine_batch_windows", label=label).inc(
+            self.windows_run
+        )
+        for reason, count in self.early_exits.items():
+            metrics.counter(
+                "tdf.engine_batch_early_exits", label=label, reason=reason
+            ).inc(count)
+        errors = sum(1 for m in self.members if m.status == "error")
+        if errors:
+            metrics.counter("tdf.engine_batch_errors", label=label).inc(errors)
+        fires = self.vector_fires + self.member_fires
+        if fires:
+            metrics.counter("tdf.engine_batch_vector_fires", label=label).inc(
+                self.vector_fires
+            )
+            metrics.counter("tdf.engine_batch_member_fires", label=label).inc(
+                self.member_fires
+            )
+            metrics.gauge("tdf.engine_batch_vector_ratio", label=label).set(
+                self.vector_fires / fires
+            )
+        # Fill ratio: window slots actually occupied by running members
+        # vs a perfectly full batch (windows × batch size).
+        capacity = self.windows_run * total
+        if capacity:
+            occupied = sum(m.windows for m in self.members)
+            metrics.gauge("tdf.engine_batch_fill", label=label).set(
+                occupied / capacity
+            )
+
+
+def run_batch(
+    members: Sequence[BatchMember],
+    *,
+    on_window=None,
+    raise_errors: bool = True,
+    time_memo=None,
+    label: str = "",
+) -> BatchExecutor:
+    """Convenience wrapper: build, run and return the executor."""
+    executor = BatchExecutor(
+        members,
+        on_window=on_window,
+        raise_errors=raise_errors,
+        time_memo=time_memo,
+        label=label,
+    )
+    executor.run()
+    return executor

@@ -1,5 +1,6 @@
 """Per-testcase dynamic-result memoization (campaign acceleration)."""
 
+from repro import DftConfig
 from repro.core import run_dft
 from repro.core.workflow import IterativeCampaign
 from repro.exec import DynamicResultCache
@@ -74,6 +75,39 @@ class TestPipelineResultCache:
         assert (
             result.dynamic.exercised_keys() == uncached.dynamic.exercised_keys()
         )
+
+
+class TestBatchedPipelineCache:
+    def test_cache_hits_never_enter_a_batch(self):
+        # Resolution order: cached testcases are served from the cache
+        # *before* lockstep batch assembly, so a warm cache costs zero
+        # cluster builds for its hits even in batched mode.
+        builds = []
+
+        def counting_factory():
+            builds.append(1)
+            return SenseTop()
+
+        suite = TestSuite("sensor", paper_testcases())
+        cache = DynamicResultCache()
+        warmup = TestSuite("warmup", suite.testcases[:2])
+        run_dft(counting_factory, warmup, DftConfig(result_cache=cache))
+        builds.clear()
+        result = run_dft(
+            counting_factory,
+            suite,
+            DftConfig(result_cache=cache, batch_size=8, engine="block"),
+        )
+        pending = len(suite) - len(warmup)
+        # One build for the static stage, one per *pending* testcase.
+        assert len(builds) == pending + 1
+        assert cache.hits == len(warmup)
+        assert list(result.dynamic.per_testcase) == suite.names()
+        # The merged result is byte-equal to a cold serial run.
+        serial = run_dft(_factory, suite)
+        assert result.dynamic.exercised_keys() == serial.dynamic.exercised_keys()
+        for name, match in serial.dynamic.per_testcase.items():
+            assert result.dynamic.per_testcase[name].pairs == match.pairs
 
 
 class TestCampaignReuse:

@@ -121,6 +121,22 @@ class TestDeterminism:
         b = _generate(DftConfig(seed=42, budget_simulations=20))
         assert suite_bytes(a) != suite_bytes(b)
 
+    @pytest.mark.parametrize("batch_size", [1, 4, "auto"])
+    def test_batching_does_not_change_the_suite(self, batch_size):
+        """Lockstep candidate evaluation is invisible in the result:
+        the generated suite is byte-identical at every batch size."""
+        serial = _generate(DftConfig(seed=0, budget_simulations=30))
+        batched = _generate(
+            DftConfig(seed=0, budget_simulations=30, engine="block",
+                      batch_size=batch_size),
+        )
+        assert suite_bytes(batched) == suite_bytes(serial)
+        assert batched.closed == serial.closed
+        assert batched.simulations == serial.simulations
+        assert [t.status for t in batched.targets] == [
+            t.status for t in serial.targets
+        ]
+
 
 class TestGenerationCampaign:
     def test_campaign_wraps_generate_suite(self):

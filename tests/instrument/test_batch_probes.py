@@ -1,0 +1,130 @@
+"""Batched suite execution: probe lanes, demux identity, suite order.
+
+The lockstep dynamic stage records every member through its own lane of
+a :class:`~repro.instrument.probes.BatchProbeBuffer`; the hard property
+is that the demuxed per-member event stream — and therefore the match
+result — is byte-identical to a serial run, at every batch size, with
+and without numpy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_cluster
+from repro.instrument import DynamicAnalyzer
+from repro.instrument.probes import BatchProbeBuffer
+from repro.testing import TestCase, TestSuite
+from repro.testing.generate import (
+    build_cluster,
+    build_random_cluster,
+    random_suite,
+    rate_strategy,
+    values_strategy,
+)
+
+
+def _analyzer(factory, engine="block"):
+    return DynamicAnalyzer(factory, analyze_cluster(factory()), engine=engine)
+
+
+def _suite(seed=7):
+    return TestSuite("random", random_suite(seed))
+
+
+class TestMemberLanes:
+    def test_lanes_demux_in_recording_order(self):
+        buffer = BatchProbeBuffer()
+        a, b = buffer.lane(0), buffer.lane(1)
+        a.append((0, "x"))
+        b.append((1, "y"))
+        a.append((2, "z"))
+        assert list(a) == [(0, "x"), (2, "z")]
+        assert list(b) == [(1, "y")]
+        assert len(a) == 2 and len(b) == 1 and len(buffer) == 3
+
+    def test_lane_yields_the_appended_objects(self):
+        # The batched matcher memoizes use sites by tuple identity
+        # (_match_batched's id() keyed memo), which is only sound when
+        # demuxed events are the very objects the instrumenter appended
+        # — transient copies would recycle ids mid-match.
+        buffer = BatchProbeBuffer()
+        lane = buffer.lane(0)
+        site = (0, "var", "model", 12)
+        lane.append(site)
+        lane.append(site)
+        assert all(event is site for event in lane)
+
+    def test_lane_clear_is_per_member(self):
+        buffer = BatchProbeBuffer()
+        a, b = buffer.lane(0), buffer.lane(1)
+        a.append((0, "x"))
+        b.append((1, "y"))
+        a.clear()
+        assert list(a) == [] and list(b) == [(1, "y")]
+
+
+class TestBatchedSuiteEquivalence:
+    @pytest.mark.parametrize("batch_size", [1, 3, 8])
+    def test_matches_serial_at_every_width(self, batch_size):
+        factory = lambda: build_random_cluster(7)
+        serial = _analyzer(factory).run_suite(_suite())
+        batched = _analyzer(factory).run_suite_batched(_suite(), batch_size)
+        assert list(batched.per_testcase) == list(serial.per_testcase)
+        for name, match in serial.per_testcase.items():
+            assert batched.per_testcase[name].pairs == match.pairs
+            assert (
+                batched.per_testcase[name].use_without_def
+                == match.use_without_def
+            )
+
+    def test_requires_block_engine(self):
+        factory = lambda: build_random_cluster(7)
+        analyzer = _analyzer(factory, engine="interp")
+        with pytest.raises(ValueError, match="block engine"):
+            analyzer.run_suite_batched(_suite(), 2)
+
+    def test_errors_raise_in_suite_order(self):
+        # register_processing wins over the instrumented rewrite, so the
+        # fault fires regardless of instrumentation.
+        def boom_first(cluster):
+            cluster.dut.register_processing(lambda: 1 / 0)
+
+        def boom_second(cluster):
+            cluster.dut.register_processing(lambda: [][1])
+
+        suite = TestSuite("bad", [
+            TestCase("a", _suite().testcases[0].duration, boom_first),
+            TestCase("b", _suite().testcases[0].duration, boom_second),
+        ])
+        factory = lambda: build_random_cluster(7)
+        # Serial raises testcase a's error first; the batch must too,
+        # even though both members fail inside one lockstep window.
+        with pytest.raises(ZeroDivisionError):
+            _analyzer(factory).run_suite_batched(suite, 2)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    values=values_strategy(max_size=6),
+    up=rate_strategy(),
+    down=rate_strategy(),
+    batch_size=st.sampled_from([1, 3, 8]),
+    use_numpy=st.booleans(),
+)
+def test_batched_equals_serial_property(values, up, down, batch_size, use_numpy):
+    """Property (issue satellite): batched ≡ serial on random multirate
+    clusters, at batch sizes 1/3/8, with and without numpy."""
+    from _pytest.monkeypatch import MonkeyPatch
+
+    import repro.tdf.engine.blocks as blocks
+
+    factory = lambda: build_cluster(values, up, down)
+    suite = _suite()
+    with MonkeyPatch.context() as mp:
+        if not use_numpy:
+            mp.setattr(blocks, "_np", None)
+        serial = _analyzer(factory).run_suite(suite)
+        batched = _analyzer(factory).run_suite_batched(suite, batch_size)
+    for name, match in serial.per_testcase.items():
+        assert batched.per_testcase[name].pairs == match.pairs

@@ -1,0 +1,183 @@
+"""Lockstep batch executor: members, early exit, traces, telemetry.
+
+The batched block engine must produce byte-identical observable results
+to running each member alone — these tests pin that invariant at the
+engine level (sink streams, trace rows, member isolation); the consumer
+level (probe streams, kill matrices, suite bytes) is covered in the
+instrument/mutation/generation suites.
+"""
+
+import pytest
+
+from repro.obs import Telemetry, telemetry_session
+from repro.tdf import Simulator
+from repro.tdf.engine.batch import (
+    AUTO_BATCH_MAX,
+    BatchMember,
+    DeferredTraces,
+    resolve_batch_size,
+    run_batch,
+)
+from repro.tdf.trace import Tracer
+from repro.testing.generate import (
+    build_random_cluster,
+    cluster_duration,
+    random_cluster_params,
+    random_suite,
+)
+
+SEEDS = (3, 7, 11, 19)
+
+
+def _member(seed, testcase=None, traces=None):
+    cluster = build_random_cluster(seed)
+    if testcase is not None:
+        testcase.apply(cluster)
+    sim = Simulator(cluster, engine="block")
+    sim.initialize()
+    values, _, _ = random_cluster_params(seed)
+    trace = DeferredTraces(cluster, traces) if traces else None
+    return BatchMember(
+        seed, sim, sim.now + cluster_duration(values), traces=trace
+    )
+
+
+def _serial_sink(seed, testcase=None):
+    cluster = build_random_cluster(seed)
+    if testcase is not None:
+        testcase.apply(cluster)
+    values, _, _ = random_cluster_params(seed)
+    sim = Simulator(cluster, engine="block")
+    sim.run(cluster_duration(values))
+    sim.finish()
+    return cluster.sink.values()
+
+
+class TestResolveBatchSize:
+    def test_none_disables(self):
+        assert resolve_batch_size(None) is None
+        assert resolve_batch_size(None, 100) is None
+
+    def test_auto_tracks_population(self):
+        assert resolve_batch_size("auto", 5) == 5
+        assert resolve_batch_size("auto", 0) == 1
+        assert resolve_batch_size("auto", 10_000) == AUTO_BATCH_MAX
+        assert resolve_batch_size("auto") == AUTO_BATCH_MAX
+
+    def test_explicit_int_used_as_is(self):
+        assert resolve_batch_size(3, 100) == 3
+        assert resolve_batch_size("8") == 8
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_batch_size(0)
+        with pytest.raises(ValueError):
+            resolve_batch_size(-2, 5)
+
+
+class TestLockstepEquivalence:
+    def test_heterogeneous_members_match_serial(self):
+        # Different seeds -> different rates/durations: the batch mixes
+        # alignment groups and members retire at different windows.
+        members = [_member(seed) for seed in SEEDS]
+        run_batch(members, label="test")
+        for seed, member in zip(SEEDS, members):
+            assert member.status == "done"
+            member.sim.finish()
+            assert member.sim.cluster.sink.values() == _serial_sink(seed)
+
+    def test_same_seed_testcases_match_serial(self):
+        # Same topology, different stimuli: the lockstep fast path.
+        testcases = random_suite(7)
+        members = [_member(7, tc) for tc in testcases]
+        run_batch(members, label="test")
+        for tc, member in zip(testcases, members):
+            member.sim.finish()
+            assert member.sim.cluster.sink.values() == _serial_sink(7, tc)
+
+    def test_deferred_traces_match_tracer(self):
+        cluster = build_random_cluster(7)
+        sim = Simulator(cluster, engine="block")
+        sim.initialize()
+        values, _, _ = random_cluster_params(7)
+        signal = cluster.sink.ip.signal.name
+        member = BatchMember(
+            "t", sim, sim.now + cluster_duration(values),
+            traces=DeferredTraces(cluster, [signal]),
+        )
+        run_batch([member], label="test")
+
+        reference = build_random_cluster(7)
+        ref_sim = Simulator(reference, engine="block")
+        tracer = Tracer()
+        tracer.trace(reference._signals[signal])
+        ref_sim.run(cluster_duration(values))
+        assert member.traces.samples(signal) == tracer.samples(signal)
+
+
+class TestMemberIsolation:
+    def test_raising_member_retires_alone(self):
+        members = [_member(seed) for seed in SEEDS]
+        bad = members[1]
+        original = bad.sim.cluster.dut.processing
+
+        def explode():
+            if bad.sim.cluster.dut.activation_count >= 3:
+                raise RuntimeError("injected fault")
+            original()
+
+        bad.sim.cluster.dut.processing = explode
+        run_batch(members, raise_errors=False, label="test")
+        assert bad.status == "error"
+        assert isinstance(bad.error, RuntimeError)
+        for seed, member in zip(SEEDS, members):
+            if member is bad:
+                continue
+            assert member.status == "done"
+            member.sim.finish()
+            assert member.sim.cluster.sink.values() == _serial_sink(seed)
+
+    def test_raise_errors_propagates(self):
+        member = _member(3)
+        member.sim.cluster.dut.processing = lambda: 1 / 0
+        with pytest.raises(ZeroDivisionError):
+            run_batch([member], label="test")
+
+    def test_on_window_early_exit(self):
+        members = [_member(seed) for seed in SEEDS]
+        victim = members[0]
+
+        def stop_victim(member):
+            return member is not victim
+
+        run_batch(members, on_window=stop_victim, label="test")
+        assert victim.status == "retired"
+        assert victim.sim.now.femtoseconds < victim.stop_fs
+        for member in members[1:]:
+            assert member.status == "done"
+
+
+class TestBatchTelemetry:
+    def test_counters_recorded(self):
+        with telemetry_session(Telemetry()) as tel:
+            members = [_member(seed) for seed in SEEDS]
+            run_batch(members, label="unit")
+        counters = {
+            (r["name"], tuple(sorted(r["labels"].items()))): r["value"]
+            for r in tel.to_run()["metrics"]
+            if r["kind"] == "counter"
+        }
+        label = (("label", "unit"),)
+        assert counters[("tdf.engine_batch_runs", label)] == 1
+        assert counters[("tdf.engine_batch_members", label)] == len(SEEDS)
+        assert counters[("tdf.engine_batch_windows", label)] >= 1
+        assert counters.get(("tdf.engine_batch_member_fires", label), 0) > 0
+
+    def test_report_derives_batch_rates(self):
+        from repro.obs.export import format_tree
+
+        with telemetry_session(Telemetry()) as tel:
+            run_batch([_member(seed) for seed in SEEDS], label="unit")
+        text = format_tree(tel)
+        assert "tdf.engine_batch_mean_width{label=unit}" in text
+        assert "tdf.engine_batch_vector_share{label=unit}" in text

@@ -35,6 +35,10 @@ baselines and emits one machine-readable JSON document (the
   throughput, peak RSS at 10⁶ probe events (fresh subprocess per
   backend), and a byte-identical coverage check across every bundled
   system with a spill-forcing chunk size.
+* **match** — the PR-8 headline: the vectorized columnar matching
+  kernel (:mod:`repro.instrument.matchkernel`) versus the per-event
+  scan matcher on a ~10⁶-event columnar stream, plus a byte-identical
+  coverage check per matcher across every bundled system.
 
 Every section records its own wall-clock seconds, so regressions are
 attributable to a layer, not just "the benchmark got slower".
@@ -595,6 +599,131 @@ def bench_store(
     }
 
 
+def _synthetic_match_events(count: int):
+    """Synthetic probe stream exercising every matcher branch.
+
+    Extends :func:`_synthetic_events`' shape with testbench writes (the
+    placeholder-def path), late re-writes of old tokens (last-by-seq
+    overrides), negative-token reads (initial/delay exclusion), and a
+    periodic undriven read (use-without-def diagnostics) — so the
+    vector-versus-scan identity check covers the full kernel, not just
+    the happy path.
+    """
+    from .instrument.probes import WriterKind
+    from .obs.store.columns import TAG_DEF, TAG_PR, TAG_PW, TAG_USE
+
+    model, testbench = WriterKind.MODEL, WriterKind.TESTBENCH
+    emitted = 0
+    token = 0
+    while emitted < count:
+        sig = f"cluster.sig{token % 4}"
+        var = f"m_state{token % 3}"
+        yield (TAG_DEF, var, "writer", 10 + token % 3)
+        yield (TAG_PW, sig, token, var, "writer", 20, model)
+        yield (TAG_PW, "cluster.stim", token, "src", "tb", 0, testbench)
+        yield (TAG_PR, sig, token, "inp", "reader", "reader", 30, False)
+        yield (TAG_PR, "cluster.stim", token, "ref", "reader", "reader", 31,
+               False)
+        yield (TAG_USE, var, "writer", 40)
+        yield (TAG_USE, var, "reader", 41)  # no same-model def: pairs nothing
+        emitted += 7
+        token += 1
+        if token % 64 == 0:
+            # Last-by-seq override of an old token, a pre-priming read,
+            # and an undriven read.
+            yield (TAG_PW, sig, token - 32, var, "rewriter", 21, model)
+            yield (TAG_PR, sig, -1, "inp", "reader", "reader", 30, False)
+            yield (TAG_PR, "cluster.nc", 0, "flt", "floating", "floating",
+                   50, True)
+            emitted += 3
+
+
+def bench_match(
+    events: int = 1_000_000,
+    chunk_size: int = 65536,
+    coverage_systems: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """The PR-8 headline: vectorized versus scan event matching.
+
+    Records ``events`` synthetic probe events into a columnar store and
+    times :func:`~repro.instrument.matching.match_events` over the same
+    store under ``matcher="scan"`` (the two-pass streaming matcher) and
+    ``matcher="vector"`` (the columnar array kernel), checking the pair
+    sets and use-without-def diagnostics are identical.  Then runs
+    every bundled system once per matcher (block engine, spill-forcing
+    columnar store) and compares the machine-readable coverage exports
+    byte for byte.  Without numpy the vector leg degrades to the scan
+    fallback; ``numpy`` in the payload records which was measured.
+    """
+    from .core import coverage_to_dict
+    from .exec.refs import resolve_ref
+    from .instrument.matching import match_events
+    from .instrument.probes import ProbeRuntime
+    from .obs.store import ColumnarProbeStore
+    from .obs.store.columns import HAVE_NUMPY
+
+    store = ColumnarProbeStore(chunk_size=chunk_size)
+    try:
+        for event in _synthetic_match_events(events):
+            store.append(event)
+        rows = len(store)
+        probe = ProbeRuntime("cluster", store=store)
+        start_lines = {"reader": 1}
+        results: Dict[str, Any] = {}
+        for matcher in ("scan", "vector"):
+            match, seconds = _timed(
+                lambda m=matcher: match_events(
+                    probe, "bench", start_lines, {}, warn=False, matcher=m
+                )
+            )
+            results[matcher] = (match, seconds)
+    finally:
+        store.close()
+
+    scan, scan_seconds = results["scan"]
+    vector, vector_seconds = results["vector"]
+    identical = (
+        scan.pairs == vector.pairs
+        and scan.use_without_def == vector.use_without_def
+    )
+
+    coverage_identical: Dict[str, bool] = {}
+    for name in coverage_systems if coverage_systems is not None else sorted(
+        PARALLEL_REFS
+    ):
+        refs = PARALLEL_REFS[name]
+        factory = resolve_ref(refs["factory"])
+
+        def blob(matcher: str) -> str:
+            suite = TestSuite(name, resolve_ref(refs["suite"])())
+            result = run_dft(factory, suite, DftConfig(
+                engine="block", probe_store="columnar",
+                store_chunk_size=4096, matcher=matcher,
+            ))
+            return json.dumps(coverage_to_dict(result.coverage), sort_keys=True)
+
+        coverage_identical[name] = blob("scan") == blob("vector")
+
+    return {
+        "events": rows,
+        "chunk_size": chunk_size,
+        "numpy": HAVE_NUMPY,
+        "scan_seconds": scan_seconds,
+        "vector_seconds": vector_seconds,
+        "speedup": scan_seconds / vector_seconds if vector_seconds else None,
+        "scan_events_per_second": (
+            rows / scan_seconds if scan_seconds else None
+        ),
+        "vector_events_per_second": (
+            rows / vector_seconds if vector_seconds else None
+        ),
+        "pairs": len(scan.pairs),
+        "use_without_def": len(scan.use_without_def),
+        "identical": identical,
+        "coverage_identical": coverage_identical,
+    }
+
+
 def run_benchmarks(
     workers: int = 2,
     campaign_system: str = "buck_boost",
@@ -604,7 +733,7 @@ def run_benchmarks(
     """Run the selected benchmark sections and assemble the JSON payload."""
     wanted = sections or [
         "campaign", "parallel", "static_cache", "schedule_cache", "engine",
-        "mutation", "generation", "store", "batch",
+        "mutation", "generation", "store", "batch", "match",
     ]
     payload: Dict[str, Any] = {
         "benchmark": "repro-dft pipeline performance",
@@ -632,6 +761,8 @@ def run_benchmarks(
         payload["store"] = bench_store()
     if "batch" in wanted:
         payload["batch"] = bench_batch(campaign_system)
+    if "match" in wanted:
+        payload["match"] = bench_match()
     return payload
 
 

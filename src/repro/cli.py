@@ -234,6 +234,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "per block-engine batch ('auto' = population-capped "
              "heuristic); results are byte-identical to serial runs",
     )
+    engine_opts.add_argument(
+        "--matcher", choices=["auto", "scan", "vector"], default="auto",
+        help="def-use event-matching implementation: the per-event scan "
+             "or the vectorized columnar kernel (auto = vector when "
+             "numpy is available and the probe store is columnar); "
+             "coverage results are byte-identical either way",
+    )
 
     history_opts = argparse.ArgumentParser(add_help=False)
     history_opts.add_argument(
@@ -439,11 +446,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--parallel-system", choices=sorted(SYSTEMS), default="sensor",
         help="system for the serial-vs-parallel section",
     )
+    bench_sections = ["campaign", "parallel", "static_cache", "schedule_cache",
+                      "engine", "mutation", "generation", "store", "batch",
+                      "match"]
     p_bench.add_argument(
-        "--sections", nargs="+", metavar="NAME",
-        choices=["campaign", "parallel", "static_cache", "schedule_cache",
-                 "engine", "mutation", "generation", "store", "batch"],
+        "--sections", nargs="+", metavar="NAME", choices=bench_sections,
         help="run only the named sections (default: all)",
+    )
+    p_bench.add_argument(
+        "--section", action="append", metavar="NAME", choices=bench_sections,
+        dest="section", default=None,
+        help="run one named section (repeatable; merged with --sections) — "
+             "what CI smoke jobs use to pay for a single section",
     )
     p_bench.add_argument(
         "--output", metavar="PATH",
@@ -657,7 +671,9 @@ def _cmd_mutate(args) -> int:
         factory = factory_obj(*factory_args) if factory_args else factory_obj
         testcases = list(resolve_ref(suite_ref)(*suite_args))
         suite = TestSuite(args.system, testcases)
-        coverage = run_dft(factory, suite, DftConfig(engine=cfg.engine)).coverage
+        coverage = run_dft(
+            factory, suite, DftConfig(engine=cfg.engine, matcher=cfg.matcher)
+        ).coverage
 
     payload = build_report(run, coverage=coverage, system=args.system)
     if args.csv:
@@ -853,11 +869,16 @@ def _dispatch(args) -> int:
 
         from .bench import run_benchmarks, write_benchmarks
 
+        sections = args.sections
+        if args.section:
+            sections = list(sections or []) + [
+                name for name in args.section if name not in (sections or [])
+            ]
         payload = run_benchmarks(
             workers=args.workers,
             campaign_system=args.campaign_system,
             parallel_system=args.parallel_system,
-            sections=args.sections,
+            sections=sections,
         )
         if args.output:
             write_benchmarks(args.output, payload)

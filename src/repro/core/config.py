@@ -55,6 +55,13 @@ class DftConfig:
         = off, ``"auto"`` = population-capped heuristic, ``N`` =
         explicit lockstep width); batched results are byte-identical to
         serial, so like ``workers`` it never enters the config hash.
+        ``matcher`` — the def-use event-matching implementation
+        (``"auto"``/``"scan"``/``"vector"``; see
+        :func:`repro.instrument.matching.match_events`).  ``auto`` takes
+        the vectorized columnar kernel when numpy is present and the
+        probe buffer is a streaming columnar store, the per-event scan
+        otherwise.  All paths are result-identical, so ``matcher`` never
+        enters the config hash either.
     caches
         ``result_cache`` — an explicit per-testcase
         :class:`~repro.exec.DynamicResultCache` for ``run_dft``;
@@ -86,6 +93,7 @@ class DftConfig:
     engine: str = "auto"
     workers: Optional[int] = 1
     batch_size: Any = None
+    matcher: str = "auto"
     executor: Optional["DynamicExecutor"] = None
     result_cache: Optional["DynamicResultCache"] = None
     reuse_dynamic_results: bool = True
@@ -123,6 +131,7 @@ class DftConfig:
             "engine": "engine",
             "workers": "workers",
             "batch_size": "batch_size",
+            "matcher": "matcher",
             "seed": "seed",
             "tolerance": "tolerance",
             "budget_seconds": "budget_seconds",

@@ -135,7 +135,7 @@ def run_dft(
             dynamic = _run_dynamic(
                 counted_factory, static, suite, cfg.warn, tel, cfg.executor,
                 cfg.result_cache, cfg.engine, cfg.probe_store_spec(),
-                cfg.batch_size,
+                cfg.batch_size, cfg.matcher,
             )
         with tel.span("coverage") as span_coverage:
             coverage = CoverageResult(static, dynamic)
@@ -196,6 +196,7 @@ def _run_dynamic(
     engine: Optional[str] = "auto",
     probe_store=None,
     batch_size=None,
+    matcher: str = "auto",
 ) -> "DynamicResult":
     """Execute the dynamic stage through the chosen backend and cache.
 
@@ -232,6 +233,7 @@ def _run_dynamic(
             cluster_factory, static, pending_suite, warn=warn, telemetry=tel,
             engine=engine, probe_store=probe_store,
             batch_size=resolve_batch_size(batch_size, len(pending)),
+            matcher=matcher,
         )
     else:
         fresh = DynamicResult()

@@ -61,6 +61,7 @@ class DynamicExecutor(abc.ABC):
         engine: Optional[str] = "auto",
         probe_store=None,
         batch_size: Optional[int] = None,
+        matcher: str = "auto",
     ) -> "DynamicResult":
         """Run every testcase of ``suite`` and merge the results.
 
@@ -75,6 +76,9 @@ class DynamicExecutor(abc.ABC):
         runs up to that many testcases in lockstep per simulation batch
         — again with byte-identical results (see
         :meth:`~repro.instrument.runner.DynamicAnalyzer.run_suite_batched`).
+        ``matcher`` selects the def-use event-matching implementation
+        (``auto``/``scan``/``vector`` — result-identical; see
+        :func:`repro.instrument.matching.match_events`).
         """
 
 
@@ -93,12 +97,13 @@ class SerialExecutor(DynamicExecutor):
         engine: Optional[str] = "auto",
         probe_store=None,
         batch_size: Optional[int] = None,
+        matcher: str = "auto",
     ) -> "DynamicResult":
         from ..instrument.runner import DynamicAnalyzer
 
         analyzer = DynamicAnalyzer(
             cluster_factory, static, warn=warn, telemetry=telemetry,
-            engine=engine, probe_store=probe_store,
+            engine=engine, probe_store=probe_store, matcher=matcher,
         )
         if batch_size is not None and batch_size > 1:
             return analyzer.run_suite_batched(suite, batch_size)

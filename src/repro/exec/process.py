@@ -66,6 +66,8 @@ class _WorkerJob:
     #: Lockstep width for the worker's shard (block engine only;
     #: ``None`` = one testcase at a time).
     batch_size: Optional[int] = None
+    #: Event-matching implementation (``auto``/``scan``/``vector``).
+    matcher: str = "auto"
 
 
 def _run_worker(job: _WorkerJob) -> Tuple[List[Tuple[str, "MatchResult"]], List[dict], float]:
@@ -94,6 +96,7 @@ def _run_worker(job: _WorkerJob) -> Tuple[List[Tuple[str, "MatchResult"]], List[
             factory, static, warn=job.warn,
             telemetry=tel if job.record_telemetry else None,
             engine=job.engine, probe_store=job.probe_store,
+            matcher=job.matcher,
         )
         if job.batch_size is not None and job.batch_size > 1:
             from ..testing.testcase import TestSuite
@@ -150,6 +153,7 @@ class ProcessExecutor(DynamicExecutor):
         engine: Optional[str] = "auto",
         probe_store=None,
         batch_size: Optional[int] = None,
+        matcher: str = "auto",
     ) -> "DynamicResult":
         from ..instrument.runner import DynamicResult
 
@@ -182,6 +186,7 @@ class ProcessExecutor(DynamicExecutor):
                 suite_args=self.suite_args,
                 probe_store=probe_store,
                 batch_size=batch_size,
+                matcher=matcher,
             )
             for shard in shards
         ]

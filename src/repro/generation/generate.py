@@ -254,6 +254,7 @@ class _Evaluator:
                 # Cache hits were resolved above: only the misses enter
                 # a lockstep batch, so the width resolves against them.
                 batch_size=resolve_batch_size(self.cfg.batch_size, len(pending)),
+                matcher=self.cfg.matcher,
             )
             for name, _ in pending:
                 match = dynamic.per_testcase[name]

@@ -7,7 +7,7 @@ from .instrumenter import (
     instrument_processing,
     restore_processing,
 )
-from .matching import MatchResult, match_events
+from .matching import MATCHERS, MatchResult, match_events
 from .parallel_print import ParallelPrint, tap_signal
 from .probes import (
     PortReadEvent,
@@ -21,6 +21,7 @@ from .runner import ClusterFactory, DynamicAnalyzer, DynamicResult
 
 __all__ = [
     "ClusterFactory",
+    "MATCHERS",
     "DynamicAnalyzer",
     "DynamicResult",
     "MatchResult",

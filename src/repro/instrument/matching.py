@@ -29,9 +29,10 @@ as a warning."  Concretely:
 from __future__ import annotations
 
 import bisect
+import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.associations import ExercisedPair
 from .probes import (
@@ -44,6 +45,9 @@ from .probes import (
 )
 
 PairKey = Tuple[str, str, int, str, int]
+
+#: Valid values of the ``matcher`` knob (``DftConfig.matcher``).
+MATCHERS = ("auto", "scan", "vector")
 
 
 @dataclass
@@ -69,6 +73,8 @@ def match_events(
     model_start_lines: Dict[str, int],
     initial_tokens: Dict[str, int],
     warn: bool = True,
+    matcher: str = "auto",
+    telemetry: Any = None,
 ) -> MatchResult:
     """Join the probe's event streams into exercised pairs.
 
@@ -76,31 +82,120 @@ def match_events(
     line (the ``def processing`` line); ``initial_tokens`` maps signal
     name to the number of priming (output-delay) tokens, which must not
     be treated as definitions.
+
+    ``matcher`` picks the join implementation — every path produces
+    identical results:
+
+    * ``"scan"`` — the per-event Python matchers below (single-pass
+      over batched buffers, two-pass over streaming stores, dataclass
+      join for per-event probes);
+    * ``"vector"`` — the columnar array kernel
+      (:mod:`repro.instrument.matchkernel`); falls back to ``scan``
+      when numpy is unavailable or the probe records per-event
+      dataclasses (which have no tuple buffer to columnize);
+    * ``"auto"`` — ``vector`` when numpy is present and the buffer is
+      a streaming columnar store (whose columns are already packed),
+      ``scan`` otherwise.
+
+    The path taken, events scanned, and any fallback reason land in
+    ``instrument.match_*`` telemetry when a session is recording.
     """
+    if matcher not in MATCHERS:
+        raise ValueError(
+            f"unknown matcher {matcher!r} (expected one of {', '.join(MATCHERS)})"
+        )
     result = MatchResult(testcase=testcase)
     buf = getattr(probe, "_buf", None)
-    if buf is not None:
-        if getattr(buf, "streaming", False):
-            # Columnar store: two passes over the (re-iterable) stream;
-            # decoded tuples are transient, so nothing here may key on
-            # object identity or retain events.
-            _match_streaming(buf, model_start_lines, result, warn)
+    path, reason = _matcher_path(matcher, buf)
+    started = time.perf_counter()
+    scanned = 0
+    if path == "vector":
+        from .matchkernel import columns_of, match_columns
+
+        columns = columns_of(buf)
+        if columns is None:  # pragma: no cover - numpy lost post-policy
+            path, reason = "scan", "no_numpy"
         else:
-            # Batched probe: consume the flat tuple buffer directly (it
-            # is already in sequence order) without materialising
-            # dataclasses.
-            _match_batched(buf, model_start_lines, result, warn)
-        return result
-    _match_var_events(probe.var_events, result)
-    _match_port_events(
-        probe.port_writes,
-        probe.port_reads,
-        model_start_lines,
-        initial_tokens,
-        result,
-        warn,
+            scanned = match_columns(columns, model_start_lines, result, warn)
+    if path == "scan":
+        if buf is not None:
+            if getattr(buf, "streaming", False):
+                # Columnar store: two passes over the (re-iterable)
+                # stream; decoded tuples are transient, so nothing here
+                # may key on object identity or retain events.
+                _match_streaming(buf, model_start_lines, result, warn)
+            else:
+                # Batched probe: consume the flat tuple buffer directly
+                # (it is already in sequence order) without
+                # materialising dataclasses.
+                _match_batched(buf, model_start_lines, result, warn)
+        else:
+            _match_var_events(probe.var_events, result)
+            _match_port_events(
+                probe.port_writes,
+                probe.port_reads,
+                model_start_lines,
+                initial_tokens,
+                result,
+                warn,
+            )
+    _record_match_telemetry(
+        telemetry, probe, buf, path, reason, scanned,
+        time.perf_counter() - started,
     )
     return result
+
+
+def _matcher_path(matcher: str, buf: Any) -> Tuple[str, Optional[str]]:
+    """Resolve the knob to the path taken plus a fallback reason.
+
+    A non-``None`` reason is recorded whenever a vector-eligible
+    request (``auto`` or explicit ``vector``) degraded to scan — it
+    explains a low ``instrument.match_vector_share``.
+    """
+    if matcher == "scan":
+        return "scan", None
+    if buf is None:
+        # Per-event dataclass probe (interpreter engine): there is no
+        # flat tuple buffer to columnize.
+        return "scan", "per_event_probe"
+    from .matchkernel import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        return "scan", "no_numpy"
+    if matcher == "vector":
+        return "vector", None
+    if getattr(buf, "streaming", False):
+        return "vector", None
+    # auto + in-memory tuple buffer: columnizing would pay an O(n)
+    # encode pass first, so the single-pass scan stays the default.
+    return "scan", "memory_buffer"
+
+
+def _record_match_telemetry(
+    telemetry: Any,
+    probe: ProbeRuntime,
+    buf: Any,
+    path: str,
+    reason: Optional[str],
+    scanned: int,
+    seconds: float,
+) -> None:
+    tel = telemetry
+    if tel is None:
+        from ..obs import get_telemetry
+
+        tel = get_telemetry()
+    if not getattr(tel, "enabled", False):
+        return
+    if path == "scan":  # the vector kernel already counted its rows
+        scanned = len(buf) if buf is not None else sum(probe.event_counts())
+    metrics = tel.metrics
+    metrics.counter("instrument.match_runs", path=path).inc()
+    metrics.counter("instrument.match_events_scanned", path=path).inc(scanned)
+    if reason is not None:
+        metrics.counter("instrument.match_fallback", reason=reason).inc()
+    metrics.histogram("instrument.match_seconds", path=path).observe(seconds)
 
 
 def _match_batched(

@@ -174,6 +174,33 @@ class _MemberLane:
             return len(self._events)
         return sum(1 for _ in self)
 
+    def to_columns(self):
+        """This member's events as flat per-field arrays, or ``None``.
+
+        The vectorized matcher's per-lane demux: the shared store
+        yields its full column set once (cached across lanes) and each
+        lane selects its rows with one boolean mask over the member
+        column — instead of decoding and ownership-testing every event
+        tuple.  In-memory lanes pack their private list through the
+        chunk encoder.  ``None`` when numpy is unavailable.
+        """
+        from ..obs.store.columns import HAVE_NUMPY, _np, encode_chunk
+
+        if not HAVE_NUMPY:
+            return None
+        if self._events is not None:
+            strings: List[str] = []
+            payload = encode_chunk(self._events, {}, strings)
+            tags = _np.frombuffer(payload[2], dtype=_np.uint8)
+            return tags, payload[3], strings, None
+        full = self._store.to_columns()
+        if full is None:  # pragma: no cover - store saw numpy vanish
+            return None
+        tags, cols, strings, members = full
+        assert members is not None, "batched store lost its member column"
+        mask = members == self._member
+        return tags[mask], tuple(col[mask] for col in cols), strings, None
+
     def clear(self) -> None:
         """Drop this member's events (in-memory lanes only)."""
         if self._events is not None:

@@ -79,11 +79,15 @@ class DynamicAnalyzer:
         telemetry=None,
         engine: Optional[str] = "auto",
         probe_store=None,
+        matcher: str = "auto",
     ) -> None:
         self.cluster_factory = cluster_factory
         self.static = static
         self.warn = warn
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        #: Event-matching implementation knob (``DftConfig.matcher``):
+        #: ``auto``/``scan``/``vector`` — all result-identical.
+        self.matcher = matcher
         #: Resolved TDF engine for the simulations ("interp" or "block").
         #: Block runs also switch the probe to batched recording — probe
         #: *semantics* (event content and order) are identical; only the
@@ -136,6 +140,8 @@ class DynamicAnalyzer:
                         self.static.model_start_lines,
                         initial_tokens,
                         warn=self.warn,
+                        matcher=self.matcher,
+                        telemetry=tel,
                     )
                 if tel.enabled:
                     nv, nw, nr = probe.event_counts()
@@ -252,6 +258,8 @@ class DynamicAnalyzer:
                             self.static.model_start_lines,
                             initial_tokens,
                             warn=self.warn,
+                            matcher=self.matcher,
+                            telemetry=tel,
                         )
                     result.per_testcase[testcase.name] = match
                     if tel.enabled:

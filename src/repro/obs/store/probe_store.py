@@ -34,7 +34,16 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional
 
-from .columns import TAG_PR, TAG_PW, chunk_tag_counts, decode_chunk, encode_chunk
+from .columns import (
+    HAVE_NUMPY,
+    PAYLOAD_COLUMNS,
+    TAG_PR,
+    TAG_PW,
+    _np,
+    chunk_tag_counts,
+    decode_chunk,
+    encode_chunk,
+)
 
 #: Rows buffered in memory before a chunk is spilled to disk.
 DEFAULT_CHUNK_SIZE = 65536
@@ -119,6 +128,9 @@ class ColumnarProbeStore:
         self._spill_bytes = 0
         self._strings: List[str] = []
         self._string_ids: dict = {}
+        #: Cached ``to_columns()`` result, keyed on the recorded shape
+        #: so further appends (or a clear) invalidate it.
+        self._columns_cache: Optional[tuple] = None
         self._closed = False
 
     # -- recording ----------------------------------------------------------
@@ -141,6 +153,8 @@ class ColumnarProbeStore:
     def _flush(self) -> None:
         if not self._tail:
             return
+        if self._closed:
+            raise ValueError("cannot record into a closed probe store")
         started = time.perf_counter()
         base = encode_chunk(self._tail, self._string_ids, self._strings)
         if self._member_tail is not None:
@@ -157,7 +171,14 @@ class ColumnarProbeStore:
             )
             handle = self._file = os.fdopen(fd, "w+b")
         before = handle.tell()
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException:
+            # A partial frame would corrupt every later read; rewind so
+            # the spill file stays a clean sequence of whole chunks.
+            handle.seek(before)
+            handle.truncate()
+            raise
         size = handle.tell() - before
         self._chunks += 1
         self._spilled_rows += len(self._tail)
@@ -189,6 +210,8 @@ class ColumnarProbeStore:
         a separate read handle, so iteration keeps the O(1)-memory
         property the store exists for.
         """
+        if self._closed:
+            raise ValueError("cannot iterate a closed probe store")
         if self._chunks:
             self._file.flush()
             with open(self._path, "rb") as reader:
@@ -210,6 +233,8 @@ class ColumnarProbeStore:
         """
         members_tail = self._member_tail
         assert members_tail is not None, "store built without member_column"
+        if self._closed:
+            raise ValueError("cannot iterate a closed probe store")
         if self._chunks:
             self._file.flush()
             with open(self._path, "rb") as reader:
@@ -223,6 +248,75 @@ class ColumnarProbeStore:
         for event, owner in zip(self._tail, members_tail):
             if owner == member:
                 yield event
+
+    def to_columns(self) -> Optional[tuple]:
+        """The whole stream as flat per-field numpy arrays.
+
+        Returns ``(tags, payload_columns, strings, members)`` — tags
+        ``uint8``, each of the seven payload columns ``int64``,
+        ``members`` the per-row lockstep member column (``None`` on
+        stores built without one) — or ``None`` when numpy is
+        unavailable.  Spilled chunks are already columnar, so
+        assembling the stream is frame unpickling plus one
+        ``np.concatenate`` per column: no per-event tuple is ever
+        decoded.  This is what the vectorized matching kernel
+        (:mod:`repro.instrument.matchkernel`) consumes; the result is
+        cached until further events are recorded.
+        """
+        if not HAVE_NUMPY:
+            return None
+        if self._closed:
+            raise ValueError("cannot read columns of a closed probe store")
+        key = (self._spilled_rows, self._chunks, len(self._tail))
+        cached = self._columns_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        tag_parts: List[Any] = []
+        col_parts: List[List[Any]] = [[] for _ in range(PAYLOAD_COLUMNS)]
+        member_parts: Optional[List[Any]] = (
+            [] if self._member_tail is not None else None
+        )
+
+        def take(base: tuple, members: Any) -> None:
+            tag_parts.append(_np.frombuffer(base[2], dtype=_np.uint8))
+            for j, col in enumerate(base[3]):
+                col_parts[j].append(_np.asarray(col, dtype=_np.int64))
+            if member_parts is not None:
+                member_parts.append(_np.asarray(members, dtype=_np.int64))
+
+        if self._chunks:
+            self._file.flush()
+            with open(self._path, "rb") as reader:
+                for _ in range(self._chunks):
+                    payload = pickle.load(reader)
+                    if self._member_tail is not None:
+                        take(payload[0], payload[1])
+                    else:
+                        take(payload, None)
+        if self._tail:
+            # Transient encode of the live tail through the store's own
+            # string table (ids stay consistent with spilled chunks).
+            base = encode_chunk(self._tail, self._string_ids, self._strings)
+            take(base, tuple(self._member_tail or ()))
+        if tag_parts:
+            tags = _np.concatenate(tag_parts)
+            cols = tuple(_np.concatenate(parts) for parts in col_parts)
+            members = (
+                _np.concatenate(member_parts)
+                if member_parts is not None else None
+            )
+        else:
+            tags = _np.zeros(0, dtype=_np.uint8)
+            cols = tuple(
+                _np.zeros(0, dtype=_np.int64) for _ in range(PAYLOAD_COLUMNS)
+            )
+            members = (
+                _np.zeros(0, dtype=_np.int64)
+                if member_parts is not None else None
+            )
+        value = (tags, cols, self._strings, members)
+        self._columns_cache = (key, value)
+        return value
 
     def event_counts(self) -> tuple:
         """``(var, write, read)`` event counts without materialising
@@ -255,9 +349,17 @@ class ColumnarProbeStore:
         self._spill_bytes = 0
         self._strings.clear()
         self._string_ids.clear()
+        self._columns_cache = None
 
     def close(self) -> None:
-        """Release the spill file; final row count goes to telemetry."""
+        """Release the spill file; final row count goes to telemetry.
+
+        Idempotent: safe to call from both a consumer's ``finally`` and
+        the owner's cleanup path.  After close, recording past a chunk
+        boundary, iterating, and ``to_columns`` all raise
+        ``ValueError`` — a closed store has unlinked its spill file, so
+        silently serving a truncated stream would be worse.
+        """
         if self._closed:
             return
         self._closed = True
@@ -265,6 +367,9 @@ class ColumnarProbeStore:
         if tel is not None and getattr(tel, "enabled", False):
             tel.metrics.counter("obs.store_rows").inc(len(self))
         self._tail.clear()
+        if self._member_tail is not None:
+            self._member_tail.clear()
+        self._columns_cache = None
         self._discard_file()
 
     def _discard_file(self) -> None:

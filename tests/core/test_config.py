@@ -52,6 +52,20 @@ class TestFromArgs:
         assert cfg.engine == "interp"
         assert cfg.workers == 3
 
+    def test_matcher_flag_folds_in(self):
+        assert DftConfig().matcher == "auto"
+        cfg = DftConfig.from_args(argparse.Namespace(matcher="vector"))
+        assert cfg.matcher == "vector"
+
+    def test_matcher_never_enters_config_hash(self):
+        # All matchers are result-identical, so cached dynamic results
+        # and history fingerprints must not fragment on the knob.
+        hashes = {
+            DftConfig(matcher=matcher).config_hash()
+            for matcher in ("auto", "scan", "vector")
+        }
+        assert len(hashes) == 1
+
 
 class TestResolvedWorkers:
     def test_explicit_workers_win(self):

@@ -504,3 +504,60 @@ class TestProbeStoreCli:
         with pytest.raises(SystemExit) as exc:
             main(["run", "sensor", "--probe-store", "parquet"])
         assert exc.value.code == 2
+
+
+class TestMatcherCli:
+    def test_scan_and_vector_runs_identical(self, capsys):
+        assert main([
+            "run", "sensor", "--json", "--no-history", "--matcher", "scan",
+        ]) == 0
+        baseline = capsys.readouterr().out
+        # Vector on a columnar store (the intended pairing); without
+        # numpy this degrades to scan — either way the report is
+        # byte-identical, which is the whole contract of the knob.
+        assert main([
+            "run", "sensor", "--json", "--no-history",
+            "--probe-store", "columnar", "--matcher", "vector",
+        ]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_unknown_matcher_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "sensor", "--matcher", "simd"])
+        assert exc.value.code == 2
+
+
+class TestBenchSectionFlag:
+    def _capture(self, monkeypatch):
+        import repro.bench as bench
+
+        captured = {}
+
+        def fake_run(**kwargs):
+            captured.update(kwargs)
+            return {"sections": kwargs.get("sections")}
+
+        monkeypatch.setattr(bench, "run_benchmarks", fake_run)
+        return captured
+
+    def test_single_section_flag(self, monkeypatch, capsys):
+        captured = self._capture(monkeypatch)
+        assert main(["bench", "--section", "match"]) == 0
+        assert captured["sections"] == ["match"]
+        capsys.readouterr()
+
+    def test_section_merges_with_sections_without_duplicates(
+        self, monkeypatch, capsys
+    ):
+        captured = self._capture(monkeypatch)
+        assert main([
+            "bench", "--sections", "engine", "batch",
+            "--section", "match", "--section", "engine",
+        ]) == 0
+        assert captured["sections"] == ["engine", "batch", "match"]
+        capsys.readouterr()
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--section", "warp"])
+        assert exc.value.code == 2

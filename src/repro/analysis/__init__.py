@@ -20,6 +20,7 @@ from .model_analysis import (
 )
 from .netlist import Branch, RedefAnchor, origin_of, trace_branches
 from .reaching import NodeDef, NodePair, ReachingResult, reaching_definitions
+from .subsume import SubsumptionResult, analyze_subsumption, frontier_reduced
 
 __all__ = [
     "Branch",
@@ -39,12 +40,15 @@ __all__ = [
     "SourceInfo",
     "StaticAnalysisCache",
     "StaticAnalysisResult",
+    "SubsumptionResult",
     "VarRef",
+    "analyze_subsumption",
     "analyze_cluster",
     "analyze_model",
     "build_cfg",
     "extract",
     "fingerprint_cluster",
+    "frontier_reduced",
     "get_default_cache",
     "get_source_info",
     "has_non_du_path",

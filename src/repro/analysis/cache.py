@@ -37,7 +37,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import avoids a cycle
 
 #: Bump when the analysis output format changes so stale disk entries
 #: are never deserialised into the new code.
-CACHE_FORMAT_VERSION = 1
+#: v2: ModelAnalysis carries its processing() CFG (and DefUse records
+#: carry conditional-occurrence sets) for the subsumption pass.
+CACHE_FORMAT_VERSION = 2
 
 #: Default on-disk location (used when a cache dir is requested without
 #: an explicit path).

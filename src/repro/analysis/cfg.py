@@ -213,6 +213,10 @@ class _Builder:
             defs=list(target_du.defs),
             uses=list(iter_du.uses) + list(target_du.uses),
         )
+        # The loop node is revisited on every iteration but the iterable
+        # is evaluated once and the targets bind only while it yields:
+        # no occurrence here fires on *every* visit of the node.
+        combined.cond = set(combined.defs) | set(combined.uses)
         loop = self._new("loop", stmt.lineno, combined, "for")
         self._connect(preds, loop)
         self._loops.append([])
@@ -249,7 +253,11 @@ class _Builder:
             du = self._extract(item.context_expr)
             if item.optional_vars is not None:
                 target_du = self._extract(item.optional_vars)
-                du = DefUse(defs=du.defs + target_du.defs, uses=du.uses + target_du.uses)
+                du = DefUse(
+                    defs=du.defs + target_du.defs,
+                    uses=du.uses + target_du.uses,
+                    cond=du.cond | target_du.cond,
+                )
             node = self._new("stmt", stmt.lineno, du, "with")
             self._connect(current, node)
             current = [node]

@@ -31,6 +31,12 @@ class DefUse:
 
     defs: List[Occurrence] = field(default_factory=list)
     uses: List[Occurrence] = field(default_factory=list)
+    #: Occurrences (defs or uses) that may not execute every time the
+    #: fragment does: non-first operands of ``and``/``or``, the arms of a
+    #: conditional expression, comprehension parts, and ``for`` loop
+    #: targets (which fire per iteration, not per node visit).  Anything
+    #: NOT in here is guaranteed to fire whenever the fragment runs.
+    cond: Set[Occurrence] = field(default_factory=set)
 
     def def_vars(self) -> Set[VarRef]:
         """The set of variables defined."""
@@ -39,6 +45,10 @@ class DefUse:
     def use_vars(self) -> Set[VarRef]:
         """The set of variables used."""
         return {ref for ref, _ in self.uses}
+
+    def is_conditional(self, occ: Occurrence) -> bool:
+        """Whether ``occ`` may be skipped on some executions of the fragment."""
+        return occ in self.cond
 
 
 class _Extractor(ast.NodeVisitor):
@@ -55,14 +65,28 @@ class _Extractor(ast.NodeVisitor):
         self.out_ports = out_ports
         self.local_names = local_names
         self.result = DefUse()
+        # Depth of enclosing conditionally-evaluated contexts (short
+        # circuit operands, IfExp arms, comprehension bodies).
+        self._cond_depth = 0
 
     # -- reference emission -------------------------------------------------
 
     def _use(self, ref: VarRef, line: int) -> None:
         self.result.uses.append((ref, line))
+        if self._cond_depth:
+            self.result.cond.add((ref, line))
 
     def _def(self, ref: VarRef, line: int) -> None:
         self.result.defs.append((ref, line))
+        if self._cond_depth:
+            self.result.cond.add((ref, line))
+
+    def _visit_conditional(self, node: ast.AST) -> None:
+        self._cond_depth += 1
+        try:
+            self.visit(node)
+        finally:
+            self._cond_depth -= 1
 
     # -- calls: port reads and writes ----------------------------------------
 
@@ -163,6 +187,38 @@ class _Extractor(ast.NodeVisitor):
             self._def(ref, target.lineno)
             return
         self.visit(target)
+
+    # -- conditionally-evaluated expression contexts ---------------------------
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        # ``a and b``: only the first operand is guaranteed to evaluate.
+        self.visit(node.values[0])
+        for value in node.values[1:]:
+            self._visit_conditional(value)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        # The test always evaluates; exactly one arm does.
+        self.visit(node.test)
+        self._visit_conditional(node.body)
+        self._visit_conditional(node.orelse)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        # A comprehension body/conditions may run zero times; treat every
+        # occurrence inside as conditional (the outermost iterable does
+        # evaluate, but over-marking is the safe direction).
+        self._visit_conditional_children(node)
+
+    def _visit_conditional_children(self, node: ast.AST) -> None:
+        self._cond_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._cond_depth -= 1
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         # Nested function definitions are opaque to the analysis.

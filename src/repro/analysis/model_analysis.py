@@ -81,6 +81,10 @@ class ModelAnalysis:
     definitions: List[Definition] = field(default_factory=list)
     #: Output-port writes that can never reach EXIT (dead writes).
     dead_port_writes: List[PortDefSite] = field(default_factory=list)
+    #: The processing() CFG the associations were derived from; kept so
+    #: downstream passes (subsumption, du-path fitness guides) can reason
+    #: about paths without re-parsing the model source.
+    cfg: Optional[Cfg] = None
 
 
 def _loc(model: str, line: int, file: str) -> SourceLocation:
@@ -110,7 +114,7 @@ def analyze_model(module: TdfModule) -> ModelAnalysis:
     result = reaching_definitions(cfg, entry_defs)
     closure = transitive_closure(cfg)
 
-    analysis = ModelAnalysis(model=model, source=info)
+    analysis = ModelAnalysis(model=model, source=info, cfg=cfg)
     _collect_definitions(analysis, result, info, filename, in_ports)
     _classify_intra_pairs(analysis, result, closure, info, member_marker_line)
     _classify_cross_activation_pairs(analysis, result, closure, cfg, info, member_marker_line)

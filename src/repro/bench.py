@@ -362,6 +362,81 @@ def bench_generation(
     }
 
 
+def bench_directed(
+    budget_simulations: int = 32, seed: int = 0
+) -> Dict[str, Any]:
+    """The PR-9 headline: frontier targets + path-guided search.
+
+    Same shape as :func:`bench_generation`, but the search runs in
+    ``--targets frontier`` mode (subsumption-reduced target set) with
+    the ``guided`` strategy and graded du-path fitness, under a
+    *smaller* simulation budget than the PR-5 run (40).  The gate is
+    that the directed run still closes at least as many associations
+    on the buck-boost converter as the undirected PR-5 baseline (11)
+    while executing fewer simulations.  ``closed_total`` counts the
+    searched targets plus the subsumed associations that closed
+    opportunistically when their subsumers did;
+    ``strong_closed_total`` is the Strong-class slice of the full
+    association set, measured on the verification pipeline's
+    before/after coverage.
+    """
+    from .core.associations import AssocClass
+    from .generation import generate_suite
+    from .systems import campaigns
+    from .systems.buck_boost import BuckBoostTop
+    from .systems.window_lifter import WindowLifterTop
+
+    cases = {
+        "buck_boost": (BuckBoostTop, campaigns.buck_boost_base_suite),
+        "window_lifter": (WindowLifterTop, campaigns.window_lifter_base_suite),
+    }
+    cfg = DftConfig(seed=seed, budget_simulations=budget_simulations)
+    systems: Dict[str, Any] = {}
+    for system, (factory, base_builder) in cases.items():
+        base = TestSuite(system, base_builder())
+        result, seconds = _timed(
+            lambda: generate_suite(
+                factory, base, system, cfg,
+                strategy="guided", target_mode="frontier",
+            )
+        )
+
+        def _strong(coverage) -> int:
+            cc = coverage.class_coverage()[AssocClass.STRONG]
+            return cc.covered
+
+        closed = len(result.closed)
+        closed_total = closed + result.subsumed_closed
+        systems[system] = {
+            "frontier_targets": len(result.targets),
+            "subsumed_targets": result.subsumed_targets,
+            "closed": closed,
+            "subsumed_closed": result.subsumed_closed,
+            "closed_total": closed_total,
+            "strong_closed_total": (
+                _strong(result.coverage_after) - _strong(result.coverage_before)
+            ),
+            "generated_testcases": len(result.generated),
+            "simulations": result.simulations,
+            "memo_hits": result.memo_hits,
+            "stop_reason": result.stop_reason,
+            "seconds": seconds,
+            "closed_per_second": closed_total / seconds if seconds else None,
+            "closed_per_simulation": (
+                closed_total / result.simulations if result.simulations else None
+            ),
+        }
+    return {
+        "seed": seed,
+        "budget_simulations": budget_simulations,
+        "strategy": "guided",
+        "targets_mode": "frontier",
+        "baseline": {"bench": "BENCH_PR5.json", "buck_boost_closed": 11,
+                     "budget_simulations": 40},
+        "systems": systems,
+    }
+
+
 def bench_batch(
     system: str = "buck_boost",
     max_mutants: int = 25,
@@ -733,7 +808,7 @@ def run_benchmarks(
     """Run the selected benchmark sections and assemble the JSON payload."""
     wanted = sections or [
         "campaign", "parallel", "static_cache", "schedule_cache", "engine",
-        "mutation", "generation", "store", "batch", "match",
+        "mutation", "generation", "store", "batch", "match", "directed",
     ]
     payload: Dict[str, Any] = {
         "benchmark": "repro-dft pipeline performance",
@@ -763,6 +838,8 @@ def run_benchmarks(
         payload["batch"] = bench_batch(campaign_system)
     if "match" in wanted:
         payload["match"] = bench_match()
+    if "directed" in wanted:
+        payload["directed"] = bench_directed()
     return payload
 
 

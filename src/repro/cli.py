@@ -292,6 +292,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--matrix", action="store_true", help="print the Table-I matrix")
     p_run.add_argument(
+        "--targets", choices=["all", "frontier"], default="all",
+        help="association accounting: 'frontier' runs the subsumption "
+             "pass and adds non-subsumed target counts to the summary "
+             "(default: all)",
+    )
+    p_run.add_argument(
         "--max-missed", type=int, default=20, help="missed associations to list"
     )
     p_run.add_argument(
@@ -373,6 +379,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the coverage run and the criterion-vs-score join",
     )
     p_mutate.add_argument(
+        "--targets", choices=["all", "frontier"], default="all",
+        help="criterion sub-suite targets: 'frontier' selects over the "
+             "subsumption-reduced association set (kill scores must "
+             "match 'all'; default: all)",
+    )
+    p_mutate.add_argument(
         "--json", action="store_true",
         help="emit the machine-readable report instead of text",
     )
@@ -418,9 +430,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for candidate evaluation (default: 1)",
     )
     p_generate.add_argument(
-        "--strategy", choices=["mutation", "random"], default="mutation",
+        "--strategy", choices=["mutation", "random", "guided"],
+        default="mutation",
         help="search strategy (default: mutation — random warm-up, then "
-             "(1+lambda) mutation of the best candidate)",
+             "(1+lambda) mutation of the best candidate; guided — "
+             "rank-weighted elite archive exploiting the graded du-path "
+             "fitness)",
+    )
+    p_generate.add_argument(
+        "--targets", choices=["all", "frontier"], default="all",
+        help="search every missed association ('all', default) or only "
+             "the subsumption frontier ('frontier' — subsumed pairs "
+             "close opportunistically with their subsumer)",
     )
     p_generate.add_argument(
         "--json", action="store_true",
@@ -448,7 +469,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_sections = ["campaign", "parallel", "static_cache", "schedule_cache",
                       "engine", "mutation", "generation", "store", "batch",
-                      "match"]
+                      "match", "directed"]
     p_bench.add_argument(
         "--sections", nargs="+", metavar="NAME", choices=bench_sections,
         help="run only the named sections (default: all)",
@@ -663,6 +684,7 @@ def _cmd_mutate(args) -> int:
     )
 
     coverage = None
+    subsumption = None
     if not args.no_criteria:
         # One coverage run of the *unmutated* system feeds the
         # criterion-vs-score join; sub-suites are then scored from the
@@ -671,11 +693,18 @@ def _cmd_mutate(args) -> int:
         factory = factory_obj(*factory_args) if factory_args else factory_obj
         testcases = list(resolve_ref(suite_ref)(*suite_args))
         suite = TestSuite(args.system, testcases)
-        coverage = run_dft(
+        pipeline = run_dft(
             factory, suite, DftConfig(engine=cfg.engine, matcher=cfg.matcher)
-        ).coverage
+        )
+        coverage = pipeline.coverage
+        if args.targets == "frontier":
+            from .analysis import analyze_subsumption
 
-    payload = build_report(run, coverage=coverage, system=args.system)
+            subsumption = analyze_subsumption(pipeline.static)
+
+    payload = build_report(
+        run, coverage=coverage, system=args.system, subsumption=subsumption
+    )
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as stream:
             write_csv(payload, stream)
@@ -709,6 +738,7 @@ def _cmd_generate(args) -> int:
         factory_ref=entry["factory_ref"],
         suite_ref=entry["suite_ref"],
         strategy=args.strategy,
+        target_mode=args.targets,
     )
     payload = build_report(result)
     if args.output:
@@ -847,7 +877,15 @@ def _dispatch(args) -> int:
         if args.matrix:
             print(format_matrix(result.coverage))
             print()
-        print(format_summary(result.coverage, max_missed=args.max_missed))
+        subsumption = None
+        if args.targets == "frontier":
+            from .analysis import analyze_subsumption
+
+            subsumption = analyze_subsumption(result.static)
+        print(format_summary(
+            result.coverage, max_missed=args.max_missed,
+            subsumption=subsumption,
+        ))
         return 0
 
     if args.command == "campaign":

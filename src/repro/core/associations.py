@@ -30,6 +30,11 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 
+#: The identity tuple ``(var, def_model, def_line, use_model, use_line)``
+#: joining static associations with dynamically exercised pairs.
+PairKey = Tuple[str, str, int, str, int]
+
+
 class AssocClass(enum.Enum):
     """The four TDF-specific association classes (ordered by strength)."""
 

@@ -53,17 +53,39 @@ def format_matrix(coverage: CoverageResult, max_rows: Optional[int] = None) -> s
     return "\n".join(lines)
 
 
-def format_summary(coverage: CoverageResult, max_missed: int = 20) -> str:
-    """Render totals, per-class coverage, criteria and guidance."""
+def format_summary(
+    coverage: CoverageResult,
+    max_missed: int = 20,
+    subsumption=None,
+) -> str:
+    """Render totals, per-class coverage, criteria and guidance.
+
+    ``subsumption`` (a
+    :class:`~repro.analysis.subsume.SubsumptionResult`, when given)
+    adds the non-subsumed *frontier* counts per class: the reduced set
+    of associations whose coverage guarantees the full set.
+    """
     lines: List[str] = []
     lines.append(f"Static associations : {coverage.static_total}")
     lines.append(f"Exercised (dynamic) : {coverage.exercised_total}")
     lines.append(f"Overall coverage    : {coverage.overall_percent:.1f}%")
     lines.append("")
     lines.append("Per-class coverage:")
+    frontier_counts = subsumption.counts() if subsumption is not None else {}
     for klass, cc in coverage.class_coverage().items():
-        lines.append(
+        row = (
             f"  {klass.value:7s} {cc.covered:4d} / {cc.total:4d}  ({_pct(cc.percent)}%)"
+        )
+        if klass in frontier_counts:
+            front, total = frontier_counts[klass]
+            row += f"  [frontier {front}/{total}]"
+        lines.append(row)
+    if subsumption is not None:
+        total = len(subsumption.associations)
+        front = len(subsumption.frontier_keys)
+        lines.append(
+            f"  frontier (non-subsumed targets): {front} of {total} "
+            f"associations"
         )
     lines.append("")
     lines.append("Criteria:")

@@ -12,14 +12,21 @@ Layers:
 * :mod:`~repro.generation.fitness` — per-association distance computed
   from exercised-pair sets (backend/engine-independent);
 * :mod:`~repro.generation.search` — pluggable strategies (random,
-  (1+λ) mutation);
+  (1+λ) mutation, rank-weighted guided elite search);
 * :mod:`~repro.generation.generate` — the loop: rank targets, search,
   accept closers, stop on coverage/budget/stagnation;
 * :mod:`~repro.generation.report` — ``repro-dft-generation/1`` payload,
   text rendering, canonical suite bytes for determinism checks.
 """
 
-from .fitness import Fitness, association_fitness, closed_targets
+from .fitness import (
+    DuPathGuide,
+    Fitness,
+    association_fitness,
+    build_guides,
+    closed_targets,
+    graded_fitness,
+)
 from .generate import (
     DEFAULT_TARGET_CLASSES,
     GeneratedTest,
@@ -31,6 +38,7 @@ from .report import SCHEMA, build_report, format_report, suite_bytes, write_json
 from .search import (
     DEFAULT_STRATEGY,
     STRATEGIES,
+    GuidedStrategy,
     MutationStrategy,
     RandomStrategy,
     SearchStrategy,
@@ -48,10 +56,12 @@ from .space import (
 __all__ = [
     "DEFAULT_STRATEGY",
     "DEFAULT_TARGET_CLASSES",
+    "DuPathGuide",
     "EncodedParams",
     "Fitness",
     "GeneratedTest",
     "GenerationResult",
+    "GuidedStrategy",
     "MutationStrategy",
     "Param",
     "ParameterSpace",
@@ -62,11 +72,13 @@ __all__ = [
     "SearchStrategy",
     "TargetOutcome",
     "association_fitness",
+    "build_guides",
     "build_report",
     "closed_targets",
     "decode_candidates",
     "format_report",
     "generate_suite",
+    "graded_fitness",
     "make_strategy",
     "space_for",
     "suite_bytes",

@@ -45,7 +45,7 @@ from ..core.pipeline import PipelineResult, run_dft
 from ..exec.cache import DynamicResultCache
 from ..obs import Telemetry, get_telemetry
 from ..testing.testcase import TestSuite
-from .fitness import Fitness, PairKey, association_fitness
+from .fitness import Fitness, PairKey, build_guides, graded_fitness
 from .search import SearchStrategy, make_strategy
 from .space import EncodedParams, ParameterSpace, space_for
 
@@ -94,6 +94,11 @@ class TargetOutcome:
     best_score: float
     #: Name of the testcase that closed it, when ``closed``/``pre_closed``.
     closed_by: Optional[str] = None
+    #: Candidate simulations actually executed for this target (memo
+    #: hits are free and excluded; 0 for pre_closed/skipped targets).
+    simulations: int = 0
+    #: Best fitness score after each search round, in round order.
+    trajectory: Tuple[float, ...] = ()
 
 
 @dataclass
@@ -121,6 +126,15 @@ class GenerationResult:
     #: ``exhausted`` (every target searched, some remain open).
     stop_reason: str
     wall_seconds: float = 0.0
+    #: ``all`` (every missed association searched) or ``frontier``
+    #: (only non-subsumed associations searched).
+    target_mode: str = "all"
+    #: Missed associations excluded from the search because a frontier
+    #: element subsumes them (0 in ``all`` mode).
+    subsumed_targets: int = 0
+    #: How many of those the final suite covers anyway (closed
+    #: opportunistically when their subsumer closed).
+    subsumed_closed: int = 0
 
     @property
     def closed(self) -> Tuple[PairKey, ...]:
@@ -282,6 +296,7 @@ def generate_suite(
     space: Optional[ParameterSpace] = None,
     strategy: "str | SearchStrategy | None" = None,
     target_classes: Sequence[AssocClass] = DEFAULT_TARGET_CLASSES,
+    target_mode: str = "all",
     candidates_per_round: int = 6,
     stagnation_rounds: int = 4,
     max_rounds_per_target: int = 12,
@@ -297,7 +312,15 @@ def generate_suite(
     The returned :class:`GenerationResult` holds the grown suite, the
     per-target outcomes, and the before/after coverage from a final
     verification pipeline run (fully memoized — it re-executes nothing).
+
+    ``target_mode="frontier"`` runs the subsumption pass
+    (:mod:`repro.analysis.subsume`) and searches only the non-subsumed
+    missed associations; subsumed ones close opportunistically when
+    their subsumer does and are accounted separately
+    (``subsumed_targets`` / ``subsumed_closed``).
     """
+    if target_mode not in ("all", "frontier"):
+        raise ValueError(f"target_mode must be 'all' or 'frontier', got {target_mode!r}")
     cfg = config if config is not None else DftConfig()
     tel = cfg.telemetry if cfg.telemetry is not None else get_telemetry()
     space = space if space is not None else space_for(system)
@@ -319,11 +342,27 @@ def generate_suite(
             run_cfg.replace(executor=base_executor),
         )
         wanted = set(target_classes)
-        targets = [
+        missed = [
             a for a in baseline.coverage.missed() if a.klass in wanted
         ]
+        subsumed_missed: List = []
+        if target_mode == "frontier":
+            from ..analysis.subsume import analyze_subsumption, frontier_reduced
+
+            subsumption = analyze_subsumption(baseline.static)
+            targets, subsumed_missed = frontier_reduced(missed, subsumption)
+        else:
+            targets = missed
+        # Static du-path guides refine the binary fitness levels into a
+        # graded approach/kill distance (pure pair-set lookups, so the
+        # search stays deterministic across backends and workers).
+        guides = build_guides(baseline.static, targets)
         if tel.enabled:
             tel.metrics.gauge("generation.targets").set(len(targets))
+            if subsumed_missed:
+                tel.metrics.gauge("generation.subsumed_targets").set(
+                    len(subsumed_missed)
+                )
 
         evaluator = _Evaluator(
             cluster_factory, baseline.static, space, cfg, cache, tel, factory_ref
@@ -399,10 +438,13 @@ def generate_suite(
                 f"{cfg.seed}|{system}|{space.version}|{strat.name}|{key}"
             )
             strat.reset(space, rng)
+            guide = guides.get(key)
             best = Fitness(-1.0, False, False, False, False)
             stale = 0
             rounds = 0
             status = "rounds"
+            sims_before = budget.simulations
+            trajectory: List[float] = []
             with tel.span("generation.target", target=str(key)):
                 while rounds < max_rounds_per_target:
                     if not budget.check():
@@ -420,7 +462,7 @@ def generate_suite(
                     feedback: List[Tuple[Dict[str, float], float]] = []
                     improved = False
                     for name, encoded, match in evaluated:
-                        fit = association_fitness(key, match.pairs)
+                        fit = graded_fitness(key, match.pairs, guide)
                         feedback.append((dict(encoded), fit.score))
                         if fit.score > best.score:
                             best = fit
@@ -442,6 +484,7 @@ def generate_suite(
                                     len(newly_closed)
                                 )
                     strat.tell(feedback)
+                    trajectory.append(best.score)
                     if key not in open_keys:
                         status = "closed"
                         break
@@ -460,12 +503,17 @@ def generate_suite(
                 key, assoc.klass.value, status, rounds,
                 1.0 if status == "closed" else best.score,
                 closed_by=closed_by.get(key),
+                simulations=budget.simulations - sims_before,
+                trajectory=tuple(trajectory),
             ))
 
         # -- verification (fully memoized) --------------------------------
         final_suite = TestSuite(base_suite.name, base_suite.testcases)
         final_suite.extend([space.build(dict(g.params)) for g in generated])
         final = run_dft(cluster_factory, final_suite, run_cfg)
+        subsumed_closed = sum(
+            1 for a in subsumed_missed if final.coverage.is_covered(a)
+        )
 
         if not open_keys:
             stop_reason = "coverage"
@@ -500,6 +548,9 @@ def generate_suite(
                         1 for t in outcomes if t.status in ("closed", "pre_closed")
                     ),
                     "targets": len(targets),
+                    "targets_mode": target_mode,
+                    "subsumed_targets": len(subsumed_missed),
+                    "subsumed_closed": subsumed_closed,
                     "simulations": budget.simulations,
                     "stop_reason": stop_reason,
                     "final_tests": len(final_suite),
@@ -526,4 +577,7 @@ def generate_suite(
         candidates=evaluator.candidates,
         stop_reason=stop_reason,
         wall_seconds=time.perf_counter() - t0,
+        target_mode=target_mode,
+        subsumed_targets=len(subsumed_missed),
+        subsumed_closed=subsumed_closed,
     )

@@ -57,10 +57,13 @@ def build_report(result: GenerationResult) -> dict:
         "seed": result.seed,
         "strategy": result.strategy,
         "stop_reason": result.stop_reason,
+        "targets_mode": result.target_mode,
         "counts": {
             "targets": len(result.targets),
             "closed": len(closed),
             "open": len(result.targets) - len(closed),
+            "subsumed_targets": result.subsumed_targets,
+            "subsumed_closed": result.subsumed_closed,
             "generated_testcases": len(result.generated),
             "candidates": result.candidates,
             "simulations": result.simulations,
@@ -84,6 +87,8 @@ def build_report(result: GenerationResult) -> dict:
                 "rounds": t.rounds,
                 "best_score": round(t.best_score, 6),
                 "closed_by": t.closed_by,
+                "simulations": t.simulations,
+                "trajectory": [round(score, 6) for score in t.trajectory],
             }
             for t in result.targets
         ],
@@ -136,6 +141,12 @@ def format_report(payload: dict) -> str:
         f"{counts['closed']} closed, {counts['open']} still open "
         f"(stopped: {payload['stop_reason']})"
     )
+    if payload.get("targets_mode") == "frontier":
+        lines.append(
+            f"  frontier mode: {counts['subsumed_targets']} subsumed "
+            f"association(s) excluded from the search, "
+            f"{counts['subsumed_closed']} closed opportunistically"
+        )
     lines.append(
         f"  search: {counts['candidates']} candidates = "
         f"{counts['simulations']} simulations + {counts['memo_hits']} memo hits "

@@ -14,6 +14,9 @@ Bundled strategies:
   evolution strategy: keep the best vector seen, propose λ mutants of
   it per round, adapt the mutation step with a 1/5th-style success
   rule.  The default.
+* :class:`GuidedStrategy` — a rank-weighted elite archive with
+  blending and stagnation restarts, built to exploit the finer-grained
+  ordering of the graded du-path fitness.
 
 Strategies own no randomness: the loop hands them a seeded
 ``random.Random`` at reset, so runs are deterministic for a given
@@ -144,10 +147,134 @@ class MutationStrategy:
             self.scale = min(max(self.scale * factor, self.min_scale), self.max_scale)
 
 
+class GuidedStrategy:
+    """Rank-weighted elite search for graded fitness landscapes.
+
+    Where the (1+λ) strategy only ever exploits the single best vector,
+    this one keeps a small elite archive and allocates proposals by
+    rank: the graded du-path fitness (see
+    :func:`repro.generation.fitness.graded_fitness`) separates
+    candidates that the binary levels score identically, so second- and
+    third-best vectors carry real signal worth exploiting.  Each round
+    mixes
+
+    * rank-weighted mutation of an archive member (weight halves per
+      rank step down),
+    * occasional uniform blending of two elites (per-parameter choice),
+    * and a random restart injection after stagnant rounds, so the
+      search cannot collapse onto one basin.
+
+    The mutation scale follows the same success rule as
+    :class:`MutationStrategy`.  All decisions draw from the loop's
+    seeded RNG and ties keep the earliest archive entry, so the search
+    stays deterministic and worker-count independent.
+    """
+
+    name = "guided"
+
+    def __init__(
+        self,
+        warmup: int = 6,
+        archive_size: int = 8,
+        scale: float = 0.15,
+        min_scale: float = 0.02,
+        max_scale: float = 0.5,
+        blend_every: int = 4,
+        stagnation_restart: int = 2,
+    ) -> None:
+        self.warmup = warmup
+        self.archive_size = archive_size
+        self._initial_scale = scale
+        self.min_scale = min_scale
+        self.max_scale = max_scale
+        self.blend_every = blend_every
+        self.stagnation_restart = stagnation_restart
+        self._space: Optional[ParameterSpace] = None
+        self._rng: Optional[random.Random] = None
+        self._archive: List[Tuple[float, int, Params]] = []
+        self._seen = 0
+        self._asked = 0
+        self._stagnant_rounds = 0
+        self.scale = scale
+
+    def reset(self, space: ParameterSpace, rng: random.Random) -> None:
+        self._space = space
+        self._rng = rng
+        self._archive = []
+        self._seen = 0
+        self._asked = 0
+        self._stagnant_rounds = 0
+        self.scale = self._initial_scale
+
+    # -- proposal helpers --------------------------------------------------
+
+    def _pick_elite(self) -> Params:
+        assert self._rng is not None
+        # Geometric rank weights: rank r gets weight 2^-r.
+        weights = [2.0 ** -r for r in range(len(self._archive))]
+        total = sum(weights)
+        roll = self._rng.random() * total
+        for (_, _, params), w in zip(self._archive, weights):
+            roll -= w
+            if roll <= 0:
+                return params
+        return self._archive[-1][2]
+
+    def _blend(self) -> Params:
+        assert self._rng is not None
+        first = self._pick_elite()
+        second = self._pick_elite()
+        return {
+            key: value if self._rng.random() < 0.5 else second[key]
+            for key, value in first.items()
+        }
+
+    def ask(self, count: int) -> List[Params]:
+        assert self._space is not None and self._rng is not None
+        proposals: List[Params] = []
+        restart_due = self._stagnant_rounds >= self.stagnation_restart
+        for _ in range(count):
+            self._asked += 1
+            if not self._archive or self._seen + len(proposals) < self.warmup:
+                proposals.append(self._space.sample(self._rng))
+            elif restart_due:
+                # One fresh sample per stagnant round, then elites again.
+                proposals.append(self._space.sample(self._rng))
+                restart_due = False
+            elif len(self._archive) >= 2 and self._asked % self.blend_every == 0:
+                proposals.append(
+                    self._space.mutate(self._rng, self._blend(), self.min_scale)
+                )
+            else:
+                proposals.append(
+                    self._space.mutate(self._rng, self._pick_elite(), self.scale)
+                )
+        return proposals
+
+    def tell(self, evaluated: Sequence[Tuple[Params, float]]) -> None:
+        best_before = self._archive[0][0] if self._archive else -1.0
+        for params, score in evaluated:
+            self._seen += 1
+            self._archive.append((score, self._seen, dict(params)))
+        # Highest score first; insertion order breaks ties so re-runs
+        # (and different worker counts) keep the same elites.
+        self._archive.sort(key=lambda entry: (-entry[0], entry[1]))
+        del self._archive[self.archive_size:]
+        improved = bool(self._archive) and self._archive[0][0] > best_before
+        if improved:
+            self._stagnant_rounds = 0
+        else:
+            self._stagnant_rounds += 1
+        if self._seen >= self.warmup:
+            factor = 1.3 if improved else 0.75
+            self.scale = min(max(self.scale * factor, self.min_scale), self.max_scale)
+
+
 #: Strategy registry: name -> zero-arg factory.
 STRATEGIES: Dict[str, Callable[[], SearchStrategy]] = {
     RandomStrategy.name: RandomStrategy,
     MutationStrategy.name: MutationStrategy,
+    GuidedStrategy.name: GuidedStrategy,
 }
 
 #: The default strategy name.

@@ -46,7 +46,10 @@ CRITERION_ORDER: List[Tuple[Criterion, AssocClass]] = [
 ]
 
 
-def criterion_subsuites(coverage: CoverageResult) -> Dict[Criterion, List[str]]:
+def criterion_subsuites(
+    coverage: CoverageResult,
+    frontier_keys: Optional[frozenset] = None,
+) -> Dict[Criterion, List[str]]:
     """Nested greedy sub-suites, one per class criterion.
 
     For each criterion (weakest first) the targets are the
@@ -57,6 +60,13 @@ def criterion_subsuites(coverage: CoverageResult) -> Dict[Criterion, List[str]]:
     returned suites are nested: ``all-PWeak ⊆ all-PFirm ⊆ all-Firm ⊆
     all-Strong``.  An empty class contributes no targets and therefore
     no testcases (the window lifter has no PFirm associations).
+
+    ``frontier_keys`` (from
+    :func:`repro.analysis.subsume.analyze_subsumption`) restricts each
+    criterion's target set to the non-subsumed associations: any
+    testcase covering a frontier association necessarily covers the
+    ones it subsumes, so the reduced selection still satisfies the full
+    criterion.
     """
     names = coverage.testcase_names
     tc_keys = {
@@ -69,7 +79,9 @@ def criterion_subsuites(coverage: CoverageResult) -> Dict[Criterion, List[str]]:
         targets = {
             a.key
             for a in coverage.associations
-            if a.klass is klass and coverage.is_covered(a)
+            if a.klass is klass
+            and coverage.is_covered(a)
+            and (frontier_keys is None or a.key in frontier_keys)
         }
         while targets - covered:
             best: Optional[str] = None
@@ -92,16 +104,21 @@ def build_report(
     run,
     coverage: Optional[CoverageResult] = None,
     system: str = "",
+    subsumption=None,
 ) -> dict:
     """The machine-readable mutation report (schema ``repro-dft-mutation/1``).
 
     ``run`` is a :class:`~repro.mutation.executor.MutationRun`;
     ``coverage`` (when given) adds the per-criterion rows of the
-    criterion-vs-score join.
+    criterion-vs-score join.  ``subsumption`` (a
+    :class:`~repro.analysis.subsume.SubsumptionResult`, when given)
+    scores the criterion rows over frontier-reduced sub-suites instead
+    of the full covered target sets.
     """
     payload = {
         "schema": SCHEMA,
         "system": system,
+        "targets_mode": "frontier" if subsumption is not None else "all",
         "seed": run.seed,
         "engine": run.engine,
         "workers": run.workers,
@@ -133,7 +150,10 @@ def build_report(
         ],
     }
     if coverage is not None:
-        subsuites = criterion_subsuites(coverage)
+        frontier_keys = (
+            subsumption.frontier_keys if subsumption is not None else None
+        )
+        subsuites = criterion_subsuites(coverage, frontier_keys)
         rows = []
         for criterion, _klass in CRITERION_ORDER:
             names = subsuites[criterion]

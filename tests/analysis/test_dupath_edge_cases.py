@@ -1,0 +1,184 @@
+"""Regression tests for du-path / reaching-definition edge cases.
+
+Three families the PR-9 hardening pass pins down:
+
+* self-loop du-paths — a single node that both defines and uses the
+  variable, reached through a loop back-edge;
+* defs killed on every path — a definition that no use can observe
+  must produce no pair at all;
+* cross-window associations — a def whose matching use fires more than
+  one block-engine window (:data:`~repro.tdf.engine.WINDOW_PERIODS`
+  activations) later must still be exercised, identically on both
+  engines.
+"""
+
+import ast
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dupaths import (
+    has_non_du_path,
+    is_strong_local,
+    transitive_closure,
+)
+from repro.analysis.reaching import reaching_definitions
+from repro.core import DftConfig, run_dft
+from repro.tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
+from repro.tdf.engine import WINDOW_PERIODS
+from repro.tdf.library import CollectorSink, StimulusSource
+from repro.testing import TestCase, TestSuite
+
+
+def _setup(body):
+    code = "def processing(self):\n" + "\n".join(
+        "    " + line for line in body.strip().splitlines()
+    )
+    func = ast.parse(code).body[0]
+    cfg = build_cfg(func, set(), set())
+    result = reaching_definitions(cfg)
+    return cfg, result, transitive_closure(cfg)
+
+
+def _pairs_for(result, var="x"):
+    return {
+        (p.def_line, p.use_line)
+        for p in result.pairs
+        if p.var.name == var
+    }
+
+
+class TestSelfLoopDuPaths:
+    def test_self_assign_in_loop_pairs_with_itself(self):
+        # ``x = x + 1`` inside a while: the node's use reads the def the
+        # same node produced on the *previous* iteration (a du-path that
+        # is exactly the self-loop through the loop header).
+        _, result, closure = _setup("x = 0\nwhile c:\n    x = x + 1\ny = x")
+        pairs = _pairs_for(result)
+        assert (4, 4) in pairs          # the self-loop pair exists
+        assert (2, 4) in pairs          # first-iteration feed
+        assert (4, 5) in pairs          # loop exit observes the last def
+        for p in result.pairs:
+            if p.var.name != "x" or (p.def_line, p.use_line) != (4, 4):
+                continue
+            # Reaching itself requires passing its own redefinition, so
+            # the self-loop pair can never be Strong.
+            assert not is_strong_local(p, result.def_nodes, closure)
+
+    def test_self_loop_is_reachable_in_closure(self):
+        cfg, result, closure = _setup("x = 0\nwhile c:\n    x = x + 1")
+        loop_nodes = [
+            p.def_node for p in result.pairs
+            if p.var.name == "x" and p.def_line == p.use_line == 4
+        ]
+        assert loop_nodes
+        for nid in loop_nodes:
+            assert nid in closure[nid]
+
+    def test_single_statement_loop_body_does_not_crash_firm(self):
+        _, result, closure = _setup("x = 0\nwhile x < 3:\n    x = x + 1")
+        for p in result.pairs:
+            if p.var.name == "x":
+                # Total classification (no exception) is the contract.
+                has_non_du_path(p, result.def_nodes.get(p.var, set()), closure)
+
+
+class TestDefsKilledOnEveryPath:
+    def test_straightline_kill_produces_no_pair(self):
+        _, result, _ = _setup("x = 1\nx = 2\ny = x")
+        pairs = _pairs_for(result)
+        assert (3, 4) in pairs
+        assert (2, 4) not in pairs      # killed before any use
+
+    def test_kill_on_both_branch_arms(self):
+        body = "x = 1\nif c:\n    x = 2\nelse:\n    x = 3\ny = x"
+        _, result, _ = _setup(body)
+        pairs = _pairs_for(result)
+        assert pairs == {(4, 7), (6, 7)}  # the outer def never survives
+
+    def test_kill_before_loop_and_inside_loop(self):
+        body = "x = 1\nx = 2\nwhile c:\n    y = x\n    x = x + 1"
+        _, result, _ = _setup(body)
+        pairs = _pairs_for(result)
+        assert all(d != 2 for d, _ in pairs)
+        assert (3, 5) in pairs and (6, 5) in pairs and (6, 6) in pairs
+
+
+class _LatchThenRead(TdfModule):
+    """Defines ``m_latch`` once, reads it only far later.
+
+    The definition fires in the very first activation; the only use
+    fires once the activation count passes 40 — beyond one block-engine
+    window, so the def and the use land in different windows.
+    """
+
+    def __init__(self, name: str = "latch") -> None:
+        super().__init__(name)
+        self.ip = TdfIn()
+        self.op = TdfOut()
+        self.m_latch = 0.0
+        self.m_count = 0
+
+    def initialize(self) -> None:
+        self.m_latch = 0.0
+        self.m_count = 0
+
+    def processing(self) -> None:
+        sample = self.ip.read()
+        if self.m_count == 0:
+            self.m_latch = sample + 1.0
+        self.m_count = self.m_count + 1
+        if self.m_count > 40:
+            self.op.write(self.m_latch)
+        else:
+            self.op.write(0.0)
+
+
+#: Activations between the def (first activation) and the use; must
+#: exceed one compiled window so the pair matches across windows.
+THRESHOLD = 40
+
+
+class TestCrossWindowAssociations:
+    def test_threshold_exceeds_one_window(self):
+        assert THRESHOLD > WINDOW_PERIODS
+
+    def _cluster(self):
+        class Top(Cluster):
+            def architecture(self):
+                self.src = self.add(
+                    StimulusSource("src", lambda t: 1.0, ms(1))
+                )
+                self.latch = self.add(_LatchThenRead())
+                self.sink = self.add(CollectorSink("sink"))
+                self.connect(self.src.op, self.latch.ip)
+                self.connect(self.latch.op, self.sink.ip)
+
+        return Top("top")
+
+    def _suite(self):
+        duration = ms(THRESHOLD + 16)
+        return TestSuite(
+            "xwin",
+            [TestCase("long", duration, lambda cluster: None)],
+        )
+
+    def test_def_and_use_in_different_windows_is_exercised(self):
+        result = run_dft(self._cluster, self._suite(),
+                         DftConfig(engine="block"))
+        latch_pairs = {
+            key for key in result.dynamic.exercised_keys()
+            if key[0] == "m_latch"
+        }
+        # The first-activation def reaches the late use across windows.
+        assert any(dm == um == "latch" for _, dm, _, um, _ in latch_pairs)
+        covered = [
+            a for a in result.coverage.associations
+            if a.var == "m_latch" and result.coverage.is_covered(a)
+        ]
+        assert covered, "the cross-window association must be covered"
+
+    def test_engines_agree_on_cross_window_pairs(self):
+        interp = run_dft(self._cluster, self._suite(),
+                         DftConfig(engine="interp"))
+        block = run_dft(self._cluster, self._suite(),
+                        DftConfig(engine="block"))
+        assert interp.dynamic.exercised_keys() == block.dynamic.exercised_keys()

@@ -62,6 +62,51 @@ class TestBuildReport:
     def test_payload_is_json_serializable(self, result):
         json.dumps(build_report(result))
 
+    def test_per_target_simulations_and_trajectory(self, result):
+        """PR-9 schema additions ride on the existing /1 schema tag:
+        every target row carries its simulation count and the best-score
+        trajectory, and both reconcile with the run totals."""
+        payload = build_report(result)
+        assert payload["schema"] == "repro-dft-generation/1"
+        rows = payload["targets"]
+        assert rows
+        for row in rows:
+            assert isinstance(row["simulations"], int)
+            assert row["simulations"] >= 0
+            assert isinstance(row["trajectory"], list)
+            assert all(isinstance(v, float) for v in row["trajectory"])
+            # Best-so-far scores never decrease within a target.
+            assert row["trajectory"] == sorted(row["trajectory"])
+            if row["status"] == "closed":
+                assert row["trajectory"] and row["trajectory"][-1] == 1.0
+            if row["status"] in ("pre_closed", "skipped"):
+                assert row["simulations"] == 0
+        assert sum(r["simulations"] for r in rows) <= payload["counts"][
+            "simulations"
+        ]
+
+    def test_targets_mode_and_subsumption_counts(self, result):
+        payload = build_report(result)
+        assert payload["targets_mode"] == "all"
+        assert payload["counts"]["subsumed_targets"] == 0
+        assert payload["counts"]["subsumed_closed"] == 0
+
+    def test_frontier_mode_reports_subsumed_counts(self):
+        res = generate_suite(
+            lambda: SenseTop(),
+            TestSuite("sensor_base", paper_testcases()[:1]),
+            "sensor",
+            DftConfig(seed=0, budget_simulations=20),
+            target_mode="frontier",
+        )
+        payload = build_report(res)
+        assert payload["targets_mode"] == "frontier"
+        assert payload["counts"]["subsumed_targets"] >= 0
+        assert (
+            payload["counts"]["subsumed_closed"]
+            <= payload["counts"]["subsumed_targets"]
+        )
+
 
 class TestSuiteBytes:
     def test_stable_across_identical_runs(self, result):

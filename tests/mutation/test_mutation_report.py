@@ -35,9 +35,14 @@ def run():
 
 
 @pytest.fixture(scope="module")
-def coverage():
+def pipeline():
     suite = TestSuite("random", random_suite(SEED))
-    return run_dft(random_cluster_factory(SEED), suite).coverage
+    return run_dft(random_cluster_factory(SEED), suite)
+
+
+@pytest.fixture(scope="module")
+def coverage(pipeline):
+    return pipeline.coverage
 
 
 class TestSubsuites:
@@ -55,6 +60,50 @@ class TestSubsuites:
         for names in suites.values():
             assert set(names) <= all_names
             assert len(names) == len(set(names))
+
+
+class TestFrontierSubsuites:
+    """PR-9 tentpole gate: frontier-reduced sub-suites change nothing
+    observable — every criterion row scores byte-for-byte the same as
+    the full target set, because covering a frontier association covers
+    everything it subsumes."""
+
+    def test_frontier_scores_match_full_scores(self, run, pipeline):
+        from repro.analysis import analyze_subsumption
+
+        subsumption = analyze_subsumption(pipeline.static)
+        full = build_report(run, coverage=pipeline.coverage, system="random")
+        reduced = build_report(
+            run, coverage=pipeline.coverage, system="random",
+            subsumption=subsumption,
+        )
+        assert full["targets_mode"] == "all"
+        assert reduced["targets_mode"] == "frontier"
+        full_rows = {r["criterion"]: r for r in full["criteria"]}
+        for row in reduced["criteria"]:
+            other = full_rows[row["criterion"]]
+            assert row["score"] == other["score"], row["criterion"]
+            assert row["num_testcases"] <= other["num_testcases"]
+        # Scores are rounded the same way, so the serialized rows agree
+        # byte-for-byte once the (possibly smaller) suites are dropped.
+        strip = lambda rows: json.dumps(
+            [{"criterion": r["criterion"], "score": r["score"]} for r in rows],
+            sort_keys=True,
+        ).encode("ascii")
+        assert strip(reduced["criteria"]) == strip(full["criteria"])
+
+    def test_frontier_subsuites_stay_nested(self, pipeline):
+        from repro.analysis import analyze_subsumption
+
+        subsumption = analyze_subsumption(pipeline.static)
+        suites = criterion_subsuites(
+            pipeline.coverage, subsumption.frontier_keys
+        )
+        previous: list = []
+        for criterion, _klass in CRITERION_ORDER:
+            names = suites[criterion]
+            assert names[: len(previous)] == previous
+            previous = names
 
 
 class TestBuildReport:

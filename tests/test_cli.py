@@ -50,6 +50,12 @@ class TestRun:
         assert "TC1" in out and "TC2" in out and "TC3" in out
         assert "data flow pair exercised" in out
 
+    def test_run_frontier_targets_summary(self, capsys):
+        assert main(["run", "sensor", "--targets", "frontier"]) == 0
+        out = capsys.readouterr().out
+        assert "frontier (non-subsumed targets):" in out
+        assert "[frontier" in out
+
 
 class TestArgParsing:
     def test_no_command_rejected(self):

@@ -36,6 +36,16 @@ Subcommands:
     two records field by field (defaults to the latest two), or print
     / export (``--export file.csv|.jsonl``) the per-class coverage
     trend (see :mod:`repro.obs.store.history`).
+``serve`` / ``worker`` / ``submit``
+    DFT as a service (see :mod:`repro.service`): ``serve`` runs the
+    HTTP/JSON job server over a durable journaled queue, ``worker``
+    runs a shard-execution daemon the server fans run/campaign jobs
+    out to (``serve --worker HOST:PORT``, repeatable), and ``submit``
+    posts a job to a running server and polls for its report envelope.
+
+``run``, ``campaign``, ``mutate`` and ``generate`` accept ``--config
+FILE`` (TOML or JSON of :class:`repro.core.DftConfig` fields); explicit
+flags override file values, which override the subcommand defaults.
 
 ``run``, ``campaign``, ``mutate`` and ``generate`` append one record
 per invocation to the history ledger under the cache directory
@@ -210,9 +220,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record telemetry and save Chrome/Perfetto trace events to PATH",
     )
 
+    # Config-mapped flags use SUPPRESS defaults: only flags the user
+    # actually passed appear on the namespace, so a ``--config FILE``
+    # can layer under them (DftConfig.from_args with base=).
     cache_opts = argparse.ArgumentParser(add_help=False)
     cache_opts.add_argument(
-        "--cache-dir", metavar="PATH",
+        "--cache-dir", metavar="PATH", default=argparse.SUPPRESS,
         help=f"persist static-analysis results under PATH "
              f"(e.g. {DEFAULT_CACHE_DIR})",
     )
@@ -221,21 +234,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable static-analysis memoization for this invocation",
     )
 
+    config_opts = argparse.ArgumentParser(add_help=False)
+    config_opts.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="load run configuration from a TOML or JSON file "
+             "(DftConfig field names); explicit flags override file "
+             "values",
+    )
+
     engine_opts = argparse.ArgumentParser(add_help=False)
     engine_opts.add_argument(
-        "--engine", choices=["auto", "interp", "block"], default="auto",
+        "--engine", choices=["auto", "interp", "block"],
+        default=argparse.SUPPRESS,
         help="TDF execution engine: the per-firing interpreter or the "
-             "compiled block engine (auto = block); results are "
-             "bit-identical either way",
+             "compiled block engine (auto = block, the default); "
+             "results are bit-identical either way",
     )
     engine_opts.add_argument(
-        "--batch-size", type=_batch_size_arg, default=None, metavar="auto|N",
+        "--batch-size", type=_batch_size_arg, default=argparse.SUPPRESS,
+        metavar="auto|N",
         help="run up to N testcases (or mutant executions) in lockstep "
              "per block-engine batch ('auto' = population-capped "
              "heuristic); results are byte-identical to serial runs",
     )
     engine_opts.add_argument(
-        "--matcher", choices=["auto", "scan", "vector"], default="auto",
+        "--matcher", choices=["auto", "scan", "vector"],
+        default=argparse.SUPPRESS,
         help="def-use event-matching implementation: the per-event scan "
              "or the vectorized columnar kernel (auto = vector when "
              "numpy is available and the probe store is columnar); "
@@ -255,18 +279,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
     store_opts = argparse.ArgumentParser(add_help=False)
     store_opts.add_argument(
-        "--probe-store", choices=["memory", "columnar"], default="memory",
+        "--probe-store", choices=["memory", "columnar"],
+        default=argparse.SUPPRESS,
         help="probe-event recording backend: in-memory lists (default) "
              "or the columnar store with chunked disk spillover "
              "(O(1) memory in simulation length; identical coverage)",
     )
     store_opts.add_argument(
-        "--store-chunk-size", type=int, default=None, metavar="N",
+        "--store-chunk-size", type=int, default=argparse.SUPPRESS,
+        metavar="N",
         help="rows per columnar chunk before spilling to disk "
              "(default: 65536)",
     )
     store_opts.add_argument(
-        "--store-dir", metavar="PATH",
+        "--store-dir", metavar="PATH", default=argparse.SUPPRESS,
         help="directory for columnar spill files (default: the "
              "platform temp dir; files are deleted after each testcase)",
     )
@@ -281,12 +307,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser(
         "run", help="full DFT pipeline",
-        parents=[telemetry_opts, cache_opts, engine_opts, store_opts,
-                 history_opts],
+        parents=[telemetry_opts, cache_opts, config_opts, engine_opts,
+                 store_opts, history_opts],
     )
     p_run.add_argument("system", choices=sorted(SYSTEMS))
     p_run.add_argument(
-        "--workers", type=int, default=None, metavar="N",
+        "--workers", type=int, default=argparse.SUPPRESS, metavar="N",
         help="worker processes for the dynamic stage (default: auto — "
              "serial on single-CPU hosts or suites with <2 testcases)",
     )
@@ -311,12 +337,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_campaign = sub.add_parser(
         "campaign", help="iterative refinement (Table II)",
-        parents=[telemetry_opts, cache_opts, engine_opts, store_opts,
-                 history_opts],
+        parents=[telemetry_opts, cache_opts, config_opts, engine_opts,
+                 store_opts, history_opts],
     )
     p_campaign.add_argument("system", choices=["window_lifter", "buck_boost"])
     p_campaign.add_argument(
-        "--workers", type=int, default=None, metavar="N",
+        "--workers", type=int, default=argparse.SUPPRESS, metavar="N",
         help="worker processes for the dynamic stage (default: auto — "
              "serial on single-CPU hosts or suites with <2 testcases)",
     )
@@ -328,10 +354,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_mutate = sub.add_parser(
         "mutate", help="mutation analysis (kill matrix + criterion join)",
-        parents=[telemetry_opts, cache_opts, engine_opts, history_opts],
+        parents=[telemetry_opts, cache_opts, config_opts, engine_opts,
+                 history_opts],
     )
     p_mutate.add_argument(
-        "--warm-start", action="store_true",
+        "--warm-start", action="store_true", default=argparse.SUPPRESS,
         help="reuse per-mutant verdicts from the most recent matching "
              "history record (same design, config and suite)",
     )
@@ -344,7 +371,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict to the named mutation operators (default: all)",
     )
     p_mutate.add_argument(
-        "--seed", type=int, default=0, metavar="N",
+        "--seed", type=int, default=argparse.SUPPRESS, metavar="N",
         help="sampling seed for --max-mutants (default: 0)",
     )
     p_mutate.add_argument(
@@ -352,16 +379,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="deterministically sample at most N mutants (default: all)",
     )
     p_mutate.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", type=int, default=argparse.SUPPRESS, metavar="N",
         help="worker processes for mutant execution (default: 1; the "
              "kill matrix is identical for any worker count)",
     )
     p_mutate.add_argument(
-        "--tolerance", type=float, default=1e-9, metavar="EPS",
+        "--tolerance", type=float, default=argparse.SUPPRESS, metavar="EPS",
         help="absolute trace-divergence tolerance (default: 1e-9)",
     )
     p_mutate.add_argument(
-        "--budget-seconds", type=float, default=None, metavar="S",
+        "--budget-seconds", type=float, default=argparse.SUPPRESS,
+        metavar="S",
         help="per-mutant wall budget; slower mutants are flagged "
              "timed_out (default: 30)",
     )
@@ -397,11 +425,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_generate = sub.add_parser(
         "generate", help="coverage-guided testcase generation",
-        parents=[telemetry_opts, cache_opts, engine_opts, store_opts,
-                 history_opts],
+        parents=[telemetry_opts, cache_opts, config_opts, engine_opts,
+                 store_opts, history_opts],
     )
     p_generate.add_argument(
-        "--warm-start", action="store_true",
+        "--warm-start", action="store_true", default=argparse.SUPPRESS,
         help="re-evaluate the accepted candidates of the most recent "
              "matching history record before searching fresh",
     )
@@ -410,23 +438,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bundled system with a stimulus parameter space",
     )
     p_generate.add_argument(
-        "--seed", type=int, default=0, metavar="N",
+        "--seed", type=int, default=argparse.SUPPRESS, metavar="N",
         help="master search seed (default: 0); results are identical "
              "for any --workers count and --engine choice",
     )
     p_generate.add_argument(
-        "--budget-simulations", type=int, default=200, metavar="N",
+        "--budget-simulations", type=int, default=argparse.SUPPRESS,
+        metavar="N",
         help="stop after N executed candidate simulations (default: 200; "
              "memoized re-proposals are free)",
     )
     p_generate.add_argument(
-        "--budget-seconds", type=float, default=None, metavar="S",
+        "--budget-seconds", type=float, default=argparse.SUPPRESS,
+        metavar="S",
         help="wall-clock budget for the whole search (default: none; "
              "the only knob that can make otherwise identical runs "
              "diverge)",
     )
     p_generate.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", type=int, default=argparse.SUPPRESS, metavar="N",
         help="worker processes for candidate evaluation (default: 1)",
     )
     p_generate.add_argument(
@@ -535,6 +565,75 @@ def _build_parser() -> argparse.ArgumentParser:
         help="for trend: also write the rows to PATH "
              "(.csv -> CSV, anything else -> JSON-lines)",
     )
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run a shard-execution worker daemon (NDJSON over TCP)",
+    )
+    p_worker.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    p_worker.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port (default: 0 = ephemeral; the bound address is "
+             "printed as 'worker listening on HOST:PORT')",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP/JSON job server",
+        parents=[cache_opts],
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8437, metavar="N",
+        help="TCP port (default: 8437; 0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--worker", action="append", default=None, metavar="HOST:PORT",
+        help="remote worker address (repeatable); run/campaign jobs "
+             "shard across the fleet (default: none — jobs run locally)",
+    )
+    p_serve.add_argument(
+        "--state-dir", metavar="PATH",
+        help="durable job-journal directory (default: the run-history "
+             "ledger directory, <cache-dir>/history)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a job to a running job server",
+        parents=[config_opts],
+    )
+    p_submit.add_argument(
+        "kind", choices=["run", "campaign", "mutate", "generate"],
+        help="job kind",
+    )
+    p_submit.add_argument("system", help="system name known to the server")
+    p_submit.add_argument(
+        "--server", default="127.0.0.1:8437", metavar="HOST:PORT",
+        help="job server address (default: 127.0.0.1:8437)",
+    )
+    p_submit.add_argument(
+        "--option", action="append", default=None, metavar="KEY=VALUE",
+        help="kind-specific job option (VALUE is JSON-decoded when "
+             "possible; repeatable)",
+    )
+    p_submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and exit instead of polling for the result",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="seconds to wait for completion (default: 600)",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true",
+        help="print the full result envelope as JSON (default: a "
+             "one-line summary)",
+    )
     return parser
 
 
@@ -559,6 +658,33 @@ def _validate_output_paths(args) -> None:
             raise OSError(f"{flag} {path!r} is not usable: {exc}") from None
         if os.path.isdir(expanded) or not os.access(parent, os.W_OK):
             raise OSError(f"{flag} {path!r} is not a writable file path")
+
+
+#: Per-subcommand config defaults that differ from the dataclass
+#: defaults (layered *under* a ``--config`` file, which is itself
+#: layered under explicit flags).
+_COMMAND_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "run": {"workers": None},        # auto fan-out
+    "campaign": {"workers": None},   # auto fan-out
+    "generate": {"budget_simulations": 200},
+}
+
+
+def _config_base(args) -> DftConfig:
+    """The base config explicit flags layer onto.
+
+    Three layers, least binding first: the subcommand's defaults, then
+    the fields a ``--config FILE`` sets, then (via
+    :meth:`DftConfig.from_args` with ``base=``) the flags the user
+    actually passed — config-mapped flags register with
+    ``argparse.SUPPRESS`` defaults, so unpassed flags never mask the
+    file.
+    """
+    values = dict(_COMMAND_DEFAULTS.get(args.command, {}))
+    path = getattr(args, "config", None)
+    if path:
+        values.update(DftConfig.file_overrides(path))
+    return DftConfig(**values)  # type: ignore[arg-type]
 
 
 def _resolve_history(args, cfg: DftConfig) -> DftConfig:
@@ -649,7 +775,7 @@ def _cmd_mutate(args) -> int:
         write_csv,
     )
 
-    cfg = _resolve_history(args, DftConfig.from_args(args))
+    cfg = _resolve_history(args, DftConfig.from_args(args, base=_config_base(args)))
     cfg.apply_static_cache()
     if args.operators:
         unknown = [op for op in args.operators if op not in ALL_OPERATORS]
@@ -726,7 +852,7 @@ def _cmd_generate(args) -> int:
 
     from .generation import build_report, format_report, generate_suite
 
-    cfg = _resolve_history(args, DftConfig.from_args(args))
+    cfg = _resolve_history(args, DftConfig.from_args(args, base=_config_base(args)))
     cfg.apply_static_cache()
     entry = SYSTEMS[args.system]
     base = TestSuite(args.system, entry["suite"]())
@@ -824,6 +950,91 @@ def _cmd_history(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import parse_worker_addr
+    from .service.server import serve
+
+    worker_addrs = [parse_worker_addr(spec) for spec in (args.worker or [])]
+    state_dir = args.state_dir
+    if not state_dir:
+        from .obs.store import default_history_dir
+
+        state_dir = default_history_dir(getattr(args, "cache_dir", None))
+    return serve(
+        state_dir, host=args.host, port=args.port, worker_addrs=worker_addrs
+    )
+
+
+def _parse_submit_options(pairs: Optional[Sequence[str]]) -> Dict[str, object]:
+    """``--option KEY=VALUE`` pairs (VALUE JSON-decoded when possible)."""
+    import json
+
+    options: Dict[str, object] = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--option expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            options[key] = json.loads(raw)
+        except ValueError:
+            options[key] = raw
+    return options
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .service import (
+        ServiceError,
+        job_result,
+        parse_worker_addr,
+        submit_job,
+        wait_for_job,
+    )
+
+    addr = parse_worker_addr(args.server)
+    config = (
+        DftConfig.file_overrides(args.config) if args.config else {}
+    )
+    spec = {
+        "kind": args.kind,
+        "system": args.system,
+        "config": config,
+        "options": _parse_submit_options(args.option),
+    }
+    try:
+        job_id = submit_job(addr, spec)
+    except ConnectionError as exc:
+        raise OSError(
+            f"cannot reach job server at {args.server}: {exc}"
+        ) from None
+    if args.no_wait:
+        print(job_id)
+        return 0
+    print(f"submitted {job_id}", file=sys.stderr)
+    try:
+        wait_for_job(addr, job_id, timeout=args.timeout)
+    except ServiceError as exc:
+        raise ValueError(f"job {job_id}: {exc}") from None
+    envelope = job_result(addr, job_id)
+    if args.json:
+        print(json.dumps(envelope, indent=2))
+        return 0
+    payload = envelope.get("payload") or {}
+    line = f"{job_id} done schema={envelope.get('schema')}"
+    coverage = payload.get("coverage")
+    if isinstance(coverage, dict) and "totals" in coverage:
+        totals = coverage["totals"]
+        line += (
+            f" coverage={totals.get('percent')}% "
+            f"({totals.get('exercised')}/{totals.get('static')})"
+        )
+    print(line)
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "list":
         for name in sorted(SYSTEMS):
@@ -853,7 +1064,7 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "run":
-        cfg = _resolve_history(args, DftConfig.from_args(args))
+        cfg = _resolve_history(args, DftConfig.from_args(args, base=_config_base(args)))
         cfg.apply_static_cache()
         entry = SYSTEMS[args.system]
         suite = TestSuite(args.system, entry["suite"]())
@@ -889,7 +1100,7 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "campaign":
-        cfg = _resolve_history(args, DftConfig.from_args(args))
+        cfg = _resolve_history(args, DftConfig.from_args(args, base=_config_base(args)))
         cfg.apply_static_cache()
         campaign = _campaign(args.system, cfg)
         records = campaign.run()
@@ -949,6 +1160,17 @@ def _dispatch(args) -> int:
 
     if args.command == "history":
         return _cmd_history(args)
+
+    if args.command == "worker":
+        from .service import serve_worker
+
+        return serve_worker(args.host, args.port)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
 
     return 2  # pragma: no cover - argparse enforces commands
 

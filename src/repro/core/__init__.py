@@ -19,7 +19,15 @@ from .coverage import ClassCoverage, CoverageResult
 from .database import CoverageDatabase, coverage_to_dict, universe_fingerprint
 from .criteria import Criterion, CriterionStatus, detailed_status, evaluate_all, satisfied
 from .pipeline import PipelineResult, run_dft
-from .report import format_iteration_table, format_matrix, format_summary
+from .report import (
+    ReportEnvelope,
+    format_iteration_table,
+    format_matrix,
+    format_summary,
+    is_envelope,
+    make_envelope,
+    read_envelope,
+)
 from .workflow import GenerationCampaign, IterationRecord, IterativeCampaign
 
 __all__ = [
@@ -37,6 +45,7 @@ __all__ = [
     "IterationRecord",
     "IterativeCampaign",
     "PipelineResult",
+    "ReportEnvelope",
     "SourceLocation",
     "VarScope",
     "coverage_to_dict",
@@ -45,6 +54,9 @@ __all__ = [
     "format_iteration_table",
     "format_matrix",
     "format_summary",
+    "is_envelope",
+    "make_envelope",
+    "read_envelope",
     "run_dft",
     "satisfied",
     "universe_fingerprint",

@@ -13,9 +13,13 @@ consolidates all of it into one frozen dataclass:
 * :meth:`DftConfig.from_args` derives it from an ``argparse`` namespace
   in a single place — every CLI subcommand shares the same flag
   plumbing;
-* the legacy keyword arguments remain accepted for one release as thin
-  shims that emit a :class:`DeprecationWarning` and fold into a config
-  (see :func:`fold_legacy_kwargs`).
+* :meth:`DftConfig.to_json` / :meth:`DftConfig.from_json` round-trip
+  the primitive fields, so a CLI ``--config`` file and a job spec
+  submitted to the service share one serialization.
+
+Since API v1 the config is the *only* configuration path: the
+per-function legacy keyword arguments (deprecated through PR 5–9 with
+a one-release window) are gone, and passing them raises ``TypeError``.
 
 The dataclass is *frozen*: deriving a variant goes through
 :meth:`DftConfig.replace`, so a config can be shared between a campaign
@@ -25,18 +29,18 @@ and its pipeline runs without aliasing surprises.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, TYPE_CHECKING
+from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports avoid cycles
     from ..exec.base import DynamicExecutor
     from ..exec.cache import DynamicResultCache
     from ..obs import Telemetry
 
-#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``
-#: in the deprecated shims.
-_UNSET: Any = object()
+#: Fields that hold live runtime objects (executors, caches, telemetry
+#: sessions).  They never serialize: a config file or a job spec
+#: crossing a process boundary carries only the primitive knobs.
+RUNTIME_FIELDS = ("executor", "result_cache", "telemetry")
 
 
 @dataclass(frozen=True)
@@ -118,7 +122,9 @@ class DftConfig:
         return dataclasses.replace(self, **changes)
 
     @classmethod
-    def from_args(cls, args: Any, **overrides: Any) -> "DftConfig":
+    def from_args(
+        cls, args: Any, base: Optional["DftConfig"] = None, **overrides: Any
+    ) -> "DftConfig":
         """Build a config from an ``argparse`` namespace.
 
         Reads every recognised attribute that is present on ``args``
@@ -126,6 +132,12 @@ class DftConfig:
         the dataclass default), then applies ``overrides``.  This is the
         single place CLI flags map onto run configuration — adding a
         flag means adding one line here instead of one per subcommand.
+
+        ``base`` layers the flags on top of an existing config instead
+        of the dataclass defaults — how ``--config FILE`` composes with
+        explicit flags (the CLI registers config-mapped flags with
+        ``argparse.SUPPRESS`` defaults, so only flags the user actually
+        passed appear on ``args`` and override the file).
         """
         field_map = {
             "engine": "engine",
@@ -152,7 +164,88 @@ class DftConfig:
         if getattr(args, "no_result_cache", False):
             values["reuse_dynamic_results"] = False
         values.update(overrides)
+        if base is not None:
+            return base.replace(**values)
         return cls(**values)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """The primitive fields as a JSON-ready dict.
+
+        Runtime-object fields (:data:`RUNTIME_FIELDS`) are excluded —
+        they cannot cross a file or a process boundary.  The output
+        round-trips through :meth:`from_json`, which is the contract a
+        CLI ``--config`` file and a service job spec both rely on.
+        """
+        out: Dict[str, Any] = {}
+        for fld in dataclasses.fields(self):
+            if fld.name in RUNTIME_FIELDS:
+                continue
+            out[fld.name] = getattr(self, fld.name)
+        return out
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "DftConfig":
+        """Rebuild a config from a :meth:`to_json` dict.
+
+        Unknown keys and runtime-object keys raise :class:`ValueError`
+        with a one-line message naming them — a typo in a config file
+        must not silently run with defaults.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"config document must be a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)} - set(RUNTIME_FIELDS)
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown config field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def file_overrides(cls, path: str) -> Dict[str, Any]:
+        """The validated field dict a ``--config`` file provides.
+
+        ``*.toml`` parses as TOML, anything else as JSON.  Unlike
+        :meth:`from_file`, this returns only the fields the file
+        actually sets — the CLI layers them *between* per-subcommand
+        defaults and explicit flags, so absent fields keep the
+        subcommand's default rather than the dataclass's.  Parse and
+        validation errors raise :class:`ValueError` with the path in a
+        one-line message (the CLI turns that into a clean exit 1).
+        """
+        import json
+        import os
+
+        expanded = os.path.expanduser(path)
+        try:
+            if expanded.endswith(".toml"):
+                import tomllib
+
+                with open(expanded, "rb") as handle:
+                    data = tomllib.load(handle)
+            else:
+                with open(expanded, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+        except OSError as exc:
+            raise ValueError(f"cannot read config file {path!r}: {exc}") from None
+        except Exception as exc:
+            raise ValueError(f"cannot parse config file {path!r}: {exc}") from None
+        try:
+            cls.from_json(data)  # field-name and type validation
+        except ValueError as exc:
+            raise ValueError(f"config file {path!r}: {exc}") from None
+        return dict(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "DftConfig":
+        """Load a config from a TOML or JSON file (see
+        :meth:`file_overrides`); absent fields keep dataclass defaults."""
+        return cls.from_json(cls.file_overrides(path))
 
     # -- workers / executor resolution ---------------------------------------
 
@@ -291,30 +384,3 @@ class DftConfig:
         return RunHistory(self.history_dir)
 
 
-def fold_legacy_kwargs(
-    config: Optional[DftConfig],
-    api: str,
-    legacy: Mapping[str, Any],
-    stacklevel: int = 3,
-) -> DftConfig:
-    """Fold deprecated keyword arguments into a :class:`DftConfig`.
-
-    ``legacy`` maps config field names to values, with :data:`_UNSET`
-    marking "not passed".  Passing any set value emits one
-    :class:`DeprecationWarning` naming the replacement; explicit legacy
-    values override the corresponding ``config`` fields (so callers
-    migrating piecemeal keep their behaviour).
-    """
-    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
-    if not passed:
-        return config if config is not None else DftConfig()
-    names = ", ".join(sorted(passed))
-    warnings.warn(
-        f"{api}: the {names} keyword argument(s) are deprecated; pass a "
-        f"repro.DftConfig via config= instead (will be removed one "
-        f"release after 1.0)",
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
-    base = config if config is not None else DftConfig()
-    return base.replace(**passed)

@@ -19,7 +19,7 @@ from typing import Dict, Optional, TYPE_CHECKING
 
 from ..obs import Telemetry, get_telemetry
 from ..testing.testcase import TestSuite
-from .config import DftConfig, _UNSET, fold_legacy_kwargs
+from .config import DftConfig
 from .coverage import CoverageResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports avoid a cycle
@@ -57,12 +57,6 @@ def run_dft(
     cluster_factory: "ClusterFactory",
     suite: TestSuite,
     config: Optional[DftConfig] = None,
-    *,
-    warn: bool = _UNSET,
-    telemetry: Optional[Telemetry] = _UNSET,
-    executor: Optional["DynamicExecutor"] = _UNSET,
-    result_cache: Optional["DynamicResultCache"] = _UNSET,
-    engine: Optional[str] = _UNSET,
 ) -> PipelineResult:
     """Run the complete data-flow-testing pipeline.
 
@@ -94,25 +88,14 @@ def run_dft(
       coverage reports and cached dynamic results do not depend on the
       choice.
 
-    The individual ``warn``/``telemetry``/``executor``/``result_cache``
-    /``engine`` keyword arguments are deprecated shims: they emit a
-    :class:`DeprecationWarning` and fold into ``config`` (explicit
-    values win), producing identical results for one more release.
+    The config is the only configuration path (API v1): the historical
+    per-call keyword arguments were removed after their deprecation
+    window and now raise ``TypeError``.
     """
     from ..analysis.cluster_analysis import analyze_cluster
     from ..instrument.runner import DynamicAnalyzer
 
-    cfg = fold_legacy_kwargs(
-        config,
-        "run_dft",
-        {
-            "warn": warn,
-            "telemetry": telemetry,
-            "executor": executor,
-            "result_cache": result_cache,
-            "engine": engine,
-        },
-    )
+    cfg = config if config is not None else DftConfig()
     tel = cfg.telemetry if cfg.telemetry is not None else get_telemetry()
     if not tel.enabled:
         # Private session: stage spans only, for the ``timings`` view.

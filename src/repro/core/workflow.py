@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import avoids a cycle
     from ..generation.search import SearchStrategy
     from ..instrument.runner import ClusterFactory
 from .associations import AssocClass
-from .config import DftConfig, _UNSET, fold_legacy_kwargs
+from .config import DftConfig
 from .coverage import CoverageResult
 from .criteria import Criterion, evaluate_all
 from .pipeline import PipelineResult, run_dft
@@ -58,28 +58,15 @@ class IterativeCampaign:
         base_suite: Sequence[TestCase],
         name: str = "campaign",
         config: Optional[DftConfig] = None,
-        *,
-        executor: Optional["DynamicExecutor"] = _UNSET,
-        reuse_dynamic_results: bool = _UNSET,
-        engine: Optional[str] = _UNSET,
     ) -> None:
         self.cluster_factory = cluster_factory
         self.name = name
         self._batches: List[List[TestCase]] = [list(base_suite)]
-        #: The unified run configuration (see :class:`repro.DftConfig`).
-        #: The individual ``executor``/``reuse_dynamic_results``/
-        #: ``engine`` keyword arguments are deprecated shims folding
-        #: into it; the same-named properties below stay writable for
-        #: callers that tweak a built campaign.
-        self.config = fold_legacy_kwargs(
-            config,
-            "IterativeCampaign",
-            {
-                "executor": executor,
-                "reuse_dynamic_results": reuse_dynamic_results,
-                "engine": engine,
-            },
-        )
+        #: The unified run configuration (see :class:`repro.DftConfig`)
+        #: — the only configuration path since API v1.  The same-named
+        #: ``executor``/``reuse_dynamic_results``/``engine`` properties
+        #: below stay writable for callers that tweak a built campaign.
+        self.config = config if config is not None else DftConfig()
 
     # -- backward-compatible config views -----------------------------------
 

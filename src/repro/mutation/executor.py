@@ -36,7 +36,6 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import avoids a cycle
     from ..core.config import DftConfig
-from ..core.config import _UNSET
 from ..exec.base import round_robin_shards
 from ..exec.refs import resolve_ref
 from ..obs import Telemetry, get_telemetry, telemetry_session
@@ -674,12 +673,6 @@ def run_mutation(
     operators: Optional[Sequence[str]] = None,
     max_mutants: Optional[int] = None,
     oracle_signals: Optional[Sequence[str]] = None,
-    seed: int = _UNSET,
-    tolerance: float = _UNSET,
-    workers: int = _UNSET,
-    engine: str = _UNSET,
-    budget_seconds: Optional[float] = _UNSET,
-    telemetry: Optional[Telemetry] = _UNSET,
 ) -> MutationRun:
     """Run a full mutation analysis and return the kill matrix.
 
@@ -694,24 +687,13 @@ def run_mutation(
     budget_seconds / telemetry (see :class:`repro.core.DftConfig`); a
     ``budget_seconds`` of ``None`` (the config default) means the
     standard :data:`DEFAULT_BUDGET_SECONDS` per-mutant budget — pass
-    ``float("inf")`` for an unbounded run.  The individual keyword
-    arguments are deprecated shims that fold into ``config`` with a
-    :class:`DeprecationWarning` for one release.
+    ``float("inf")`` for an unbounded run.  The config is the only
+    configuration path (API v1): the removed per-call keyword
+    arguments now raise ``TypeError``.
     """
-    from ..core.config import fold_legacy_kwargs
+    from ..core.config import DftConfig
 
-    cfg = fold_legacy_kwargs(
-        config,
-        "run_mutation",
-        {
-            "seed": seed,
-            "tolerance": tolerance,
-            "workers": workers,
-            "engine": engine,
-            "budget_seconds": budget_seconds,
-            "telemetry": telemetry,
-        },
-    )
+    cfg = config if config is not None else DftConfig()
     seed = cfg.seed
     tolerance = cfg.tolerance
     workers = cfg.workers if cfg.workers is not None else 1

@@ -13,7 +13,7 @@ The observability substrate the ROADMAP's performance work hangs off:
   analysis (per-model timing, association counts by class).
 
 Telemetry is **disabled by default** and zero-cost when disabled: the
-module-level active instance is a :class:`NullTelemetry` singleton whose
+per-thread active instance is a :class:`NullTelemetry` singleton whose
 ``span()`` / metric accessors return shared no-op objects, so the hot
 layers pay one attribute check and no allocation.  Enable it for a
 region of code with :func:`telemetry_session`::
@@ -32,6 +32,7 @@ locking.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -506,19 +507,24 @@ class NullTelemetry:
 
 NULL_TELEMETRY = NullTelemetry()
 
-_active: Any = NULL_TELEMETRY
+_active = threading.local()
 
 
 def get_telemetry() -> Any:
-    """The currently active telemetry (the no-op singleton by default)."""
-    return _active
+    """The currently active telemetry (the no-op singleton by default).
+
+    The active instance is **per-thread**: a session installed in one
+    thread (a service worker executing a shard, say) is invisible to —
+    and cannot clobber — sessions in other threads.
+    """
+    return getattr(_active, "value", NULL_TELEMETRY)
 
 
 def set_telemetry(telemetry: Any) -> Any:
-    """Install ``telemetry`` as the active instance; returns the previous one."""
-    global _active
-    previous = _active
-    _active = telemetry if telemetry is not None else NULL_TELEMETRY
+    """Install ``telemetry`` as the calling thread's active instance;
+    returns the previous one."""
+    previous = getattr(_active, "value", NULL_TELEMETRY)
+    _active.value = telemetry if telemetry is not None else NULL_TELEMETRY
     return previous
 
 

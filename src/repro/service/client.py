@@ -1,0 +1,105 @@
+"""Minimal stdlib HTTP client for the job server.
+
+Backs ``repro-dft submit`` and the CI smoke script: submit a job,
+poll its status until it leaves the queue, fetch the result envelope.
+``http.client`` only — the client must run anywhere the CLI runs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the job server (message is one line)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def _request(
+    addr: Tuple[str, int],
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    conn = http.client.HTTPConnection(addr[0], addr[1], timeout=timeout)
+    try:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        text = response.read().decode("utf-8", "replace")
+    finally:
+        conn.close()
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        raise ServiceError(
+            response.status, f"non-JSON response: {text[:200]!r}"
+        ) from None
+    if response.status >= 400:
+        raise ServiceError(
+            response.status, str(doc.get("error", "unknown error"))
+        )
+    return doc
+
+
+def healthz(addr: Tuple[str, int], timeout: float = 30.0) -> Dict[str, Any]:
+    """``GET /v1/healthz``."""
+    return _request(addr, "GET", "/v1/healthz", timeout=timeout)
+
+
+def submit_job(
+    addr: Tuple[str, int], spec: Dict[str, Any], timeout: float = 30.0
+) -> str:
+    """``POST /v1/jobs``; returns the job id."""
+    doc = _request(addr, "POST", "/v1/jobs", body=spec, timeout=timeout)
+    return doc["id"]
+
+
+def job_status(
+    addr: Tuple[str, int], job_id: str, timeout: float = 30.0
+) -> Dict[str, Any]:
+    """``GET /v1/jobs/{id}``."""
+    return _request(addr, "GET", f"/v1/jobs/{job_id}", timeout=timeout)
+
+
+def job_result(
+    addr: Tuple[str, int], job_id: str, timeout: float = 30.0
+) -> Dict[str, Any]:
+    """``GET /v1/jobs/{id}/result`` (the report envelope)."""
+    return _request(addr, "GET", f"/v1/jobs/{job_id}/result", timeout=timeout)
+
+
+def wait_for_job(
+    addr: Tuple[str, int],
+    job_id: str,
+    timeout: float = 600.0,
+    poll_interval: float = 0.2,
+) -> Dict[str, Any]:
+    """Poll until the job is ``done`` (returns its status document).
+
+    Raises :class:`ServiceError` when the job ``failed`` (status 500
+    semantics, carrying the job's one-line error) or on timeout.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        status = job_status(addr, job_id)
+        if status["status"] == "done":
+            return status
+        if status["status"] == "failed":
+            raise ServiceError(500, status.get("error") or "job failed")
+        if time.monotonic() >= deadline:
+            raise ServiceError(
+                408, f"job {job_id} still {status['status']} after {timeout}s"
+            )
+        time.sleep(poll_interval)

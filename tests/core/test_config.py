@@ -6,7 +6,6 @@ import dataclasses
 import pytest
 
 from repro import DftConfig
-from repro.core.config import _UNSET, fold_legacy_kwargs
 from repro.exec import ProcessExecutor, SerialExecutor
 
 
@@ -112,27 +111,87 @@ class TestMakeExecutor:
         assert isinstance(executor, ProcessExecutor)
 
 
-class TestFoldLegacyKwargs:
-    def test_nothing_passed_returns_config_unwarned(self, recwarn):
-        cfg = DftConfig(engine="block")
-        out = fold_legacy_kwargs(cfg, "api", {"engine": _UNSET})
-        assert out is cfg
-        assert not recwarn.list
+class TestFromArgsBase:
+    def test_base_layers_under_flags(self):
+        base = DftConfig(engine="interp", seed=9, workers=4)
+        args = argparse.Namespace(engine="block")
+        cfg = DftConfig.from_args(args, base=base)
+        assert cfg.engine == "block"  # flag wins
+        assert cfg.seed == 9  # file value survives
+        assert cfg.workers == 4
 
-    def test_nothing_passed_without_config_gives_defaults(self):
-        assert fold_legacy_kwargs(None, "api", {"engine": _UNSET}) == DftConfig()
+    def test_base_with_no_flags_is_identity(self):
+        base = DftConfig(engine="interp", seed=9)
+        assert DftConfig.from_args(argparse.Namespace(), base=base) == base
 
-    def test_passed_kwargs_warn_and_fold(self):
-        with pytest.warns(DeprecationWarning, match="api: the engine, seed"):
-            out = fold_legacy_kwargs(
-                None, "api", {"engine": "block", "seed": 9}
-            )
-        assert out.engine == "block"
-        assert out.seed == 9
 
-    def test_legacy_values_override_config_fields(self):
-        cfg = DftConfig(engine="interp", seed=1)
-        with pytest.warns(DeprecationWarning):
-            out = fold_legacy_kwargs(cfg, "api", {"engine": "block"})
-        assert out.engine == "block"
-        assert out.seed == 1  # untouched fields come from the config
+class TestSerialization:
+    def test_round_trip(self):
+        cfg = DftConfig(
+            engine="block", seed=7, tolerance=0.5, warn=False,
+            matcher="columnar", budget_seconds=1.5, cache_dir="/tmp/x",
+        )
+        assert DftConfig.from_json(cfg.to_json()) == cfg
+
+    def test_runtime_fields_excluded(self):
+        doc = DftConfig().to_json()
+        assert "executor" not in doc
+        assert "result_cache" not in doc
+        assert "telemetry" not in doc
+
+    def test_unknown_field_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match=r"unknown config field\(s\): tpyo"):
+            DftConfig.from_json({"tpyo": 1})
+
+    def test_runtime_field_in_json_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            DftConfig.from_json({"executor": "remote"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            DftConfig.from_json([1, 2])
+
+    def test_runtime_fields_survive_as_defaults(self):
+        rebuilt = DftConfig.from_json(DftConfig().to_json())
+        assert rebuilt.executor is None
+        assert rebuilt.telemetry is None
+
+
+class TestConfigFile:
+    def test_toml_file(self, tmp_path):
+        path = tmp_path / "dft.toml"
+        path.write_text('engine = "interp"\nseed = 11\nwarn = false\n')
+        cfg = DftConfig.from_file(str(path))
+        assert cfg.engine == "interp"
+        assert cfg.seed == 11
+        assert cfg.warn is False
+        assert cfg.batch_size == DftConfig().batch_size  # absent -> default
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "dft.json"
+        path.write_text('{"engine": "block", "tolerance": 0.25}')
+        cfg = DftConfig.from_file(str(path))
+        assert cfg.engine == "block"
+        assert cfg.tolerance == 0.25
+
+    def test_file_overrides_returns_only_set_fields(self, tmp_path):
+        path = tmp_path / "dft.toml"
+        path.write_text("seed = 3\n")
+        assert DftConfig.file_overrides(str(path)) == {"seed": 3}
+
+    def test_missing_file_is_one_line_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read config file") as err:
+            DftConfig.from_file(str(tmp_path / "nope.toml"))
+        assert "\n" not in str(err.value)
+
+    def test_unparsable_file_names_path(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("this is = not [ toml")
+        with pytest.raises(ValueError, match="cannot parse config file"):
+            DftConfig.from_file(str(path))
+
+    def test_unknown_field_names_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"bogus": true}')
+        with pytest.raises(ValueError, match="bad.json.*bogus"):
+            DftConfig.from_file(str(path))

@@ -114,3 +114,74 @@ class TestIterationTable:
         ]
         text = format_iteration_table(rows)
         assert "all-PWeak" in text
+
+
+class TestEnvelope:
+    def _payload(self):
+        return {"schema": "repro-dft-mutation/1", "total_mutants": 4}
+
+    def test_wrap_and_read_round_trip(self):
+        from repro.core.report import make_envelope, read_envelope
+
+        doc = make_envelope(
+            self._payload(), config_hash="abc123", fingerprint="f" * 12
+        )
+        view = read_envelope(doc)
+        assert view.enveloped is True
+        assert view.schema == "repro-dft-mutation/1"
+        assert view.config_hash == "abc123"
+        assert view.fingerprint == "f" * 12
+        assert view.payload == self._payload()
+
+    def test_schema_defaults_from_payload(self):
+        from repro.core.report import make_envelope
+
+        assert make_envelope(self._payload())["schema"] == "repro-dft-mutation/1"
+        history = {"format": "repro-dft-history/1", "kind": "run"}
+        assert make_envelope(history)["schema"] == "repro-dft-history/1"
+
+    def test_explicit_schema_wins(self):
+        from repro.core.report import make_envelope
+
+        doc = make_envelope(self._payload(), schema="repro-dft-history/1")
+        assert doc["schema"] == "repro-dft-history/1"
+
+    def test_is_envelope(self):
+        from repro.core.report import is_envelope, make_envelope
+
+        assert is_envelope(make_envelope(self._payload()))
+        assert not is_envelope(self._payload())
+        assert not is_envelope(["nope"])
+        assert not is_envelope({"schema": "x"})  # no payload dict
+
+    def test_legacy_bare_report_lifted(self):
+        from repro.core.report import read_envelope
+
+        view = read_envelope(self._payload())
+        assert view.enveloped is False
+        assert view.schema == "repro-dft-mutation/1"
+        assert view.payload == self._payload()
+        assert view.config_hash is None
+
+    def test_legacy_history_record_lifted(self):
+        from repro.core.report import read_envelope
+
+        record = {
+            "format": "repro-dft-history/1",
+            "kind": "run",
+            "fingerprint": "beef",
+            "config_hash": "cafe",
+        }
+        view = read_envelope(record)
+        assert view.enveloped is False
+        assert view.schema == "repro-dft-history/1"
+        assert view.fingerprint == "beef"
+        assert view.config_hash == "cafe"
+
+    def test_non_mapping_rejected(self):
+        import pytest
+
+        from repro.core.report import read_envelope
+
+        with pytest.raises(ValueError, match="must be a mapping"):
+            read_envelope("not a dict")

@@ -10,7 +10,7 @@ fast; the sensor check covers a full pipeline run.
 import pytest
 
 from repro.analysis import analyze_cluster
-from repro.core import format_summary, run_dft
+from repro.core import DftConfig, format_summary, run_dft
 from repro.exec import ProcessExecutor, SerialExecutor
 from repro.exec.refs import resolve_ref
 from repro.testing import TestSuite
@@ -45,9 +45,9 @@ class TestSensorEquivalence:
     def test_full_pipeline_identical(self):
         factory = resolve_ref(SENSOR[0])
         suite = TestSuite("sensor", resolve_ref(SENSOR[1])())
-        serial = run_dft(factory, suite, executor=SerialExecutor())
+        serial = run_dft(factory, suite, DftConfig(executor=SerialExecutor()))
         parallel = run_dft(
-            factory, suite, executor=ProcessExecutor(*SENSOR, workers=2)
+            factory, suite, DftConfig(executor=ProcessExecutor(*SENSOR, workers=2))
         )
         assert (
             serial.dynamic.exercised_keys() == parallel.dynamic.exercised_keys()
@@ -63,7 +63,8 @@ class TestSensorEquivalence:
         summaries = set()
         for workers in (1, 3):
             result = run_dft(
-                factory, suite, executor=ProcessExecutor(*SENSOR, workers=workers)
+                factory, suite,
+                DftConfig(executor=ProcessExecutor(*SENSOR, workers=workers)),
             )
             summaries.add(format_summary(result.coverage))
         assert len(summaries) == 1

@@ -54,9 +54,9 @@ class TestPipelineResultCache:
 
         suite = TestSuite("sensor", paper_testcases())
         cache = DynamicResultCache()
-        first = run_dft(counting_factory, suite, result_cache=cache)
+        first = run_dft(counting_factory, suite, DftConfig(result_cache=cache))
         builds_first = len(builds)
-        second = run_dft(counting_factory, suite, result_cache=cache)
+        second = run_dft(counting_factory, suite, DftConfig(result_cache=cache))
         # Second run: one build for the static stage, none for testcases.
         assert len(builds) == builds_first + 1
         assert cache.hits == len(suite)
@@ -67,8 +67,8 @@ class TestPipelineResultCache:
         suite = TestSuite("sensor", paper_testcases())
         cache = DynamicResultCache()
         warmup = TestSuite("warmup", suite.testcases[:2])
-        run_dft(_factory, warmup, result_cache=cache)
-        result = run_dft(_factory, suite, result_cache=cache)
+        run_dft(_factory, warmup, DftConfig(result_cache=cache))
+        result = run_dft(_factory, suite, DftConfig(result_cache=cache))
         assert cache.hits == 2
         assert list(result.dynamic.per_testcase) == suite.names()
         uncached = run_dft(_factory, suite)
@@ -114,7 +114,8 @@ class TestCampaignReuse:
     def _campaign(self, reuse):
         tests = paper_testcases()
         campaign = IterativeCampaign(
-            _factory, tests[:1], name="mini", reuse_dynamic_results=reuse
+            _factory, tests[:1], name="mini",
+            config=DftConfig(reuse_dynamic_results=reuse),
         )
         campaign.add_iteration(tests[1:2])
         campaign.add_iteration(tests[2:])

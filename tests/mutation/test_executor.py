@@ -8,6 +8,7 @@ CI smoke job and the capped CLI test.
 
 import pytest
 
+from repro.core import DftConfig
 from repro.mutation import (
     kill_matrix_bytes,
     run_mutation,
@@ -24,8 +25,8 @@ def _mutate_random(**kwargs):
     kwargs.setdefault("factory_args", (7,))
     kwargs.setdefault("suite_args", (7,))
     kwargs.setdefault("max_mutants", 10)
-    kwargs.setdefault("seed", 0)
-    return run_mutation(RANDOM_FACTORY, RANDOM_SUITE, **kwargs)
+    config = kwargs.pop("config", DftConfig(seed=0))
+    return run_mutation(RANDOM_FACTORY, RANDOM_SUITE, config, **kwargs)
 
 
 class TestTraceDivergence:
@@ -122,7 +123,7 @@ class TestRunMutation:
 
     def test_invalid_workers_rejected(self):
         with pytest.raises(ValueError):
-            _mutate_random(workers=0)
+            _mutate_random(config=DftConfig(seed=0, workers=0))
 
 
 class TestTelemetry:
@@ -130,7 +131,7 @@ class TestTelemetry:
         from repro.obs import Telemetry
 
         tel = Telemetry()
-        run = _mutate_random(max_mutants=4, telemetry=tel)
+        run = _mutate_random(max_mutants=4, config=DftConfig(seed=0, telemetry=tel))
         counters = {c.name: c.value for c in tel.metrics.counters()}
         assert counters["mutation.generated"] == run.generated
         assert counters["mutation.sampled"] == 4
@@ -144,7 +145,7 @@ class TestTelemetry:
         from repro.obs import Telemetry
 
         tel = Telemetry()
-        _mutate_random(max_mutants=4, workers=2, telemetry=tel)
+        _mutate_random(max_mutants=4, config=DftConfig(seed=0, workers=2, telemetry=tel))
         counters = {c.name for c in tel.metrics.counters()}
         assert "mutation.worker_mutants" in counters
         histograms = {h.name for h in tel.metrics.histograms()}
@@ -153,18 +154,18 @@ class TestTelemetry:
 
 class TestBackendDeterminism:
     def test_kill_matrix_identical_across_worker_counts(self):
-        serial = _mutate_random(workers=1)
-        parallel = _mutate_random(workers=2)
+        serial = _mutate_random(config=DftConfig(seed=0, workers=1))
+        parallel = _mutate_random(config=DftConfig(seed=0, workers=2))
         assert kill_matrix_bytes(serial) == kill_matrix_bytes(parallel)
 
     def test_kill_matrix_identical_across_engines(self):
-        interp = _mutate_random(engine="interp")
-        block = _mutate_random(engine="block")
+        interp = _mutate_random(config=DftConfig(seed=0, engine="interp"))
+        block = _mutate_random(config=DftConfig(seed=0, engine="block"))
         assert kill_matrix_bytes(interp) == kill_matrix_bytes(block)
 
     def test_budget_flag_never_changes_verdicts(self):
-        generous = _mutate_random(max_mutants=5, budget_seconds=1000.0)
-        strict = _mutate_random(max_mutants=5, budget_seconds=0.0)
+        generous = _mutate_random(max_mutants=5, config=DftConfig(seed=0, budget_seconds=1000.0))
+        strict = _mutate_random(max_mutants=5, config=DftConfig(seed=0, budget_seconds=0.0))
         assert kill_matrix_bytes(generous) == kill_matrix_bytes(strict)
         # A zero budget flags every mutant, but kills nothing extra.
         assert strict.timeouts == len(strict.specs)

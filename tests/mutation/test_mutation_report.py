@@ -30,7 +30,6 @@ def run():
         factory_args=(SEED,),
         suite_args=(SEED,),
         max_mutants=12,
-        seed=0,
     )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import run_dft
+from repro.core import DftConfig, run_dft
 from repro.obs import get_telemetry, telemetry_session
 from repro.tdf import Cluster, TdfIn, TdfModule, TdfOut, ms
 from repro.tdf.library import CollectorSink, StimulusSource
@@ -121,6 +121,6 @@ class TestPipelineTelemetry:
         from repro.obs import Telemetry
 
         explicit = Telemetry()
-        result = run_dft(_factory, _suite(), telemetry=explicit)
+        result = run_dft(_factory, _suite(), DftConfig(telemetry=explicit))
         assert result.telemetry is explicit
         assert explicit.find_spans("pipeline")

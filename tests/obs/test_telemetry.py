@@ -183,3 +183,34 @@ class TestNullMode:
             assert get_telemetry() is NULL_TELEMETRY
         finally:
             set_telemetry(previous)
+
+    def test_sessions_are_thread_isolated(self):
+        # Two threads racing set/restore on a shared slot could leave a
+        # stale session installed process-wide (seen with two in-process
+        # service workers); the active telemetry is per-thread instead.
+        import threading
+
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker():
+            try:
+                for _ in range(50):
+                    barrier.wait()
+                    with telemetry_session() as tel:
+                        assert get_telemetry() is tel
+                    assert get_telemetry() is NULL_TELEMETRY
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        with telemetry_session() as main_tel:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # The main thread's session never leaks into the workers,
+            # and the workers' churn never displaces it here.
+            assert get_telemetry() is main_tel
+        assert not errors
+        assert get_telemetry() is NULL_TELEMETRY

@@ -1,0 +1,60 @@
+"""Wire-protocol codecs: NDJSON framing and MatchResult round-trips."""
+
+import json
+
+import pytest
+
+from repro.instrument.matching import MatchResult
+from repro.service.protocol import (
+    ProtocolError,
+    decode_match,
+    decode_message,
+    encode_match,
+    encode_message,
+)
+
+
+def _match(name="t1"):
+    return MatchResult(
+        testcase=name,
+        pairs={
+            ("v", "m1", 3, "m2", 7),
+            ("w", "m1", 4, "m1", 5),
+        },
+        use_without_def=["u on m2:9"],
+    )
+
+
+class TestMatchCodec:
+    def test_round_trip(self):
+        match = _match()
+        rebuilt = decode_match(json.loads(json.dumps(encode_match(match))))
+        assert rebuilt.testcase == match.testcase
+        assert rebuilt.pairs == match.pairs
+        assert rebuilt.use_without_def == match.use_without_def
+
+    def test_encoding_is_canonical(self):
+        # Same logical result -> same bytes, whichever worker built it.
+        a = json.dumps(encode_match(_match()), sort_keys=True)
+        b = json.dumps(encode_match(_match()), sort_keys=True)
+        assert a == b
+
+    def test_pairs_rebuilt_as_tuples(self):
+        rebuilt = decode_match(encode_match(_match()))
+        assert all(isinstance(pair, tuple) for pair in rebuilt.pairs)
+
+
+class TestFraming:
+    def test_message_round_trip(self):
+        msg = {"op": "ping", "n": 3}
+        line = encode_message(msg)
+        assert line.endswith(b"\n")
+        assert decode_message(line) == msg
+
+    def test_junk_line_raises(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_message(b"not json\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_message(b"[1, 2]\n")

@@ -1,0 +1,211 @@
+"""HTTP job server: endpoints, validation, restart recovery."""
+
+import json
+
+import pytest
+
+from repro.core import DftConfig, run_dft
+from repro.obs.store.history import coverage_summary
+from repro.service import JobServer, JobSpec, WorkerServer
+from repro.service.client import (
+    ServiceError,
+    _request,
+    healthz,
+    job_result,
+    job_status,
+    submit_job,
+    wait_for_job,
+)
+from repro.testing.testcase import TestSuite
+
+
+def _sensor_suite():
+    from repro.systems.sensor import paper_testcases
+
+    return TestSuite("sensor", paper_testcases())
+
+
+def _sensor_factory():
+    from repro.systems.sensor import SenseTop
+
+    return SenseTop()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = JobServer(str(tmp_path / "state"))
+    addr = srv.start_in_thread()
+    yield srv, addr
+    srv.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        _, addr = server
+        doc = healthz(addr)
+        assert doc["ok"] is True
+        assert doc["workers"] == 0
+
+    def test_unknown_path_404(self, server):
+        _, addr = server
+        with pytest.raises(ServiceError) as err:
+            _request(addr, "GET", "/v2/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, server):
+        _, addr = server
+        with pytest.raises(ServiceError) as err:
+            _request(addr, "GET", "/v1/jobs")
+        assert err.value.status == 405
+
+    def test_unknown_job_404(self, server):
+        _, addr = server
+        with pytest.raises(ServiceError) as err:
+            job_status(addr, "job-999999")
+        assert err.value.status == 404
+
+
+class TestSubmitValidation:
+    def test_malformed_json_body_is_400(self, server):
+        """Junk bytes get a one-line 400, not a hung or crashed server."""
+        import http.client
+
+        _, addr = server
+        conn = http.client.HTTPConnection(addr[0], addr[1], timeout=10)
+        try:
+            conn.request(
+                "POST", "/v1/jobs", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "\n" not in doc["error"]
+        assert "malformed JSON body" in doc["error"]
+
+    def test_unknown_kind_is_400(self, server):
+        _, addr = server
+        with pytest.raises(ServiceError) as err:
+            submit_job(addr, {"kind": "bogus", "system": "sensor"})
+        assert err.value.status == 400
+        assert "unknown job kind" in str(err.value)
+
+    def test_unknown_config_field_is_400(self, server):
+        _, addr = server
+        with pytest.raises(ServiceError) as err:
+            submit_job(
+                addr,
+                {"kind": "run", "system": "sensor", "config": {"tpyo": 1}},
+            )
+        assert err.value.status == 400
+        assert "tpyo" in str(err.value)
+
+    def test_unknown_spec_field_is_400(self, server):
+        _, addr = server
+        with pytest.raises(ServiceError) as err:
+            submit_job(addr, {"kind": "run", "system": "sensor", "prio": 9})
+        assert err.value.status == 400
+
+
+class TestJobExecution:
+    def test_run_job_matches_local_run(self, server):
+        _, addr = server
+        job_id = submit_job(
+            addr, {"kind": "run", "system": "sensor", "config": {}}
+        )
+        wait_for_job(addr, job_id, timeout=300)
+        envelope = job_result(addr, job_id)
+        assert envelope["schema"] == "repro-dft-history/1"
+        assert envelope["payload"]["kind"] == "run"
+        local = run_dft(_sensor_factory, _sensor_suite(), DftConfig())
+        assert json.dumps(
+            envelope["payload"]["coverage"], sort_keys=True
+        ) == json.dumps(coverage_summary(local.coverage), sort_keys=True)
+        assert envelope["fingerprint"] == local.static.fingerprint
+
+    def test_result_before_done_is_409(self, server):
+        srv, addr = server
+        # Submit against a server whose runner is busy enough that the
+        # immediate result read races it; a queued/running job answers
+        # 409, not a partial envelope.
+        job_id = submit_job(
+            addr, {"kind": "run", "system": "sensor", "config": {}}
+        )
+        status = job_status(addr, job_id)
+        if status["status"] in ("queued", "running"):
+            with pytest.raises(ServiceError) as err:
+                job_result(addr, job_id)
+            assert err.value.status == 409
+        wait_for_job(addr, job_id, timeout=300)
+
+    def test_unknown_system_fails_job(self, server):
+        _, addr = server
+        job_id = submit_job(addr, {"kind": "run", "system": "warp_core"})
+        with pytest.raises(ServiceError, match="warp_core"):
+            wait_for_job(addr, job_id, timeout=60)
+        status = job_status(addr, job_id)
+        assert status["status"] == "failed"
+        with pytest.raises(ServiceError) as err:
+            job_result(addr, job_id)
+        assert err.value.status == 500
+
+
+class TestRestartRecovery:
+    def test_queued_jobs_resume_after_restart(self, tmp_path):
+        """Journal replay: a job queued at crash time runs on restart."""
+        state = str(tmp_path / "state")
+        first = JobServer(state)
+        # Submit directly to the queue without starting the runner —
+        # the job is journaled but never picked up (= crash before run).
+        job = first.queue.submit(
+            JobSpec(kind="run", system="sensor", config={})
+        )
+        assert first.queue.get(job.id).status == "queued"
+
+        second = JobServer(state)
+        addr = second.start_in_thread()
+        try:
+            status = wait_for_job(addr, job.id, timeout=300)
+            assert status["status"] == "done"
+            envelope = job_result(addr, job.id)
+            assert envelope["payload"]["kind"] == "run"
+        finally:
+            second.close()
+
+
+class TestRemoteFleetJobs:
+    def test_campaign_sharded_across_two_workers(self, tmp_path):
+        """The acceptance path: a campaign job over HTTP, sharded across
+        two workers, byte-identical to the single-process run."""
+        workers = [WorkerServer(), WorkerServer()]
+        addrs = [worker.start_in_thread() for worker in workers]
+        srv = JobServer(str(tmp_path / "state"), worker_addrs=addrs)
+        addr = srv.start_in_thread()
+        try:
+            job_id = submit_job(
+                addr, {"kind": "campaign", "system": "buck_boost"}
+            )
+            wait_for_job(addr, job_id, timeout=600)
+            envelope = job_result(addr, job_id)
+        finally:
+            srv.close()
+            for worker in workers:
+                worker.close()
+        assert envelope["payload"]["kind"] == "campaign"
+        assert sum(worker.shards_run for worker in workers) >= 2
+
+        from repro.systems import campaigns
+
+        local = campaigns.buck_boost_campaign(config=DftConfig())
+        records = local.run()
+        assert json.dumps(
+            envelope["payload"]["coverage"], sort_keys=True
+        ) == json.dumps(
+            coverage_summary(records[-1].coverage), sort_keys=True
+        )
+        trajectory = envelope["payload"]["campaign"]["trajectory"]
+        assert [row["tests"] for row in trajectory] == [
+            rec.tests for rec in records
+        ]

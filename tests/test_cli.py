@@ -567,3 +567,87 @@ class TestBenchSectionFlag:
         with pytest.raises(SystemExit) as exc:
             main(["bench", "--section", "warp"])
         assert exc.value.code == 2
+
+
+class TestConfigFlag:
+    def test_run_with_toml_config(self, tmp_path, capsys):
+        cfg = tmp_path / "dft.toml"
+        cfg.write_text('engine = "interp"\nwarn = false\n')
+        assert main(["run", "sensor", "--config", str(cfg)]) == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_bad_config_field_is_one_line_error(self, tmp_path, capsys):
+        cfg = tmp_path / "dft.json"
+        cfg.write_text('{"bogus": 1}')
+        assert main(["run", "sensor", "--config", str(cfg)]) == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "config file" in err and "bogus" in err
+
+    def test_missing_config_file_is_clean_exit(self, tmp_path, capsys):
+        assert main(["run", "sensor", "--config", str(tmp_path / "no.toml")]) == 1
+        assert "cannot read config file" in capsys.readouterr().err
+
+    def test_flags_layer_over_file_over_defaults(self, tmp_path):
+        import argparse
+
+        from repro.cli import _config_base
+        from repro.core import DftConfig
+
+        cfg = tmp_path / "dft.toml"
+        cfg.write_text('seed = 9\nbudget_simulations = 50\n')
+        args = argparse.Namespace(command="generate", config=str(cfg))
+        base = _config_base(args)
+        # File overrides the generate default (200), keeps others.
+        assert base.budget_simulations == 50
+        assert base.seed == 9
+        # An explicit flag still wins over the file.
+        flagged = DftConfig.from_args(
+            argparse.Namespace(seed=1), base=base
+        )
+        assert flagged.seed == 1
+        assert flagged.budget_simulations == 50
+
+    def test_command_defaults_apply_without_file(self):
+        import argparse
+
+        from repro.cli import _config_base
+
+        base = _config_base(argparse.Namespace(command="generate", config=None))
+        assert base.budget_simulations == 200
+
+
+class TestSubmitOptions:
+    def test_values_json_decoded(self):
+        from repro.cli import _parse_submit_options
+
+        options = _parse_submit_options(
+            ["iterations=3", "strategy=random", "flag=true"]
+        )
+        assert options == {"iterations": 3, "strategy": "random", "flag": True}
+
+    def test_bad_pair_rejected(self):
+        import pytest
+
+        from repro.cli import _parse_submit_options
+
+        with pytest.raises(ValueError, match="KEY=VALUE"):
+            _parse_submit_options(["no-equals-sign"])
+
+    def test_worker_and_serve_subcommands_parse(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "9000", "--worker", "7001", "--worker",
+             "host:7002", "--state-dir", "/tmp/s"]
+        )
+        assert args.worker == ["7001", "host:7002"]
+        assert args.port == 9000
+        worker = parser.parse_args(["worker", "--port", "0"])
+        assert worker.command == "worker"
+        submit = parser.parse_args(
+            ["submit", "campaign", "buck_boost", "--option", "iterations=2"]
+        )
+        assert submit.kind == "campaign"
+        assert submit.server == "127.0.0.1:8437"

@@ -71,37 +71,47 @@ class TestPublicApi:
         from repro import DftConfig, TestSuite, generate_suite, run_dft  # noqa: F401
 
 
-class TestDeprecatedKwargShims:
-    """The legacy keyword arguments stay for one release as shims that
-    warn and fold into a :class:`repro.DftConfig` — producing the exact
-    result the config path produces."""
+class TestApiV1KwargRemoval:
+    """API v1: the deprecated per-call keyword arguments promised for
+    one release after 1.0 are gone — :class:`repro.DftConfig` is the
+    only configuration path, and passing the old kwargs raises
+    ``TypeError`` like any other unknown keyword."""
 
-    def test_run_dft_engine_kwarg_matches_config(self):
-        from repro import DftConfig, TestSuite, run_dft
+    def test_run_dft_legacy_kwargs_raise(self):
+        from repro import TestSuite, run_dft
         from repro.systems.sensor import SenseTop, paper_testcases
 
-        via_config = run_dft(
-            lambda: SenseTop(),
-            TestSuite("paper", paper_testcases()),
-            DftConfig(engine="interp"),
-        )
-        with pytest.warns(DeprecationWarning, match="engine.*deprecated"):
-            via_kwarg = run_dft(
-                lambda: SenseTop(),
-                TestSuite("paper", paper_testcases()),
-                engine="interp",
-            )
-        assert (
-            via_kwarg.coverage.overall_percent
-            == via_config.coverage.overall_percent
-        )
-        assert (
-            via_kwarg.coverage.exercised_total
-            == via_config.coverage.exercised_total
-        )
-        assert {a.key for a in via_kwarg.coverage.missed()} == {
-            a.key for a in via_config.coverage.missed()
-        }
+        suite = TestSuite("paper", paper_testcases())
+        for kwarg in ("engine", "warn", "telemetry", "executor", "result_cache"):
+            with pytest.raises(TypeError, match=kwarg):
+                run_dft(lambda: SenseTop(), suite, **{kwarg: None})
+
+    def test_iterative_campaign_legacy_kwargs_raise(self):
+        from repro import IterativeCampaign
+        from repro.systems.sensor import SenseTop, paper_testcases
+
+        for kwarg in ("engine", "executor", "reuse_dynamic_results"):
+            with pytest.raises(TypeError, match=kwarg):
+                IterativeCampaign(
+                    lambda: SenseTop(), paper_testcases()[:1], **{kwarg: None}
+                )
+
+    def test_run_mutation_legacy_kwargs_raise(self):
+        from repro.mutation import run_mutation
+
+        for kwarg in ("seed", "tolerance", "workers", "engine",
+                      "budget_seconds", "telemetry"):
+            with pytest.raises(TypeError, match=kwarg):
+                run_mutation(
+                    "repro.systems.sensor:SenseTop",
+                    "repro.systems.sensor:paper_testcases",
+                    **{kwarg: None},
+                )
+
+    def test_fold_legacy_kwargs_is_gone(self):
+        import repro.core.config as config
+
+        assert not hasattr(config, "fold_legacy_kwargs")
 
     def test_config_path_does_not_warn(self, recwarn):
         from repro import DftConfig, TestSuite, run_dft
